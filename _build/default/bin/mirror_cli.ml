@@ -1,0 +1,224 @@
+(* The Mirror DBMS interactive shell.
+
+   Usage:
+     dune exec bin/mirror_cli.exe                 -- interactive session
+     dune exec bin/mirror_cli.exe -- -e "PROGRAM" -- evaluate and exit
+     dune exec bin/mirror_cli.exe -- --demo 16    -- preload the §5 demo library
+
+   Inside the shell:
+     define NAME as TYPE;      schema definition
+     EXPR;                     run a Moa query
+     .explain EXPR             show the compiled MIL plan bundle
+     .extents                  list extents
+     .catalog                  list catalog BATs
+     .search TEXT              demo-library dual-coding search
+     .help  .quit *)
+
+module Mirror = Mirror_core.Mirror
+module Value = Mirror_core.Value
+module Eval = Mirror_core.Eval
+module Parser = Mirror_core.Parser
+module Storage = Mirror_core.Storage
+module Catalog = Mirror_bat.Catalog
+module Bat = Mirror_bat.Bat
+module Synth = Mirror_mm.Synth
+module Prng = Mirror_util.Prng
+
+let help_text =
+  "commands:\n\
+  \  define NAME as TYPE;   define an extent (paper DDL syntax)\n\
+  \  EXPR;                  evaluate a Moa query\n\
+  \  let NAME = EXPR;       bind an expression (view semantics)\n\
+  \  insert into N EXPR;    append one row\n\
+  \  delete from N where P; remove matching rows\n\
+  \  .explain EXPR          show the flattened MIL plan\n\
+  \  .profile EXPR          run with per-operator timing\n\
+  \  .extents               list defined extents with types and sizes\n\
+  \  .catalog               list the physical BATs\n\
+  \  .search TEXT           dual-coding search over the demo library\n\
+  \  .save DIR  .load DIR   persist / restore the database (extents)\n\
+  \  .help                  this text\n\
+  \  .quit                  leave"
+
+(* sets/lists of flat tuples render as aligned tables *)
+let try_table v =
+  let open Mirror_core in
+  let rows_of = function
+    | Value.VSet rows | Value.Xv { ext = "LIST"; items = rows; _ } -> Some rows
+    | _ -> None
+  in
+  match rows_of v with
+  | Some (first :: _ as rows) when List.length rows > 1 -> (
+    match first with
+    | Value.Tup fields
+      when List.for_all (fun (_, fv) -> match fv with Value.Atom _ -> true | _ -> false) fields
+      ->
+      let labels = List.map fst fields in
+      let same_shape row =
+        match row with
+        | Value.Tup fs ->
+          List.length fs = List.length labels
+          && List.for_all2 (fun l (l', v) -> l = l' && (match v with Value.Atom _ -> true | _ -> false)) labels fs
+        | _ -> false
+      in
+      if List.for_all same_shape rows then begin
+        let t =
+          Mirror_util.Tablefmt.create
+            (List.map (fun l -> (l, Mirror_util.Tablefmt.Left)) labels)
+        in
+        List.iter
+          (fun row ->
+            Mirror_util.Tablefmt.add_row t
+              (List.map
+                 (fun (_, fv) ->
+                   match fv with
+                   | Value.Atom a -> Mirror_bat.Atom.to_string a
+                   | _ -> assert false)
+                 (Value.as_tuple row)))
+          rows;
+        Mirror_util.Tablefmt.print t;
+        true
+      end
+      else false
+    | _ -> false)
+  | _ -> false
+
+let print_result = function
+  | Mirror.Defined name -> Printf.printf "defined %s\n" name
+  | Mirror.Bound name -> Printf.printf "bound %s\n" name
+  | Mirror.Inserted name -> Printf.printf "inserted into %s\n" name
+  | Mirror.Deleted (name, n) -> Printf.printf "deleted %d row(s) from %s\n" n name
+  | Mirror.Evaluated v -> if not (try_table v) then Printf.printf "%s\n" (Value.to_string v)
+
+let handle_line mref line =
+  let m = !mref in
+  let line = String.trim line in
+  if line = "" then ()
+  else if line = ".quit" || line = ".exit" then raise Exit
+  else if line = ".help" then print_endline help_text
+  else if line = ".extents" then
+    List.iter
+      (fun name ->
+        match Storage.extent_type (Mirror.storage m) name with
+        | Some ty ->
+          Printf.printf "%-24s %6d rows  %s\n" name
+            (Storage.extent_count (Mirror.storage m) name)
+            (Mirror_core.Types.to_string ty)
+        | None -> ())
+      (Storage.extents (Mirror.storage m))
+  else if line = ".catalog" then
+    List.iter
+      (fun name ->
+        let b = Catalog.get (Storage.catalog (Mirror.storage m)) name in
+        Printf.printf "%-40s %8d rows  (%s -> %s)\n" name (Bat.count b)
+          (Mirror_bat.Atom.ty_name (Bat.hty b))
+          (Mirror_bat.Atom.ty_name (Bat.tty b)))
+      (Catalog.names (Storage.catalog (Mirror.storage m)))
+  else if Mirror_util.Stringx.starts_with ~prefix:".save " line then begin
+    let dir = String.trim (String.sub line 6 (String.length line - 6)) in
+    match Mirror_core.Persist.save (Mirror.storage m) ~dir with
+    | Ok () -> Printf.printf "saved to %s\n" dir
+    | Error e -> Printf.printf "error: %s\n" e
+  end
+  else if Mirror_util.Stringx.starts_with ~prefix:".load " line then begin
+    let dir = String.trim (String.sub line 6 (String.length line - 6)) in
+    match Mirror_core.Persist.load ~dir with
+    | Ok st ->
+      mref := Mirror.of_storage st;
+      Printf.printf "loaded %d extent(s) from %s\n"
+        (List.length (Storage.extents st)) dir
+    | Error e -> Printf.printf "error: %s\n" e
+  end
+  else if Mirror_util.Stringx.starts_with ~prefix:".profile " line then begin
+    let src = String.sub line 9 (String.length line - 9) in
+    match
+      Result.bind (Parser.parse_expr src) (fun e -> Eval.profile (Mirror.storage m) e)
+    with
+    | Ok rows ->
+      List.iter
+        (fun (op, t, n) -> Printf.printf "%-28s %9.3f ms  x%d\n" op (1000.0 *. t) n)
+        rows
+    | Error e -> Printf.printf "error: %s\n" e
+  end
+  else if Mirror_util.Stringx.starts_with ~prefix:".explain " line then begin
+    let src = String.sub line 9 (String.length line - 9) in
+    match
+      Result.bind (Parser.parse_expr src) (fun e -> Eval.explain (Mirror.storage m) e)
+    with
+    | Ok plan -> print_endline plan
+    | Error e -> Printf.printf "error: %s\n" e
+  end
+  else if Mirror_util.Stringx.starts_with ~prefix:".search " line then begin
+    let text = String.sub line 8 (String.length line - 8) in
+    if Mirror.library_size m = 0 then
+      print_endline "no demo library loaded; start with --demo N"
+    else
+      match Mirror.search m ~limit:8 text with
+      | Ok hits ->
+        List.iteri (fun i (url, s) -> Printf.printf "%d. %-14s %.4f\n" (i + 1) url s) hits
+      | Error e -> Printf.printf "error: %s\n" e
+  end
+  else
+    match Mirror.exec_program m line with
+    | Ok outcomes -> List.iter print_result outcomes
+    | Error e -> Printf.printf "error: %s\n" e
+
+let load_demo m ~seed ~n =
+  Printf.printf "building demo library (%d synthetic images)...\n%!" n;
+  let scenes = Synth.corpus (Prng.create seed) ~n ~width:48 ~height:48 () in
+  match Mirror.build_image_library m ~scenes () with
+  | Ok report ->
+    Printf.printf "pipeline done: %d daemons, %d rounds, %d dead letters\n"
+      (List.length report.Mirror_daemon.Orchestrator.stats)
+      report.Mirror_daemon.Orchestrator.rounds
+      (List.length report.Mirror_daemon.Orchestrator.dead_letters)
+  | Error e -> Printf.printf "demo build failed: %s\n" e
+
+let repl m =
+  let mref = ref m in
+  print_endline "Mirror DBMS shell — .help for commands";
+  try
+    while true do
+      print_string "mirror> ";
+      match read_line () with
+      | line -> ( try handle_line mref line with Failure e -> Printf.printf "error: %s\n" e)
+      | exception End_of_file -> raise Exit
+    done
+  with Exit -> print_endline "bye"
+
+let main eval_opt demo seed =
+  let m = Mirror.create () in
+  if demo > 0 then load_demo m ~seed ~n:demo;
+  match eval_opt with
+  | Some program -> (
+    match Mirror.exec_program m program with
+    | Ok outcomes ->
+      List.iter print_result outcomes;
+      0
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1)
+  | None ->
+    repl m;
+    0
+
+open Cmdliner
+
+let eval_arg =
+  let doc = "Evaluate $(docv) (a ;-separated Moa program) and exit." in
+  Arg.(value & opt (some string) None & info [ "e"; "eval" ] ~docv:"PROGRAM" ~doc)
+
+let demo_arg =
+  let doc = "Preload the section-5 demo library with $(docv) synthetic images." in
+  Arg.(value & opt int 0 & info [ "demo" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the demo corpus." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let cmd =
+  let doc = "the Mirror multimedia DBMS shell" in
+  let info = Cmd.info "mirror" ~doc in
+  Cmd.v info Term.(const main $ eval_arg $ demo_arg $ seed_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/custom_structure.ml: Array Hashtbl List Mirror_bat Mirror_core Mirror_mm Mirror_util Printf String

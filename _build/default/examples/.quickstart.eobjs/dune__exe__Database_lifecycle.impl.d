@@ -1,0 +1,1 @@
+examples/database_lifecycle.ml: Array Filename List Mirror_core Mirror_ir Printf Sys

@@ -1,0 +1,1 @@
+examples/image_retrieval.ml: Array List Mirror_core Mirror_daemon Mirror_mm Mirror_util Printf String

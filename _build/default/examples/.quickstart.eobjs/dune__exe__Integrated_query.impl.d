@@ -1,0 +1,1 @@
+examples/integrated_query.ml: List Mirror_bat Mirror_core Mirror_ir Printf

@@ -1,0 +1,1 @@
+examples/integrated_query.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Mirror_core Printf String

@@ -1,0 +1,1 @@
+examples/traditional_library.ml: List Mirror_bat Mirror_core Mirror_ir Printf String

@@ -1,0 +1,1 @@
+examples/traditional_library.mli:

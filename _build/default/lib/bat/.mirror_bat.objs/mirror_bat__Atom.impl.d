@@ -1,0 +1,1 @@
+lib/bat/atom.ml: Float Format Hashtbl Printf Scanf Stdlib String

@@ -1,0 +1,1 @@
+lib/bat/atom.mli: Format

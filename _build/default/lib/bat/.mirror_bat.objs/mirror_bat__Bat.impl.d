@@ -1,0 +1,1 @@
+lib/bat/bat.ml: Array Atom Bool Column Float Format Hashtbl Int List Option Printf String

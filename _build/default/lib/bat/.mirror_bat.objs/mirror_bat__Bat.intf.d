@@ -1,0 +1,1 @@
+lib/bat/bat.mli: Atom Column Format

@@ -1,0 +1,1 @@
+lib/bat/catalog.ml: Atom Bat Buffer Char Column Fun Hashtbl List Printf Result String

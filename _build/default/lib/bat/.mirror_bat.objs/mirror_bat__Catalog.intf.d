@@ -1,0 +1,1 @@
+lib/bat/catalog.mli: Bat

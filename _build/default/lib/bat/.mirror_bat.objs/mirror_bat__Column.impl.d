@@ -1,0 +1,1 @@
+lib/bat/column.ml: Array Atom Float List Printf

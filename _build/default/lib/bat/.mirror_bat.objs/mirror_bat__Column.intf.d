@@ -1,0 +1,1 @@
+lib/bat/column.mli: Atom

@@ -1,0 +1,1 @@
+lib/bat/mil.ml: Atom Bat Catalog Float Format Hashtbl List Printf String Sys

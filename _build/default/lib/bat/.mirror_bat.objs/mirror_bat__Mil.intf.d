@@ -1,0 +1,1 @@
+lib/bat/mil.mli: Atom Bat Catalog Format

@@ -1,0 +1,1 @@
+lib/bat/milopt.ml: Atom Bat List Mil

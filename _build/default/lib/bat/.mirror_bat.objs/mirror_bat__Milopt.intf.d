@@ -1,0 +1,1 @@
+lib/bat/milopt.mli: Mil

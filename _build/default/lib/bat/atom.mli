@@ -1,0 +1,61 @@
+(** Atomic values of the binary-relational kernel.
+
+    The physical data model knows five base types, mirroring the Monet
+    atoms the Mirror DBMS inherited at its logical level: integers,
+    double-precision floats, strings, booleans and object identifiers
+    (oids).  Every cell of every BAT column holds exactly one atom; the
+    kernel has no NULL — operators that could produce missing values
+    (outer joins, empty-group aggregates) take an explicit default
+    atom instead. *)
+
+type t =
+  | Int of int
+  | Flt of float
+  | Str of string
+  | Bool of bool
+  | Oid of int
+
+type ty = TInt | TFlt | TStr | TBool | TOid
+
+val type_of : t -> ty
+(** The base type of an atom. *)
+
+val ty_name : ty -> string
+(** Lower-case type name ("int", "flt", "str", "bool", "oid"). *)
+
+val equal : t -> t -> bool
+(** Structural equality.  Atoms of different base types are never
+    equal. *)
+
+val compare : t -> t -> int
+(** Total order: first by base type, then by value.  Float comparison
+    uses [Float.compare], so [nan] is ordered deterministically. *)
+
+val hash : t -> int
+(** Hash compatible with {!equal}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering (strings are quoted). *)
+
+val to_string : t -> string
+(** [Format.asprintf "%a" pp]. *)
+
+val parse : ty -> string -> (t, string) result
+(** Parse the textual form produced by {!to_string} back into an atom of
+    the requested type (used by the catalog dump/load round-trip). *)
+
+val as_int : t -> int
+(** Value of an [Int] atom. @raise Invalid_argument otherwise. *)
+
+val as_float : t -> float
+(** Value of a [Flt] atom; [Int] atoms are widened.
+    @raise Invalid_argument otherwise. *)
+
+val as_string : t -> string
+(** Value of a [Str] atom. @raise Invalid_argument otherwise. *)
+
+val as_bool : t -> bool
+(** Value of a [Bool] atom. @raise Invalid_argument otherwise. *)
+
+val as_oid : t -> int
+(** Value of an [Oid] atom. @raise Invalid_argument otherwise. *)

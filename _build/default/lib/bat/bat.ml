@@ -1,0 +1,911 @@
+type t = { hd : Column.t; tl : Column.t }
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type binop = Add | Sub | Mul | Div | Pow | MinOp | MaxOp | CmpOp of cmp | And | Or
+type unop = Not | Neg | Log | Exp | Sqrt | Abs | ToFlt
+type aggr = Sum | Prod | Count | Min | Max | Avg
+
+module AtomTbl = Hashtbl.Make (struct
+  type t = Atom.t
+
+  let equal = Atom.equal
+  let hash = Atom.hash
+end)
+
+(* Growable int vector used to collect row indices. *)
+module Ibuf = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 16 0; n = 0 }
+
+  let push b v =
+    if b.n = Array.length b.a then begin
+      let fresh = Array.make (2 * b.n) 0 in
+      Array.blit b.a 0 fresh 0 b.n;
+      b.a <- fresh
+    end;
+    b.a.(b.n) <- v;
+    b.n <- b.n + 1
+
+  let finish b = Array.sub b.a 0 b.n
+end
+
+let make hd tl =
+  if Column.length hd <> Column.length tl then
+    invalid_arg "Bat.make: column length mismatch";
+  { hd; tl }
+
+let empty hty tty = { hd = Column.make hty 0; tl = Column.make tty 0 }
+
+let of_pairs hty tty pairs =
+  let hd = Column.of_atoms hty (List.map fst pairs) in
+  let tl = Column.of_atoms tty (List.map snd pairs) in
+  { hd; tl }
+
+let count b = Column.length b.hd
+let hty b = Column.ty b.hd
+let tty b = Column.ty b.tl
+let head b = b.hd
+let tail b = b.tl
+let head_at b i = Column.get b.hd i
+let tail_at b i = Column.get b.tl i
+
+let to_pairs b = List.init (count b) (fun i -> (head_at b i, tail_at b i))
+
+let iter f b =
+  for i = 0 to count b - 1 do
+    f (head_at b i) (tail_at b i)
+  done
+
+let fold f init b =
+  let acc = ref init in
+  iter (fun h t -> acc := f !acc h t) b;
+  !acc
+
+let equal a b = Column.equal a.hd b.hd && Column.equal a.tl b.tl
+
+let equal_as_set a b =
+  let sorted x =
+    let pairs = to_pairs x in
+    List.sort
+      (fun (h1, t1) (h2, t2) ->
+        let c = Atom.compare h1 h2 in
+        if c <> 0 then c else Atom.compare t1 t2)
+      pairs
+  in
+  count a = count b
+  && List.for_all2
+       (fun (h1, t1) (h2, t2) -> Atom.equal h1 h2 && Atom.equal t1 t2)
+       (sorted a) (sorted b)
+
+let pp ppf b =
+  let n = count b in
+  let shown = min n 24 in
+  Format.fprintf ppf "@[<hov 1>[";
+  for i = 0 to shown - 1 do
+    if i > 0 then Format.fprintf ppf ";@ ";
+    Format.fprintf ppf "%a->%a" Atom.pp (head_at b i) Atom.pp (tail_at b i)
+  done;
+  if n > shown then Format.fprintf ppf ";@ …(%d rows)" n;
+  Format.fprintf ppf "]@]"
+
+(* {1 Atom-level operator semantics} *)
+
+let numeric_promote a b =
+  match (a, b) with
+  | Atom.Int x, Atom.Int y -> `Int (x, y)
+  | (Atom.Int _ | Atom.Flt _), (Atom.Int _ | Atom.Flt _) ->
+    `Flt (Atom.as_float a, Atom.as_float b)
+  | _ -> `Other
+
+let bad_operands name a b =
+  invalid_arg
+    (Printf.sprintf "Bat.%s: bad operand types %s/%s" name
+       (Atom.ty_name (Atom.type_of a))
+       (Atom.ty_name (Atom.type_of b)))
+
+let apply_cmp c a b =
+  let r = Atom.compare a b in
+  match c with
+  | Eq -> r = 0
+  | Ne -> r <> 0
+  | Lt -> r < 0
+  | Le -> r <= 0
+  | Gt -> r > 0
+  | Ge -> r >= 0
+
+let apply_binop op a b =
+  match op with
+  | Add -> (
+    match numeric_promote a b with
+    | `Int (x, y) -> Atom.Int (x + y)
+    | `Flt (x, y) -> Atom.Flt (x +. y)
+    | `Other -> (
+      match (a, b) with Atom.Str x, Atom.Str y -> Atom.Str (x ^ y) | _ -> bad_operands "add" a b))
+  | Sub -> (
+    match numeric_promote a b with
+    | `Int (x, y) -> Atom.Int (x - y)
+    | `Flt (x, y) -> Atom.Flt (x -. y)
+    | `Other -> bad_operands "sub" a b)
+  | Mul -> (
+    match numeric_promote a b with
+    | `Int (x, y) -> Atom.Int (x * y)
+    | `Flt (x, y) -> Atom.Flt (x *. y)
+    | `Other -> bad_operands "mul" a b)
+  | Div -> (
+    match numeric_promote a b with
+    | `Int (x, y) -> if y = 0 then raise Division_by_zero else Atom.Int (x / y)
+    | `Flt (x, y) -> Atom.Flt (x /. y)
+    | `Other -> bad_operands "div" a b)
+  | Pow -> (
+    match numeric_promote a b with
+    | `Int (x, y) -> Atom.Flt (Float.of_int x ** Float.of_int y)
+    | `Flt (x, y) -> Atom.Flt (x ** y)
+    | `Other -> bad_operands "pow" a b)
+  | MinOp -> if Atom.compare b a < 0 then b else a
+  | MaxOp -> if Atom.compare b a > 0 then b else a
+  | CmpOp c -> Atom.Bool (apply_cmp c a b)
+  | And -> (
+    match (a, b) with
+    | Atom.Bool x, Atom.Bool y -> Atom.Bool (x && y)
+    | _ -> bad_operands "and" a b)
+  | Or -> (
+    match (a, b) with
+    | Atom.Bool x, Atom.Bool y -> Atom.Bool (x || y)
+    | _ -> bad_operands "or" a b)
+
+let bad_operand name a =
+  invalid_arg
+    (Printf.sprintf "Bat.%s: bad operand type %s" name (Atom.ty_name (Atom.type_of a)))
+
+let apply_unop op a =
+  match (op, a) with
+  | Not, Atom.Bool x -> Atom.Bool (not x)
+  | Not, _ -> bad_operand "not" a
+  | Neg, Atom.Int x -> Atom.Int (-x)
+  | Neg, Atom.Flt x -> Atom.Flt (-.x)
+  | Neg, _ -> bad_operand "neg" a
+  | Log, (Atom.Int _ | Atom.Flt _) -> Atom.Flt (log (Atom.as_float a))
+  | Log, _ -> bad_operand "log" a
+  | Exp, (Atom.Int _ | Atom.Flt _) -> Atom.Flt (exp (Atom.as_float a))
+  | Exp, _ -> bad_operand "exp" a
+  | Sqrt, (Atom.Int _ | Atom.Flt _) -> Atom.Flt (sqrt (Atom.as_float a))
+  | Sqrt, _ -> bad_operand "sqrt" a
+  | Abs, Atom.Int x -> Atom.Int (abs x)
+  | Abs, Atom.Flt x -> Atom.Flt (Float.abs x)
+  | Abs, _ -> bad_operand "abs" a
+  | ToFlt, (Atom.Int _ | Atom.Flt _) -> Atom.Flt (Atom.as_float a)
+  | ToFlt, _ -> bad_operand "toflt" a
+
+let binop_result_ty op t1 t2 =
+  match op with
+  | Add | Sub | Mul | Div | MinOp | MaxOp -> (
+    match (t1, t2) with
+    | Atom.TInt, Atom.TInt -> Atom.TInt
+    | (Atom.TInt | Atom.TFlt), (Atom.TInt | Atom.TFlt) -> Atom.TFlt
+    | Atom.TStr, Atom.TStr when op = Add -> Atom.TStr
+    | _ when op = MinOp || op = MaxOp -> t1
+    | _ -> invalid_arg "Bat.binop_result_ty: non-numeric operands")
+  | Pow -> Atom.TFlt
+  | CmpOp _ -> Atom.TBool
+  | And | Or -> Atom.TBool
+
+let unop_result_ty op t =
+  match op with
+  | Not -> Atom.TBool
+  | Neg | Abs -> t
+  | Log | Exp | Sqrt | ToFlt -> Atom.TFlt
+
+(* Typed fast paths for the element-wise calculation loops.  [None]
+   means "no specialisation, use the generic boxed loop". *)
+let float_binop = function
+  | Add -> Some ( +. )
+  | Sub -> Some ( -. )
+  | Mul -> Some ( *. )
+  | Div -> Some ( /. )
+  | Pow -> Some ( ** )
+  | MinOp -> Some Float.min
+  | MaxOp -> Some Float.max
+  | CmpOp _ | And | Or -> None
+
+let int_binop = function
+  | Add -> Some ( + )
+  | Sub -> Some ( - )
+  | Mul -> Some ( * )
+  | MinOp -> Some min
+  | MaxOp -> Some max
+  | Div | Pow | CmpOp _ | And | Or -> None
+
+let int_cmp c : int -> int -> bool =
+  match c with
+  | Eq -> ( = )
+  | Ne -> ( <> )
+  | Lt -> ( < )
+  | Le -> ( <= )
+  | Gt -> ( > )
+  | Ge -> ( >= )
+
+let float_cmp c : float -> float -> bool =
+  match c with
+  | Eq -> fun a b -> Float.compare a b = 0
+  | Ne -> fun a b -> Float.compare a b <> 0
+  | Lt -> fun a b -> Float.compare a b < 0
+  | Le -> fun a b -> Float.compare a b <= 0
+  | Gt -> fun a b -> Float.compare a b > 0
+  | Ge -> fun a b -> Float.compare a b >= 0
+
+(* Positional element-wise application with typed loops where possible;
+   both inputs must be row-aligned. *)
+let calc_pos_tails op lt rt =
+  match (op, lt, rt) with
+  | _, Column.I a, Column.I b -> (
+    match (op, int_binop op) with
+    | _, Some f -> Some (Column.I (Array.init (Array.length a) (fun i -> f a.(i) b.(i))))
+    | CmpOp c, _ ->
+      let f = int_cmp c in
+      Some (Column.B (Array.init (Array.length a) (fun i -> f a.(i) b.(i))))
+    | _ -> None)
+  | _, Column.F a, Column.F b -> (
+    match (op, float_binop op) with
+    | _, Some f -> Some (Column.F (Array.init (Array.length a) (fun i -> f a.(i) b.(i))))
+    | CmpOp c, _ ->
+      let f = float_cmp c in
+      Some (Column.B (Array.init (Array.length a) (fun i -> f a.(i) b.(i))))
+    | _ -> None)
+  | _ -> None
+
+(* Monet's "void" columns: a head of consecutive oids needs no hash
+   index — positions are arithmetic.  Returns the base oid when the
+   array is dense ascending. *)
+let dense_base arr =
+  let n = Array.length arr in
+  if n = 0 then None
+  else begin
+    let base = arr.(0) in
+    let ok = ref true in
+    let i = ref 1 in
+    while !ok && !i < n do
+      if arr.(!i) <> base + !i then ok := false;
+      incr i
+    done;
+    if !ok then Some base else None
+  end
+
+let is_nondecreasing arr =
+  let ok = ref true in
+  let i = ref 1 in
+  while !ok && !i < Array.length arr do
+    if arr.(!i) < arr.(!i - 1) then ok := false;
+    incr i
+  done;
+  !ok
+
+let is_strictly_increasing arr =
+  let ok = ref true in
+  let i = ref 1 in
+  while !ok && !i < Array.length arr do
+    if arr.(!i) <= arr.(!i - 1) then ok := false;
+    incr i
+  done;
+  !ok
+
+let same_int_heads l r =
+  match (l.hd, r.hd) with
+  | (Column.I a | Column.O a), (Column.I b | Column.O b)
+    when Column.ty l.hd = Column.ty r.hd ->
+    a == b
+    || (Array.length a = Array.length b
+       &&
+       let ok = ref true in
+       let i = ref 0 in
+       while !ok && !i < Array.length a do
+         if a.(!i) <> b.(!i) then ok := false;
+         incr i
+       done;
+       !ok)
+  | _ -> false
+
+
+(* {1 Unary operators} *)
+
+let reverse b = { hd = b.tl; tl = b.hd }
+let mirror b = { hd = b.hd; tl = b.hd }
+let mark b base = { hd = b.hd; tl = Column.dense base (count b) }
+let number_head b base = { hd = Column.dense base (count b); tl = b.hd }
+let number_tail b base = { hd = Column.dense base (count b); tl = b.tl }
+let project b a = { hd = b.hd; tl = Column.const a (count b) }
+
+let calc1 op b =
+  let n = count b in
+  let out = Column.make (unop_result_ty op (tty b)) n in
+  for i = 0 to n - 1 do
+    Column.set out i (apply_unop op (tail_at b i))
+  done;
+  { hd = b.hd; tl = out }
+
+let calc_const op b a =
+  let fast =
+    match (b.tl, a) with
+    | Column.I arr, Atom.Int v -> (
+      match (op, int_binop op) with
+      | _, Some f -> Some (Column.I (Array.map (fun x -> f x v) arr))
+      | CmpOp c, _ ->
+        let f = int_cmp c in
+        Some (Column.B (Array.map (fun x -> f x v) arr))
+      | _ -> None)
+    | Column.F arr, Atom.Flt v -> (
+      match (op, float_binop op) with
+      | _, Some f -> Some (Column.F (Array.map (fun x -> f x v) arr))
+      | CmpOp c, _ ->
+        let f = float_cmp c in
+        Some (Column.B (Array.map (fun x -> f x v) arr))
+      | _ -> None)
+    | _ -> None
+  in
+  match fast with
+  | Some out -> { hd = b.hd; tl = out }
+  | None ->
+    let n = count b in
+    let out = Column.make (binop_result_ty op (tty b) (Atom.type_of a)) n in
+    for i = 0 to n - 1 do
+      Column.set out i (apply_binop op (tail_at b i) a)
+    done;
+    { hd = b.hd; tl = out }
+
+let const_calc op a b =
+  let fast =
+    match (a, b.tl) with
+    | Atom.Int v, Column.I arr -> (
+      match (op, int_binop op) with
+      | _, Some f -> Some (Column.I (Array.map (fun x -> f v x) arr))
+      | CmpOp c, _ ->
+        let f = int_cmp c in
+        Some (Column.B (Array.map (fun x -> f v x) arr))
+      | _ -> None)
+    | Atom.Flt v, Column.F arr -> (
+      match (op, float_binop op) with
+      | _, Some f -> Some (Column.F (Array.map (fun x -> f v x) arr))
+      | CmpOp c, _ ->
+        let f = float_cmp c in
+        Some (Column.B (Array.map (fun x -> f v x) arr))
+      | _ -> None)
+    | _ -> None
+  in
+  match fast with
+  | Some out -> { hd = b.hd; tl = out }
+  | None ->
+    let n = count b in
+    let out = Column.make (binop_result_ty op (Atom.type_of a) (tty b)) n in
+    for i = 0 to n - 1 do
+      Column.set out i (apply_binop op a (tail_at b i))
+    done;
+    { hd = b.hd; tl = out }
+
+let take b idx = { hd = Column.gather b.hd idx; tl = Column.gather b.tl idx }
+
+let slice b pos len =
+  let n = count b in
+  let pos = max 0 pos in
+  let len = max 0 (min len (n - pos)) in
+  take b (Array.init len (fun i -> pos + i))
+
+let column_comparator c =
+  match c with
+  | Column.I a | Column.O a -> fun i j -> Int.compare a.(i) a.(j)
+  | Column.F a -> fun i j -> Float.compare a.(i) a.(j)
+  | Column.S a -> fun i j -> String.compare a.(i) a.(j)
+  | Column.B a -> fun i j -> Bool.compare a.(i) a.(j)
+
+let sorted_indices ?(desc = false) c =
+  let n = Column.length c in
+  let idx = Array.init n (fun i -> i) in
+  let cmp = column_comparator c in
+  let cmp = if desc then fun i j -> cmp j i else cmp in
+  (* Stable: break ties by original position. *)
+  let cmp i j =
+    let r = cmp i j in
+    if r <> 0 then r else Int.compare i j
+  in
+  Array.sort cmp idx;
+  idx
+
+let sort_tail ?(desc = false) b = take b (sorted_indices ~desc b.tl)
+let sort_head ?(desc = false) b = take b (sorted_indices ~desc b.hd)
+
+let topn ?(desc = true) b n = slice (sort_tail ~desc b) 0 n
+
+let unique b =
+  let seen = AtomTbl.create (count b) in
+  let keep = Ibuf.create () in
+  for i = 0 to count b - 1 do
+    let h = head_at b i in
+    let tails = try AtomTbl.find seen h with Not_found -> [] in
+    let t = tail_at b i in
+    if not (List.exists (Atom.equal t) tails) then begin
+      AtomTbl.replace seen h (t :: tails);
+      Ibuf.push keep i
+    end
+  done;
+  take b (Ibuf.finish keep)
+
+let unique_head b =
+  let seen = AtomTbl.create (count b) in
+  let keep = Ibuf.create () in
+  for i = 0 to count b - 1 do
+    let h = head_at b i in
+    if not (AtomTbl.mem seen h) then begin
+      AtomTbl.add seen h ();
+      Ibuf.push keep i
+    end
+  done;
+  take b (Ibuf.finish keep)
+
+(* {1 Selections} *)
+
+let select_indices pred b =
+  let keep = Ibuf.create () in
+  for i = 0 to count b - 1 do
+    if pred i then Ibuf.push keep i
+  done;
+  take b (Ibuf.finish keep)
+
+let select_cmp b c a =
+  match (b.tl, a) with
+  | (Column.I arr | Column.O arr), (Atom.Int v | Atom.Oid v)
+    when Atom.type_of a = Column.ty b.tl ->
+    let f = int_cmp c in
+    select_indices (fun i -> f arr.(i) v) b
+  | Column.F arr, Atom.Flt v ->
+    let f = float_cmp c in
+    select_indices (fun i -> f arr.(i) v) b
+  | Column.S arr, Atom.Str v ->
+    let f = int_cmp c in
+    select_indices (fun i -> f (String.compare arr.(i) v) 0) b
+  | _ -> select_indices (fun i -> apply_cmp c (tail_at b i) a) b
+
+let select_range b lo hi =
+  select_indices (fun i ->
+      let t = tail_at b i in
+      Atom.compare lo t <= 0 && Atom.compare t hi <= 0)
+    b
+
+let select_bool b =
+  match b.tl with
+  | Column.B arr -> select_indices (fun i -> arr.(i)) b
+  | _ -> invalid_arg "Bat.select_bool: tail is not boolean"
+
+let filter pred b = select_indices (fun i -> pred (head_at b i) (tail_at b i)) b
+
+(* {1 Binary operators} *)
+
+(* Index of a column: value -> positions in order. *)
+let positions_index c =
+  let tbl = AtomTbl.create (Column.length c) in
+  for i = Column.length c - 1 downto 0 do
+    let v = Column.get c i in
+    let rest = try AtomTbl.find tbl v with Not_found -> [] in
+    AtomTbl.replace tbl v (i :: rest)
+  done;
+  tbl
+
+let membership_index c =
+  let tbl = AtomTbl.create (Column.length c) in
+  for i = 0 to Column.length c - 1 do
+    AtomTbl.replace tbl (Column.get c i) ()
+  done;
+  tbl
+
+let join_generic l r =
+  let idx = positions_index r.hd in
+  let li = Ibuf.create () and rj = Ibuf.create () in
+  for i = 0 to count l - 1 do
+    match AtomTbl.find_opt idx (tail_at l i) with
+    | None -> ()
+    | Some js ->
+      List.iter
+        (fun j ->
+          Ibuf.push li i;
+          Ibuf.push rj j)
+        js
+  done;
+  { hd = Column.gather l.hd (Ibuf.finish li); tl = Column.gather r.tl (Ibuf.finish rj) }
+
+let join_int l r lt rh =
+  let li = Ibuf.create () and rj = Ibuf.create () in
+  (match dense_base rh with
+  | Some base ->
+    (* void head: position arithmetic, keys are unique *)
+    let nr = Array.length rh in
+    for i = 0 to Array.length lt - 1 do
+      let j = lt.(i) - base in
+      if j >= 0 && j < nr then begin
+        Ibuf.push li i;
+        Ibuf.push rj j
+      end
+    done
+  | None ->
+    if is_nondecreasing lt && is_strictly_increasing rh then begin
+      (* merge join over sorted oid columns *)
+      let nr = Array.length rh in
+      let j = ref 0 in
+      for i = 0 to Array.length lt - 1 do
+        while !j < nr && rh.(!j) < lt.(i) do
+          incr j
+        done;
+        if !j < nr && rh.(!j) = lt.(i) then begin
+          Ibuf.push li i;
+          Ibuf.push rj !j
+        end
+      done
+    end
+    else begin
+      let idx = Hashtbl.create (Array.length rh) in
+      for j = Array.length rh - 1 downto 0 do
+        let rest = try Hashtbl.find idx rh.(j) with Not_found -> [] in
+        Hashtbl.replace idx rh.(j) (j :: rest)
+      done;
+      for i = 0 to Array.length lt - 1 do
+        match Hashtbl.find_opt idx lt.(i) with
+        | None -> ()
+        | Some js ->
+          List.iter
+            (fun j ->
+              Ibuf.push li i;
+              Ibuf.push rj j)
+            js
+      done
+    end);
+  { hd = Column.gather l.hd (Ibuf.finish li); tl = Column.gather r.tl (Ibuf.finish rj) }
+
+let join l r =
+  if tty l <> hty r then
+    invalid_arg
+      (Printf.sprintf "Bat.join: tail type %s does not match head type %s"
+         (Atom.ty_name (tty l)) (Atom.ty_name (hty r)));
+  match (l.tl, r.hd) with
+  | (Column.I lt | Column.O lt), (Column.I rh | Column.O rh) -> join_int l r lt rh
+  | _ -> join_generic l r
+
+let leftouterjoin l r default =
+  if Atom.type_of default <> tty r then
+    invalid_arg "Bat.leftouterjoin: default type does not match right tail";
+  let emit_rows find_positions =
+    let hb = Column.Builder.create (hty l) in
+    let tb = Column.Builder.create (tty r) in
+    for i = 0 to count l - 1 do
+      let h = head_at l i in
+      match find_positions i with
+      | None ->
+        Column.Builder.add hb h;
+        Column.Builder.add tb default
+      | Some js ->
+        List.iter
+          (fun j ->
+            Column.Builder.add hb h;
+            Column.Builder.add tb (tail_at r j))
+          js
+    done;
+    { hd = Column.Builder.finish hb; tl = Column.Builder.finish tb }
+  in
+  match (l.tl, r.hd) with
+  | (Column.I lt | Column.O lt), (Column.I rh | Column.O rh) ->
+    let idx = Hashtbl.create (Array.length rh) in
+    for j = Array.length rh - 1 downto 0 do
+      Hashtbl.replace idx rh.(j) (j :: Option.value ~default:[] (Hashtbl.find_opt idx rh.(j)))
+    done;
+    emit_rows (fun i -> Hashtbl.find_opt idx lt.(i))
+  | _ ->
+    let idx = positions_index r.hd in
+    emit_rows (fun i -> AtomTbl.find_opt idx (tail_at l i))
+
+let int_members arr =
+  let tbl = Hashtbl.create (Array.length arr) in
+  Array.iter (fun v -> Hashtbl.replace tbl v ()) arr;
+  tbl
+
+(* membership predicate over the right-hand heads; the caller probes
+   with non-decreasing values when [probe_sorted] holds, enabling a
+   merge scan over sorted survivors *)
+let int_membership_pred ?(probe_sorted = false) rh =
+  match dense_base rh with
+  | Some base ->
+    let n = Array.length rh in
+    fun v ->
+      let j = v - base in
+      j >= 0 && j < n
+  | None ->
+    if probe_sorted && is_nondecreasing rh then begin
+      let n = Array.length rh in
+      let j = ref 0 in
+      fun v ->
+        while !j < n && rh.(!j) < v do
+          incr j
+        done;
+        !j < n && rh.(!j) = v
+    end
+    else begin
+      let members = int_members rh in
+      fun v -> Hashtbl.mem members v
+    end
+
+let semijoin l r =
+  match (l.hd, r.hd) with
+  | (Column.I lh | Column.O lh), (Column.I rh | Column.O rh) ->
+    let mem = int_membership_pred ~probe_sorted:(is_nondecreasing lh) rh in
+    select_indices (fun i -> mem lh.(i)) l
+  | _ ->
+    let members = membership_index r.hd in
+    select_indices (fun i -> AtomTbl.mem members (head_at l i)) l
+
+let antijoin l r =
+  match (l.hd, r.hd) with
+  | (Column.I lh | Column.O lh), (Column.I rh | Column.O rh) ->
+    let mem = int_membership_pred ~probe_sorted:(is_nondecreasing lh) rh in
+    select_indices (fun i -> not (mem lh.(i))) l
+  | _ ->
+    let members = membership_index r.hd in
+    select_indices (fun i -> not (AtomTbl.mem members (head_at l i))) l
+
+let kdiff = antijoin
+let kintersect = semijoin
+
+let append a b =
+  if hty a <> hty b || tty a <> tty b then invalid_arg "Bat.append: type mismatch";
+  { hd = Column.append a.hd b.hd; tl = Column.append a.tl b.tl }
+
+let kunion l r = append l (antijoin r l)
+
+let pair_key h t = (Atom.hash h * 31) lxor Atom.hash t
+
+module PairTbl = Hashtbl.Make (struct
+  type t = Atom.t * Atom.t
+
+  let equal (h1, t1) (h2, t2) = Atom.equal h1 h2 && Atom.equal t1 t2
+  let hash (h, t) = pair_key h t
+end)
+
+let pair_set b =
+  let tbl = PairTbl.create (count b) in
+  iter (fun h t -> PairTbl.replace tbl (h, t) ()) b;
+  tbl
+
+let pair_diff l r =
+  let rs = pair_set r in
+  select_indices (fun i -> not (PairTbl.mem rs (head_at l i, tail_at l i))) l
+
+let pair_inter l r =
+  let rs = pair_set r in
+  select_indices (fun i -> PairTbl.mem rs (head_at l i, tail_at l i)) l
+
+let pair_union l r = unique (append l r)
+
+
+let first_position_index c =
+  let tbl = AtomTbl.create (Column.length c) in
+  for i = 0 to Column.length c - 1 do
+    let v = Column.get c i in
+    if not (AtomTbl.mem tbl v) then AtomTbl.add tbl v i
+  done;
+  tbl
+
+let calc2_generic op l r positions =
+  let out_ty = binop_result_ty op (tty l) (tty r) in
+  let hb = Column.Builder.create (hty l) in
+  let tb = Column.Builder.create out_ty in
+  for i = 0 to count l - 1 do
+    match positions i with
+    | None -> ()
+    | Some j ->
+      Column.Builder.add hb (head_at l i);
+      Column.Builder.add tb (apply_binop op (tail_at l i) (tail_at r j))
+  done;
+  { hd = Column.Builder.finish hb; tl = Column.Builder.finish tb }
+
+let calc2 op l r =
+  if count l = count r && same_int_heads l r then
+    (* row-aligned operands: positional typed loop when available *)
+    match calc_pos_tails op l.tl r.tl with
+    | Some out -> { hd = l.hd; tl = out }
+    | None -> calc2_generic op l r (fun i -> Some i)
+  else
+    match (l.hd, r.hd) with
+    | (Column.I lh | Column.O lh), (Column.I rh | Column.O rh) ->
+      let idx = Hashtbl.create (Array.length rh) in
+      for j = Array.length rh - 1 downto 0 do
+        if not (Hashtbl.mem idx rh.(j)) then Hashtbl.add idx rh.(j) j
+      done;
+      calc2_generic op l r (fun i -> Hashtbl.find_opt idx lh.(i))
+    | _ ->
+      let idx = first_position_index r.hd in
+      calc2_generic op l r (fun i -> AtomTbl.find_opt idx (head_at l i))
+
+let calc2_pos op l r =
+  if count l <> count r then invalid_arg "Bat.calc2_pos: length mismatch";
+  let out = Column.make (binop_result_ty op (tty l) (tty r)) (count l) in
+  for i = 0 to count l - 1 do
+    Column.set out i (apply_binop op (tail_at l i) (tail_at r i))
+  done;
+  { hd = l.hd; tl = out }
+
+(* {1 Grouping and aggregation} *)
+
+type acc = { mutable cnt : int; mutable v : Atom.t option; mutable fsum : float }
+
+let aggr_step op acc t =
+  acc.cnt <- acc.cnt + 1;
+  (match op with
+  | Count -> ()
+  | Avg -> acc.fsum <- acc.fsum +. Atom.as_float t
+  | Sum | Prod | Min | Max ->
+    let combine =
+      match op with
+      | Sum -> apply_binop Add
+      | Prod -> apply_binop Mul
+      | Min -> apply_binop MinOp
+      | Max -> apply_binop MaxOp
+      | Count | Avg -> assert false
+    in
+    acc.v <- Some (match acc.v with None -> t | Some v -> combine v t))
+
+let aggr_finish op acc =
+  match op with
+  | Count -> Atom.Int acc.cnt
+  | Avg ->
+    if acc.cnt = 0 then invalid_arg "Bat.aggr: avg of empty input"
+    else Atom.Flt (acc.fsum /. Float.of_int acc.cnt)
+  | Sum | Prod | Min | Max -> (
+    match acc.v with
+    | Some v -> v
+    | None ->
+      (* float sums may have been accumulated unboxed *)
+      if op = Sum && acc.cnt > 0 then Atom.Flt acc.fsum
+      else invalid_arg "Bat.aggr: min/max of empty input")
+
+let aggr_neutral op ty =
+  match (op, ty) with
+  | Sum, Atom.TInt -> Some (Atom.Int 0)
+  | Sum, Atom.TFlt -> Some (Atom.Flt 0.0)
+  | Prod, Atom.TInt -> Some (Atom.Int 1)
+  | Prod, Atom.TFlt -> Some (Atom.Flt 1.0)
+  | Count, _ -> Some (Atom.Int 0)
+  | _ -> None
+
+let aggr_result_ty op ty =
+  match op with
+  | Count -> Atom.TInt
+  | Avg -> Atom.TFlt
+  | Sum | Prod | Min | Max -> ty
+
+let group_aggr op b =
+  let keys = Column.Builder.create (hty b) in
+  let accs = ref (Array.make 16 { cnt = 0; v = None; fsum = 0.0 }) in
+  let nslots = ref 0 in
+  let new_slot () =
+    let s = !nslots in
+    if s = Array.length !accs then begin
+      let fresh = Array.make (2 * s) { cnt = 0; v = None; fsum = 0.0 } in
+      Array.blit !accs 0 fresh 0 s;
+      accs := fresh
+    end;
+    !accs.(s) <- { cnt = 0; v = None; fsum = 0.0 };
+    incr nslots;
+    s
+  in
+  (match b.hd with
+  | Column.I hs | Column.O hs ->
+    (* unboxed grouping keys; when the key range is a small window the
+       slot map is a flat array (Monet-style) instead of a hash table *)
+    let n = Array.length hs in
+    let lo = ref max_int and hi = ref min_int in
+    Array.iter
+      (fun h ->
+        if h < !lo then lo := h;
+        if h > !hi then hi := h)
+      hs;
+    let slot_lookup =
+      if n > 0 && !hi - !lo < (4 * n) + 64 then begin
+        let table = Array.make (!hi - !lo + 1) (-1) in
+        let base = !lo in
+        ( (fun h -> if table.(h - base) >= 0 then Some table.(h - base) else None),
+          fun h s -> table.(h - base) <- s )
+      end
+      else begin
+        let tbl = Hashtbl.create n in
+        ((fun h -> Hashtbl.find_opt tbl h), fun h s -> Hashtbl.add tbl h s)
+      end
+    in
+    let find_slot, add_slot = slot_lookup in
+    let slot_at i h =
+      match find_slot h with
+      | Some s -> s
+      | None ->
+        let s = new_slot () in
+        add_slot h s;
+        Column.Builder.add keys (Column.get b.hd i);
+        s
+    in
+    (* typed accumulation for the numeric aggregates *)
+    (match (op, b.tl) with
+    | Sum, Column.F ts | Avg, Column.F ts ->
+      Array.iteri
+        (fun i h ->
+          let acc = !accs.(slot_at i h) in
+          acc.cnt <- acc.cnt + 1;
+          acc.fsum <- acc.fsum +. ts.(i))
+        hs
+    | Count, _ ->
+      Array.iteri
+        (fun i h ->
+          let acc = !accs.(slot_at i h) in
+          acc.cnt <- acc.cnt + 1)
+        hs
+    | _ ->
+      Array.iteri (fun i h -> aggr_step op !accs.(slot_at i h) (tail_at b i)) hs)
+  | _ ->
+    let slot_of = AtomTbl.create (count b) in
+    iter
+      (fun h t ->
+        let slot =
+          match AtomTbl.find_opt slot_of h with
+          | Some s -> s
+          | None ->
+            let s = new_slot () in
+            AtomTbl.add slot_of h s;
+            Column.Builder.add keys h;
+            s
+        in
+        aggr_step op !accs.(slot) t)
+      b);
+  let out = Column.make (aggr_result_ty op (tty b)) !nslots in
+  for s = 0 to !nslots - 1 do
+    Column.set out s (aggr_finish op !accs.(s))
+  done;
+  { hd = Column.Builder.finish keys; tl = out }
+
+let aggr_all op b =
+  if count b = 0 then
+    match aggr_neutral op (tty b) with
+    | Some v -> v
+    | None -> invalid_arg "Bat.aggr_all: empty input for min/max/avg"
+  else begin
+    let acc = { cnt = 0; v = None; fsum = 0.0 } in
+    iter (fun _ t -> aggr_step op acc t) b;
+    aggr_finish op acc
+  end
+
+let group_rank ?(desc = false) ~link key =
+  let val_of = first_position_index key.hd in
+  let n = count link in
+  let idx = Array.init n (fun i -> i) in
+  let value i =
+    match AtomTbl.find_opt val_of (head_at link i) with
+    | Some j -> Some (tail_at key j)
+    | None -> None
+  in
+  let cmp i j =
+    let c = Atom.compare (tail_at link i) (tail_at link j) in
+    if c <> 0 then c
+    else
+      let c =
+        match (value i, value j) with
+        | Some a, Some b -> if desc then Atom.compare b a else Atom.compare a b
+        | Some _, None -> -1
+        | None, Some _ -> 1
+        | None, None -> 0
+      in
+      if c <> 0 then c else Int.compare i j
+  in
+  Array.sort cmp idx;
+  let hb = Column.Builder.create (hty link) in
+  let tb = Column.Builder.create Atom.TInt in
+  let rank = ref 0 in
+  for k = 0 to n - 1 do
+    let i = idx.(k) in
+    if k > 0 && not (Atom.equal (tail_at link i) (tail_at link idx.(k - 1))) then rank := 0;
+    Column.Builder.add hb (head_at link i);
+    Column.Builder.add tb (Atom.Int !rank);
+    incr rank
+  done;
+  { hd = Column.Builder.finish hb; tl = Column.Builder.finish tb }
+
+let histogram b = group_aggr Count (reverse b)

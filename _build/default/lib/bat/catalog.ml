@@ -1,0 +1,113 @@
+type t = (string, Bat.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+let put t name b = Hashtbl.replace t name b
+let get t name = Hashtbl.find t name
+let find t name = Hashtbl.find_opt t name
+let mem t name = Hashtbl.mem t name
+let remove t name = Hashtbl.remove t name
+let names t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+let cardinality t = Hashtbl.length t
+let total_rows t = Hashtbl.fold (fun _ b acc -> acc + Bat.count b) t 0
+
+(* Snapshot format, one entry per stanza:
+     %bat <name-with-%XX-escapes> <hty> <tty> <rows>
+     <head atom>\t<tail atom>        (rows lines)
+   Atom rendering reuses Atom.to_string / Atom.parse. *)
+
+let escape_name name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '%' || c = '\n' || c = '\t' then
+        Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+      else Buffer.add_char buf c)
+    name;
+  Buffer.contents buf
+
+let unescape_name s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' && i + 2 < n then begin
+        Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ String.sub s (i + 1) 2)));
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let dump t oc =
+  List.iter
+    (fun name ->
+      let b = get t name in
+      Printf.fprintf oc "%%bat %s %s %s %d\n" (escape_name name)
+        (Atom.ty_name (Bat.hty b)) (Atom.ty_name (Bat.tty b)) (Bat.count b);
+      Bat.iter
+        (fun h tl -> Printf.fprintf oc "%s\t%s\n" (Atom.to_string h) (Atom.to_string tl))
+        b)
+    (names t)
+
+let ty_of_name = function
+  | "int" -> Ok Atom.TInt
+  | "flt" -> Ok Atom.TFlt
+  | "str" -> Ok Atom.TStr
+  | "bool" -> Ok Atom.TBool
+  | "oid" -> Ok Atom.TOid
+  | s -> Error (Printf.sprintf "unknown type %S" s)
+
+let ( let* ) = Result.bind
+
+let load ic =
+  let t = create () in
+  let rec read_entries () =
+    match input_line ic with
+    | exception End_of_file -> Ok t
+    | line -> (
+      match String.split_on_char ' ' line with
+      | [ "%bat"; name; htys; ttys; rows ] ->
+        let* hty = ty_of_name htys in
+        let* tty = ty_of_name ttys in
+        let* nrows =
+          match int_of_string_opt rows with
+          | Some n when n >= 0 -> Ok n
+          | _ -> Error (Printf.sprintf "bad row count %S" rows)
+        in
+        let hb = Column.Builder.create hty and tb = Column.Builder.create tty in
+        let rec read_rows k =
+          if k = 0 then Ok ()
+          else
+            match input_line ic with
+            | exception End_of_file -> Error "truncated snapshot"
+            | row -> (
+              match String.index_opt row '\t' with
+              | None -> Error (Printf.sprintf "malformed row %S" row)
+              | Some tab ->
+                let hs = String.sub row 0 tab in
+                let ts = String.sub row (tab + 1) (String.length row - tab - 1) in
+                let* h = Atom.parse hty hs in
+                let* tl = Atom.parse tty ts in
+                Column.Builder.add hb h;
+                Column.Builder.add tb tl;
+                read_rows (k - 1))
+        in
+        let* () = read_rows nrows in
+        put t (unescape_name name)
+          (Bat.make (Column.Builder.finish hb) (Column.Builder.finish tb));
+        read_entries ()
+      | _ -> Error (Printf.sprintf "malformed header %S" line))
+  in
+  read_entries ()
+
+let save_file t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> dump t oc)
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> load ic)

@@ -1,0 +1,50 @@
+(** The BAT catalog: the kernel's persistent name space.
+
+    Every materialised extent, statistics table and index lives here
+    under a hierarchical name such as ["ImageLibrary#in"] or
+    ["ImageLibrary/annotation@stats/df"].  Plans refer to catalog
+    entries by name ({!Mil.Get}), which is what decouples the logical
+    algebra from physical storage. *)
+
+type t
+(** A mutable catalog. *)
+
+val create : unit -> t
+(** Fresh empty catalog. *)
+
+val put : t -> string -> Bat.t -> unit
+(** Bind (or rebind) a name. *)
+
+val get : t -> string -> Bat.t
+(** Look a name up. @raise Not_found if unbound. *)
+
+val find : t -> string -> Bat.t option
+(** Optional lookup. *)
+
+val mem : t -> string -> bool
+(** Name bound? *)
+
+val remove : t -> string -> unit
+(** Unbind (no-op when unbound). *)
+
+val names : t -> string list
+(** All bound names, sorted. *)
+
+val cardinality : t -> int
+(** Number of bound names. *)
+
+val total_rows : t -> int
+(** Sum of row counts over all entries (storage-size proxy used in
+    reports). *)
+
+val dump : t -> out_channel -> unit
+(** Write a textual snapshot of the whole catalog. *)
+
+val load : in_channel -> (t, string) result
+(** Read back a snapshot produced by {!dump}. *)
+
+val save_file : t -> string -> unit
+(** {!dump} to a file path. *)
+
+val load_file : string -> (t, string) result
+(** {!load} from a file path. *)

@@ -1,0 +1,315 @@
+type t =
+  | Get of string
+  | Lit of { hty : Atom.ty; tty : Atom.ty; pairs : (Atom.t * Atom.t) list }
+  | Reverse of t
+  | Mirror of t
+  | Mark of t * int
+  | NumberHead of t * int
+  | NumberTail of t * int
+  | Project of t * Atom.t
+  | Calc1 of Bat.unop * t
+  | CalcConst of Bat.binop * t * Atom.t
+  | ConstCalc of Bat.binop * Atom.t * t
+  | Calc2 of Bat.binop * t * t
+  | SelectCmp of t * Bat.cmp * Atom.t
+  | SelectRange of t * Atom.t * Atom.t
+  | SelectBool of t
+  | Join of t * t
+  | LeftOuterJoin of t * t * Atom.t
+  | Semijoin of t * t
+  | Antijoin of t * t
+  | Kunion of t * t
+  | PairUnion of t * t
+  | PairDiff of t * t
+  | PairInter of t * t
+  | Append of t * t
+  | Unique of t
+  | UniqueHead of t
+  | GroupAggr of Bat.aggr * t
+  | AggrAll of Bat.aggr * t
+  | GroupRank of { link : t; key : t; desc : bool }
+  | SortTail of t * bool
+  | Slice of t * int * int
+  | TopN of t * int * bool
+  | Foreign of { name : string; args : t list; meta : string list }
+
+type foreign_fn = name:string -> args:Bat.t list -> meta:string list -> Bat.t
+
+type stats = {
+  mutable evaluated : int;
+  mutable memo_hits : int;
+  mutable rows_produced : int;
+}
+
+type session = {
+  catalog : Catalog.t;
+  foreign : foreign_fn;
+  memo : (t, Bat.t) Hashtbl.t;
+  cse : bool;
+  st : stats;
+  prof : (string, float ref * int ref) Hashtbl.t option;
+  mutable prof_child : float;
+}
+
+let no_foreign ~name ~args:_ ~meta:_ =
+  failwith (Printf.sprintf "Mil: unknown foreign operator %S" name)
+
+let session ?(cse = true) ?(profile = false) ?(foreign = no_foreign) catalog =
+  {
+    catalog;
+    foreign;
+    memo = Hashtbl.create 128;
+    cse;
+    st = { evaluated = 0; memo_hits = 0; rows_produced = 0 };
+    prof = (if profile then Some (Hashtbl.create 32) else None);
+    prof_child = 0.0;
+  }
+
+let stats s = s.st
+
+let op_name = function
+  | Get _ -> "get"
+  | Lit _ -> "lit"
+  | Reverse _ -> "reverse"
+  | Mirror _ -> "mirror"
+  | Mark _ -> "mark"
+  | NumberHead _ -> "number_head"
+  | NumberTail _ -> "number_tail"
+  | Project _ -> "project"
+  | Calc1 _ -> "calc1"
+  | CalcConst _ -> "calc_const"
+  | ConstCalc _ -> "const_calc"
+  | Calc2 _ -> "calc2"
+  | SelectCmp _ -> "select_cmp"
+  | SelectRange _ -> "select_range"
+  | SelectBool _ -> "select_bool"
+  | Join _ -> "join"
+  | LeftOuterJoin _ -> "leftouterjoin"
+  | Semijoin _ -> "semijoin"
+  | Antijoin _ -> "antijoin"
+  | Kunion _ -> "kunion"
+  | PairUnion _ -> "pair_union"
+  | PairDiff _ -> "pair_diff"
+  | PairInter _ -> "pair_inter"
+  | Append _ -> "append"
+  | Unique _ -> "unique"
+  | UniqueHead _ -> "unique_head"
+  | GroupAggr _ -> "group_aggr"
+  | AggrAll _ -> "aggr_all"
+  | GroupRank _ -> "group_rank"
+  | SortTail _ -> "sort_tail"
+  | Slice _ -> "slice"
+  | TopN _ -> "topn"
+  | Foreign { name; _ } -> "foreign:" ^ name
+
+let rec eval s plan =
+  match if s.cse then Hashtbl.find_opt s.memo plan else None with
+  | Some b ->
+    s.st.memo_hits <- s.st.memo_hits + 1;
+    b
+  | None ->
+    let b =
+      match s.prof with
+      | None -> eval_raw s plan
+      | Some prof ->
+        (* record self time: total minus the time spent in child plans *)
+        let saved_child = s.prof_child in
+        s.prof_child <- 0.0;
+        let t0 = Sys.time () in
+        let b = eval_raw s plan in
+        let dt = Sys.time () -. t0 in
+        let self = Float.max 0.0 (dt -. s.prof_child) in
+        let key = op_name plan in
+        let total, count =
+          match Hashtbl.find_opt prof key with
+          | Some cell -> cell
+          | None ->
+            let cell = (ref 0.0, ref 0) in
+            Hashtbl.add prof key cell;
+            cell
+        in
+        total := !total +. self;
+        incr count;
+        s.prof_child <- saved_child +. dt;
+        b
+    in
+    s.st.evaluated <- s.st.evaluated + 1;
+    s.st.rows_produced <- s.st.rows_produced + Bat.count b;
+    if s.cse then Hashtbl.add s.memo plan b;
+    b
+
+and eval_raw s plan =
+  match plan with
+  | Get name -> Catalog.get s.catalog name
+  | Lit { hty; tty; pairs } -> Bat.of_pairs hty tty pairs
+  | Reverse p -> Bat.reverse (eval s p)
+  | Mirror p -> Bat.mirror (eval s p)
+  | Mark (p, base) -> Bat.mark (eval s p) base
+  | NumberHead (p, base) -> Bat.number_head (eval s p) base
+  | NumberTail (p, base) -> Bat.number_tail (eval s p) base
+  | Project (p, a) -> Bat.project (eval s p) a
+  | Calc1 (op, p) -> Bat.calc1 op (eval s p)
+  | CalcConst (op, p, a) -> Bat.calc_const op (eval s p) a
+  | ConstCalc (op, a, p) -> Bat.const_calc op a (eval s p)
+  | Calc2 (op, l, r) -> Bat.calc2 op (eval s l) (eval s r)
+  | SelectCmp (p, c, a) -> Bat.select_cmp (eval s p) c a
+  | SelectRange (p, lo, hi) -> Bat.select_range (eval s p) lo hi
+  | SelectBool p -> Bat.select_bool (eval s p)
+  | Join (l, r) -> Bat.join (eval s l) (eval s r)
+  | LeftOuterJoin (l, r, d) -> Bat.leftouterjoin (eval s l) (eval s r) d
+  | Semijoin (l, r) -> Bat.semijoin (eval s l) (eval s r)
+  | Antijoin (l, r) -> Bat.antijoin (eval s l) (eval s r)
+  | Kunion (l, r) -> Bat.kunion (eval s l) (eval s r)
+  | PairUnion (l, r) -> Bat.pair_union (eval s l) (eval s r)
+  | PairDiff (l, r) -> Bat.pair_diff (eval s l) (eval s r)
+  | PairInter (l, r) -> Bat.pair_inter (eval s l) (eval s r)
+  | Append (l, r) -> Bat.append (eval s l) (eval s r)
+  | Unique p -> Bat.unique (eval s p)
+  | UniqueHead p -> Bat.unique_head (eval s p)
+  | GroupAggr (op, p) -> Bat.group_aggr op (eval s p)
+  | AggrAll (op, p) ->
+    let v = Bat.aggr_all op (eval s p) in
+    Bat.of_pairs Atom.TOid (Atom.type_of v) [ (Atom.Oid 0, v) ]
+  | GroupRank { link; key; desc } -> Bat.group_rank ~desc ~link:(eval s link) (eval s key)
+  | SortTail (p, desc) -> Bat.sort_tail ~desc (eval s p)
+  | Slice (p, pos, len) -> Bat.slice (eval s p) pos len
+  | TopN (p, n, desc) -> Bat.topn ~desc (eval s p) n
+  | Foreign { name; args; meta } ->
+    let args = List.map (eval s) args in
+    s.foreign ~name ~args ~meta
+
+let exec s plan = eval s plan
+
+let profile s =
+  match s.prof with
+  | None -> []
+  | Some prof ->
+    Hashtbl.fold (fun name (total, count) acc -> (name, !total, !count) :: acc) prof []
+    |> List.sort (fun (_, a, _) (_, b, _) -> Float.compare b a)
+
+let rec size = function
+  | Get _ | Lit _ -> 1
+  | Reverse p
+  | Mirror p
+  | Mark (p, _)
+  | NumberHead (p, _)
+  | NumberTail (p, _)
+  | Project (p, _)
+  | Calc1 (_, p)
+  | CalcConst (_, p, _)
+  | ConstCalc (_, _, p)
+  | SelectCmp (p, _, _)
+  | SelectRange (p, _, _)
+  | SelectBool p
+  | Unique p
+  | UniqueHead p
+  | GroupAggr (_, p)
+  | AggrAll (_, p)
+  | SortTail (p, _)
+  | Slice (p, _, _)
+  | TopN (p, _, _) ->
+    1 + size p
+  | Calc2 (_, l, r)
+  | Join (l, r)
+  | LeftOuterJoin (l, r, _)
+  | Semijoin (l, r)
+  | Antijoin (l, r)
+  | Kunion (l, r)
+  | PairUnion (l, r)
+  | PairDiff (l, r)
+  | PairInter (l, r)
+  | Append (l, r) ->
+    1 + size l + size r
+  | GroupRank { link; key; _ } -> 1 + size link + size key
+  | Foreign { args; _ } -> List.fold_left (fun acc p -> acc + size p) 1 args
+
+let cmp_name = function
+  | Bat.Eq -> "="
+  | Bat.Ne -> "!="
+  | Bat.Lt -> "<"
+  | Bat.Le -> "<="
+  | Bat.Gt -> ">"
+  | Bat.Ge -> ">="
+
+let binop_name = function
+  | Bat.Add -> "add"
+  | Bat.Sub -> "sub"
+  | Bat.Mul -> "mul"
+  | Bat.Div -> "div"
+  | Bat.Pow -> "pow"
+  | Bat.MinOp -> "min"
+  | Bat.MaxOp -> "max"
+  | Bat.CmpOp c -> "cmp" ^ cmp_name c
+  | Bat.And -> "and"
+  | Bat.Or -> "or"
+
+let unop_name = function
+  | Bat.Not -> "not"
+  | Bat.Neg -> "neg"
+  | Bat.Log -> "log"
+  | Bat.Exp -> "exp"
+  | Bat.Sqrt -> "sqrt"
+  | Bat.Abs -> "abs"
+  | Bat.ToFlt -> "toflt"
+
+let aggr_name = function
+  | Bat.Sum -> "sum"
+  | Bat.Prod -> "prod"
+  | Bat.Count -> "count"
+  | Bat.Min -> "min"
+  | Bat.Max -> "max"
+  | Bat.Avg -> "avg"
+
+let rec pp ppf plan =
+  let node name children =
+    Format.fprintf ppf "@[<v 2>%s" name;
+    List.iter (fun c -> Format.fprintf ppf "@,%a" pp c) children;
+    Format.fprintf ppf "@]"
+  in
+  match plan with
+  | Get name -> Format.fprintf ppf "get %S" name
+  | Lit { pairs; _ } -> Format.fprintf ppf "lit(%d rows)" (List.length pairs)
+  | Reverse p -> node "reverse" [ p ]
+  | Mirror p -> node "mirror" [ p ]
+  | Mark (p, base) -> node (Printf.sprintf "mark@%d" base) [ p ]
+  | NumberHead (p, base) -> node (Printf.sprintf "number_head@%d" base) [ p ]
+  | NumberTail (p, base) -> node (Printf.sprintf "number_tail@%d" base) [ p ]
+  | Project (p, a) -> node (Printf.sprintf "project[%s]" (Atom.to_string a)) [ p ]
+  | Calc1 (op, p) -> node (Printf.sprintf "calc1[%s]" (unop_name op)) [ p ]
+  | CalcConst (op, p, a) ->
+    node (Printf.sprintf "calc[%s, _, %s]" (binop_name op) (Atom.to_string a)) [ p ]
+  | ConstCalc (op, a, p) ->
+    node (Printf.sprintf "calc[%s, %s, _]" (binop_name op) (Atom.to_string a)) [ p ]
+  | Calc2 (op, l, r) -> node (Printf.sprintf "calc2[%s]" (binop_name op)) [ l; r ]
+  | SelectCmp (p, c, a) ->
+    node (Printf.sprintf "select[%s %s]" (cmp_name c) (Atom.to_string a)) [ p ]
+  | SelectRange (p, lo, hi) ->
+    node (Printf.sprintf "select[%s..%s]" (Atom.to_string lo) (Atom.to_string hi)) [ p ]
+  | SelectBool p -> node "select[true]" [ p ]
+  | Join (l, r) -> node "join" [ l; r ]
+  | LeftOuterJoin (l, r, d) ->
+    node (Printf.sprintf "outerjoin[%s]" (Atom.to_string d)) [ l; r ]
+  | Semijoin (l, r) -> node "semijoin" [ l; r ]
+  | Antijoin (l, r) -> node "antijoin" [ l; r ]
+  | Kunion (l, r) -> node "kunion" [ l; r ]
+  | PairUnion (l, r) -> node "pair_union" [ l; r ]
+  | PairDiff (l, r) -> node "pair_diff" [ l; r ]
+  | PairInter (l, r) -> node "pair_inter" [ l; r ]
+  | Append (l, r) -> node "append" [ l; r ]
+  | Unique p -> node "unique" [ p ]
+  | UniqueHead p -> node "unique_head" [ p ]
+  | GroupAggr (op, p) -> node (Printf.sprintf "group_%s" (aggr_name op)) [ p ]
+  | AggrAll (op, p) -> node (Printf.sprintf "aggr_%s" (aggr_name op)) [ p ]
+  | GroupRank { link; key; desc } ->
+    node (Printf.sprintf "group_rank[%s]" (if desc then "desc" else "asc")) [ link; key ]
+  | SortTail (p, desc) ->
+    node (Printf.sprintf "sort_tail[%s]" (if desc then "desc" else "asc")) [ p ]
+  | Slice (p, pos, len) -> node (Printf.sprintf "slice[%d,%d]" pos len) [ p ]
+  | TopN (p, n, desc) ->
+    node (Printf.sprintf "top%d[%s]" n (if desc then "desc" else "asc")) [ p ]
+  | Foreign { name; args; meta } ->
+    node (Printf.sprintf "foreign[%s%s]" name
+            (if meta = [] then "" else "; " ^ String.concat "," meta))
+      args
+
+let to_string plan = Format.asprintf "%a" pp plan

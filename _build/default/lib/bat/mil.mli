@@ -1,0 +1,97 @@
+(** Physical query plans over BATs ("MIL programs").
+
+    The Moa flattening compiler emits values of {!type-t}; the executor
+    evaluates them against a {!Catalog.t}.  Plans are pure expression
+    DAGs expressed as trees — structurally equal subplans denote the
+    same computation, and the executor's memo table evaluates each
+    distinct subplan once (common-subexpression elimination), which is
+    where the set-at-a-time sharing of the flattened algebra comes
+    from.
+
+    Extensions contribute {!constructor-Foreign} operators (e.g. the CONTREP
+    structure's probabilistic [getbl] operator); they are resolved
+    through the dispatch function supplied when opening a session. *)
+
+type t =
+  | Get of string  (** Catalog lookup. *)
+  | Lit of { hty : Atom.ty; tty : Atom.ty; pairs : (Atom.t * Atom.t) list }
+      (** Small literal BAT (query constants, singleton domains). *)
+  | Reverse of t
+  | Mirror of t
+  | Mark of t * int  (** Fresh dense tail oids from the given base. *)
+  | NumberHead of t * int  (** [(base+i, head_i)] positional numbering. *)
+  | NumberTail of t * int  (** [(base+i, tail_i)]. *)
+  | Project of t * Atom.t  (** Constant tail. *)
+  | Calc1 of Bat.unop * t
+  | CalcConst of Bat.binop * t * Atom.t
+  | ConstCalc of Bat.binop * Atom.t * t
+  | Calc2 of Bat.binop * t * t  (** Head-aligned element-wise op. *)
+  | SelectCmp of t * Bat.cmp * Atom.t
+  | SelectRange of t * Atom.t * Atom.t
+  | SelectBool of t
+  | Join of t * t
+  | LeftOuterJoin of t * t * Atom.t
+  | Semijoin of t * t
+  | Antijoin of t * t
+  | Kunion of t * t
+  | PairUnion of t * t
+  | PairDiff of t * t
+  | PairInter of t * t
+  | Append of t * t
+  | Unique of t
+  | UniqueHead of t
+  | GroupAggr of Bat.aggr * t
+  | AggrAll of Bat.aggr * t
+      (** Single-row result [(@0, v)]; empty inputs yield the
+          aggregate's neutral element (and raise for min/max/avg as in
+          {!Bat.aggr_all}). *)
+  | GroupRank of { link : t; key : t; desc : bool }
+  | SortTail of t * bool  (** [true] = descending. *)
+  | Slice of t * int * int
+  | TopN of t * int * bool
+  | Foreign of { name : string; args : t list; meta : string list }
+      (** Extension-registered physical operator. *)
+
+type foreign_fn = name:string -> args:Bat.t list -> meta:string list -> Bat.t
+(** Dispatch for {!constructor-Foreign} nodes.  Implementations must be pure
+    (same inputs, same output) because results are memoised. *)
+
+(** Executor counters, for plan-quality experiments. *)
+type stats = {
+  mutable evaluated : int;  (** Operator nodes actually executed. *)
+  mutable memo_hits : int;  (** Nodes answered from the memo table. *)
+  mutable rows_produced : int;  (** Total rows over executed nodes. *)
+}
+
+type session
+(** An execution context: catalog + foreign dispatch + memo table.
+    Re-using one session across the plans of a bundle shares their
+    common subplans. *)
+
+val session : ?cse:bool -> ?profile:bool -> ?foreign:foreign_fn -> Catalog.t -> session
+(** Open a session.  [cse] (default [true]) controls whether the memo
+    table is consulted; switching it off re-executes shared subplans
+    and exists for the optimisation-benefit experiments.  [profile]
+    (default [false]) additionally records per-operator wall time, read
+    back with {!profile}. *)
+
+val exec : session -> t -> Bat.t
+(** Evaluate a plan.
+    @raise Not_found when a [Get] name is unbound.
+    @raise Failure when a [Foreign] operator is unknown. *)
+
+val stats : session -> stats
+(** The session's counters so far. *)
+
+val profile : session -> (string * float * int) list
+(** Per-operator (name, total seconds, evaluations), most expensive
+    first; empty unless the session was opened with [~profile:true]. *)
+
+val size : t -> int
+(** Number of operator nodes (tree size, before sharing). *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented plan rendering. *)
+
+val to_string : t -> string
+(** [Format.asprintf "%a" pp]. *)

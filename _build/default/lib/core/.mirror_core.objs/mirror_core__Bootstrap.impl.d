@@ -1,0 +1,1 @@
+lib/core/bootstrap.ml: Ext_contrep Ext_list

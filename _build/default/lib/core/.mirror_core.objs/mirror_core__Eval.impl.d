@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Buffer Extension Flatten Hashtbl List Mirror_bat Optimize Option Printf Result Shape Storage Typecheck Types Value

@@ -1,0 +1,1 @@
+lib/core/eval.mli: Expr Extension Mirror_bat Storage Types Value

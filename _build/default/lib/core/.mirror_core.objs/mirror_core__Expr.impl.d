@@ -1,0 +1,1 @@
+lib/core/expr.ml: Buffer Format Hashtbl List Mirror_bat Types Value

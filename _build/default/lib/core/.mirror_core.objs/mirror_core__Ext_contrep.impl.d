@@ -1,0 +1,1 @@
+lib/core/ext_contrep.ml: Expr Extension Flatten Hashtbl List Mirror_bat Mirror_ir Option Printf Shape Types Value

@@ -1,0 +1,1 @@
+lib/core/ext_list.ml: Expr Extension Flatten Hashtbl Int List Mirror_bat Option Printf Shape Types Value

@@ -1,0 +1,1 @@
+lib/core/extension.ml: Expr Hashtbl List Mirror_bat Mirror_ir Printf Shape String Types Value

@@ -1,0 +1,1 @@
+lib/core/extension.mli: Expr Mirror_bat Mirror_ir Shape Types Value

@@ -1,0 +1,1 @@
+lib/core/feedback.ml: Float Hashtbl List Option String

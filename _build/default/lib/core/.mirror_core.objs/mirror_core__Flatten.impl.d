@@ -1,0 +1,1 @@
+lib/core/flatten.ml: Expr Extension List Mirror_bat Naive Printf Shape Storage Typecheck Types Value

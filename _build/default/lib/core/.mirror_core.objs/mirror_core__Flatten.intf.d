@@ -1,0 +1,1 @@
+lib/core/flatten.mli: Expr Extension Mirror_bat Storage

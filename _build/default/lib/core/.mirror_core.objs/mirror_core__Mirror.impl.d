@@ -1,0 +1,1 @@
+lib/core/mirror.ml: Array Bootstrap Eval Expr Feedback Float Hashtbl List Mirror_bat Mirror_daemon Mirror_ir Mirror_mm Mirror_thesaurus Naive Option Parser Printf Result Storage String Types Value

@@ -1,0 +1,1 @@
+lib/core/mirror.mli: Expr Mirror_daemon Mirror_mm Storage Types Value

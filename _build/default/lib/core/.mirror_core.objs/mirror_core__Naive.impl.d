@@ -1,0 +1,1 @@
+lib/core/naive.ml: Expr Extension Hashtbl List Mirror_bat Option Printf Storage Typecheck Types Value

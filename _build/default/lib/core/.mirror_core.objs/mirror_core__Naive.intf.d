@@ -1,0 +1,1 @@
+lib/core/naive.mli: Expr Mirror_bat Storage Value

@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Expr List Mirror_bat Printf Types Value

@@ -1,0 +1,1 @@
+lib/core/parser.ml: Bootstrap Buffer Expr Extension List Mirror_bat Mirror_util Option Printf String Types Value

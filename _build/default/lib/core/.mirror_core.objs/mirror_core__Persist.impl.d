@@ -1,0 +1,1 @@
+lib/core/persist.ml: Array Bootstrap Eval Extension Filename Fun List Mirror_bat Parser Printf Result Storage Sys Types Value

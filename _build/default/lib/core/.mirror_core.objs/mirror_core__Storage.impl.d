@@ -1,0 +1,1 @@
+lib/core/storage.ml: Extension Hashtbl List Mirror_bat Mirror_ir Mirror_util Option Printf Result Shape String Typecheck Types Value

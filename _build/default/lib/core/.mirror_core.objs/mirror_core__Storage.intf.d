@@ -1,0 +1,1 @@
+lib/core/storage.mli: Extension Mirror_bat Mirror_ir Typecheck Types Value

@@ -1,0 +1,1 @@
+lib/core/typecheck.ml: Expr Extension List Mirror_bat Printf Result String Types Value

@@ -1,0 +1,1 @@
+lib/core/types.ml: Buffer Format List Mirror_bat String

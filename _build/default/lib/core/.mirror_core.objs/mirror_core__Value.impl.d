@@ -1,0 +1,1 @@
+lib/core/value.ml: Buffer Format Hashtbl Int List Mirror_bat Printf String Types

@@ -1,0 +1,1 @@
+lib/core/value.mli: Format Mirror_bat Types

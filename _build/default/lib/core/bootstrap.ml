@@ -1,0 +1,3 @@
+let ensure () =
+  Ext_list.register ();
+  Ext_contrep.register ()

@@ -1,0 +1,9 @@
+(** Registration of the built-in structure extensions.
+
+    Call {!ensure} once before using the algebra; every entry point in
+    this library ({!Mirror.create}, the parser-facing helpers, the CLI,
+    tests and benchmarks) calls it, so user code normally never needs
+    to. *)
+
+val ensure : unit -> unit
+(** Idempotently register LIST and CONTREP. *)

@@ -1,0 +1,155 @@
+module Mil = Mirror_bat.Mil
+module Bat = Mirror_bat.Bat
+module Atom = Mirror_bat.Atom
+
+type report = {
+  value : Value.t;
+  result_type : Types.t;
+  plan_bats : int;
+  plan_nodes : int;
+  evaluated : int;
+  memo_hits : int;
+}
+
+(* {1 Reification}
+
+   Rebuilding logical values from evaluated BATs needs two indexes per
+   BAT: head oid -> first tail (atomic payloads) and tail oid -> heads
+   (set links, queried by parent).  Both are cached per evaluated
+   BAT. *)
+
+type reifier = {
+  lookup : Mil.t -> Bat.t;
+  atom_idx : (Mil.t, (int, Atom.t) Hashtbl.t) Hashtbl.t;
+  link_idx : (Mil.t, (int, int list) Hashtbl.t) Hashtbl.t;
+}
+
+let make_reifier lookup =
+  { lookup; atom_idx = Hashtbl.create 16; link_idx = Hashtbl.create 16 }
+
+let atom_index r plan =
+  match Hashtbl.find_opt r.atom_idx plan with
+  | Some idx -> idx
+  | None ->
+    let bat = r.lookup plan in
+    let idx = Hashtbl.create (Bat.count bat) in
+    let heads = Mirror_bat.Column.oid_exn (Bat.head bat) in
+    Array.iteri
+      (fun i key -> if not (Hashtbl.mem idx key) then Hashtbl.add idx key (Bat.tail_at bat i))
+      heads;
+    Hashtbl.add r.atom_idx plan idx;
+    idx
+
+(* tail oid -> head oids in row order *)
+let link_index r plan =
+  match Hashtbl.find_opt r.link_idx plan with
+  | Some idx -> idx
+  | None ->
+    let bat = r.lookup plan in
+    let idx = Hashtbl.create (Bat.count bat) in
+    let heads = Mirror_bat.Column.oid_exn (Bat.head bat) in
+    let tails = Mirror_bat.Column.oid_exn (Bat.tail bat) in
+    (* accumulate by reverse scan so lists come out in row order *)
+    for i = Array.length heads - 1 downto 0 do
+      let key = tails.(i) in
+      Hashtbl.replace idx key
+        (heads.(i) :: Option.value ~default:[] (Hashtbl.find_opt idx key))
+    done;
+    Hashtbl.add r.link_idx plan idx;
+    idx
+
+let rec reify_at r shape ctx =
+  match shape with
+  | Shape.Atomic plan -> (
+    match Hashtbl.find_opt (atom_index r plan) ctx with
+    | Some a -> Value.Atom a
+    | None ->
+      failwith (Printf.sprintf "reify: no value for context @%d" ctx))
+  | Shape.Tuple fields ->
+    Value.Tup (List.map (fun (l, s) -> (l, reify_at r s ctx)) fields)
+  | Shape.Set { link; elem } ->
+    let members = Option.value ~default:[] (Hashtbl.find_opt (link_index r link) ctx) in
+    Value.VSet (List.map (fun e -> reify_at r elem e) members)
+  | Shape.Xstruct { ext; meta; bats; subs } ->
+    let (module E : Extension.S) = Extension.find_exn ext in
+    E.reify ~lookup:r.lookup ~recurse:(reify_at r) ~meta ~bats ~subs ~ctx
+
+let reify ~lookup shape = reify_at (make_reifier lookup) shape 0
+
+(* {1 Query execution} *)
+
+let plan_nodes shape =
+  let n = ref 0 in
+  Shape.iter (fun p -> n := !n + Mil.size p) shape;
+  !n
+
+let query ?(cse = true) ?(optimize = true) ?(specialize = true) storage expr =
+  match Typecheck.infer (Storage.typecheck_env storage) expr with
+  | Error e -> Error e
+  | Ok result_type -> (
+    let expr = if optimize then Optimize.rewrite expr else expr in
+    match Flatten.compile ~specialize storage expr with
+    | exception Flatten.Unsupported msg -> Error msg
+    | shape ->
+      (* physical peephole rewriting; deterministic, so shared subplans
+         stay shared for the executor's memo table *)
+      let shape = if optimize then Shape.map Mirror_bat.Milopt.rewrite shape else shape in
+      let session =
+        Mil.session ~cse
+          ~foreign:(Extension.foreign_dispatch (Storage.eval_env storage))
+          (Storage.catalog storage)
+      in
+      (match reify ~lookup:(Mil.exec session) shape with
+      | value ->
+        let stats = Mil.stats session in
+        Ok
+          {
+            value;
+            result_type;
+            plan_bats = Shape.count_bats shape;
+            plan_nodes = plan_nodes shape;
+            evaluated = stats.Mil.evaluated;
+            memo_hits = stats.Mil.memo_hits;
+          }
+      | exception Failure msg -> Error msg
+      | exception Invalid_argument msg -> Error msg
+      | exception Not_found -> Error "plan referenced an unbound catalog name"))
+
+let query_value storage expr = Result.map (fun r -> r.value) (query storage expr)
+
+let profile storage expr =
+  match Typecheck.infer (Storage.typecheck_env storage) expr with
+  | Error e -> Error e
+  | Ok _ -> (
+    match Flatten.compile storage (Optimize.rewrite expr) with
+    | exception Flatten.Unsupported msg -> Error msg
+    | shape ->
+      let shape = Shape.map Mirror_bat.Milopt.rewrite shape in
+      let session =
+        Mil.session ~profile:true
+          ~foreign:(Extension.foreign_dispatch (Storage.eval_env storage))
+          (Storage.catalog storage)
+      in
+      (match reify ~lookup:(Mil.exec session) shape with
+      | _ -> Ok (Mil.profile session)
+      | exception Failure msg -> Error msg
+      | exception Invalid_argument msg -> Error msg
+      | exception Not_found -> Error "plan referenced an unbound catalog name"))
+
+let explain ?(optimize = true) storage expr =
+  match Typecheck.infer (Storage.typecheck_env storage) expr with
+  | Error e -> Error e
+  | Ok _ -> (
+    let expr = if optimize then Optimize.rewrite expr else expr in
+    match Flatten.compile storage expr with
+    | exception Flatten.Unsupported msg -> Error msg
+    | shape ->
+      let shape = if optimize then Shape.map Mirror_bat.Milopt.rewrite shape else shape in
+      let buf = Buffer.create 256 in
+      let k = ref 0 in
+      Shape.iter
+        (fun plan ->
+          incr k;
+          Buffer.add_string buf (Printf.sprintf "-- bat %d --\n%s\n" !k (Mil.to_string plan)))
+        shape;
+      Ok (Buffer.contents buf))

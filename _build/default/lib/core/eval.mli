@@ -1,0 +1,39 @@
+(** Query execution: flatten, run on the kernel, reify.
+
+    [query] is the production path: type-check, optionally optimise,
+    compile with {!Flatten}, execute the plan bundle in one {!Mil}
+    session (so shared subplans evaluate once), and rebuild the logical
+    result value.  The report carries executor statistics for the
+    benchmark harness. *)
+
+type report = {
+  value : Value.t;  (** The logical result. *)
+  result_type : Types.t;  (** Inferred type of the expression. *)
+  plan_bats : int;  (** BATs in the result bundle. *)
+  plan_nodes : int;  (** Total plan-tree operator nodes (before CSE). *)
+  evaluated : int;  (** Kernel operators actually executed. *)
+  memo_hits : int;  (** Plan nodes served by the memo table. *)
+}
+
+val query :
+  ?cse:bool -> ?optimize:bool -> ?specialize:bool -> Storage.t -> Expr.t -> (report, string) result
+(** Run a closed expression.  [cse], [optimize] and [specialize] (all
+    default true) exist for the ablation experiments; see
+    {!Flatten.compile} for [specialize]. *)
+
+val query_value : Storage.t -> Expr.t -> (Value.t, string) result
+(** Just the value. *)
+
+val profile : Storage.t -> Expr.t -> ((string * float * int) list, string) result
+(** Execute with per-operator profiling and return (operator, total
+    self seconds, evaluations), most expensive first. *)
+
+val explain : ?optimize:bool -> Storage.t -> Expr.t -> (string, string) result
+(** The compiled plan bundle, pretty-printed. *)
+
+val reify :
+  lookup:(Mirror_bat.Mil.t -> Mirror_bat.Bat.t) ->
+  Extension.planshape ->
+  Value.t
+(** Rebuild the top-level (context @0) value of a plan bundle given a
+    plan evaluator — used by extensions and tests. *)

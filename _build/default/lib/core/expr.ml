@@ -1,0 +1,157 @@
+module Bat = Mirror_bat.Bat
+module Atom = Mirror_bat.Atom
+
+type t =
+  | Extent of string
+  | Lit of Value.t * Types.t
+  | Var of string
+  | Field of t * string
+  | Tuple of (string * t) list
+  | Map of { v : string; body : t; src : t }
+  | Select of { v : string; pred : t; src : t }
+  | Join of { v1 : string; v2 : string; pred : t; left : t; right : t; l1 : string; l2 : string }
+  | Semijoin of { v1 : string; v2 : string; pred : t; left : t; right : t }
+  | Aggr of Bat.aggr * t
+  | Binop of Bat.binop * t * t
+  | Unop of Bat.unop * t
+  | Exists of t
+  | Member of t * t
+  | Union of t * t
+  | Diff of t * t
+  | Inter of t * t
+  | Flat of t
+  | Nest of { src : t; key : string; inner : string }
+  | Unnest of { src : t; field : string }
+  | ExtOp of { op : string; args : t list }
+
+let lit_int i = Lit (Value.int i, Types.Atomic Atom.TInt)
+let lit_flt f = Lit (Value.flt f, Types.Atomic Atom.TFlt)
+let lit_str s = Lit (Value.str s, Types.Atomic Atom.TStr)
+let lit_bool b = Lit (Value.bool b, Types.Atomic Atom.TBool)
+
+let lit_str_set words =
+  Lit (Value.VSet (List.map Value.str words), Types.Set (Types.Atomic Atom.TStr))
+
+let map ~v ~body src = Map { v; body; src }
+let select ~v ~pred src = Select { v; pred; src }
+let getbl contrep query = ExtOp { op = "getBL"; args = [ contrep; query ] }
+let sum e = Aggr (Bat.Sum, e)
+
+let free_vars expr =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go bound = function
+    | Extent _ | Lit _ -> ()
+    | Var v ->
+      if (not (List.mem v bound)) && not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out := v :: !out
+      end
+    | Field (e, _) | Unop (_, e) | Aggr (_, e) | Exists e | Flat e -> go bound e
+    | Tuple fields -> List.iter (fun (_, e) -> go bound e) fields
+    | Map { v; body; src } | Select { v; pred = body; src } ->
+      go bound src;
+      go (v :: bound) body
+    | Join { v1; v2; pred; left; right; _ } | Semijoin { v1; v2; pred; left; right } ->
+      go bound left;
+      go bound right;
+      go (v1 :: v2 :: bound) pred
+    | Binop (_, a, b) | Member (a, b) | Union (a, b) | Diff (a, b) | Inter (a, b) ->
+      go bound a;
+      go bound b
+    | Nest { src; _ } | Unnest { src; _ } -> go bound src
+    | ExtOp { args; _ } -> List.iter (go bound) args
+  in
+  go [] expr;
+  List.rev !out
+
+let rec size = function
+  | Extent _ | Lit _ | Var _ -> 1
+  | Field (e, _) | Unop (_, e) | Aggr (_, e) | Exists e | Flat e -> 1 + size e
+  | Tuple fields -> List.fold_left (fun acc (_, e) -> acc + size e) 1 fields
+  | Map { body; src; _ } | Select { pred = body; src; _ } -> 1 + size body + size src
+  | Join { pred; left; right; _ } | Semijoin { pred; left; right; _ } ->
+    1 + size pred + size left + size right
+  | Binop (_, a, b) | Member (a, b) | Union (a, b) | Diff (a, b) | Inter (a, b) ->
+    1 + size a + size b
+  | Nest { src; _ } | Unnest { src; _ } -> 1 + size src
+  | ExtOp { args; _ } -> List.fold_left (fun acc e -> acc + size e) 1 args
+
+let aggr_name = function
+  | Bat.Sum -> "sum"
+  | Bat.Prod -> "prod"
+  | Bat.Count -> "count"
+  | Bat.Min -> "min"
+  | Bat.Max -> "max"
+  | Bat.Avg -> "avg"
+
+let binop_sym = function
+  | Bat.Add -> "+"
+  | Bat.Sub -> "-"
+  | Bat.Mul -> "*"
+  | Bat.Div -> "/"
+  | Bat.Pow -> "^"
+  | Bat.MinOp -> "min2"
+  | Bat.MaxOp -> "max2"
+  | Bat.CmpOp Bat.Eq -> "="
+  | Bat.CmpOp Bat.Ne -> "!="
+  | Bat.CmpOp Bat.Lt -> "<"
+  | Bat.CmpOp Bat.Le -> "<="
+  | Bat.CmpOp Bat.Gt -> ">"
+  | Bat.CmpOp Bat.Ge -> ">="
+  | Bat.And -> "and"
+  | Bat.Or -> "or"
+
+let unop_name = function
+  | Bat.Not -> "not"
+  | Bat.Neg -> "neg"
+  | Bat.Log -> "log"
+  | Bat.Exp -> "exp"
+  | Bat.Sqrt -> "sqrt"
+  | Bat.Abs -> "abs"
+  | Bat.ToFlt -> "flt"
+
+let rec pp ppf expr =
+  let plist sep f ppf = Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf sep) f ppf in
+  match expr with
+  | Extent name -> Format.pp_print_string ppf name
+  | Lit (v, _) -> Value.pp ppf v
+  | Var v -> Format.pp_print_string ppf v
+  | Field (e, f) -> Format.fprintf ppf "%a.%s" pp e f
+  | Tuple fields ->
+    Format.fprintf ppf "tuple(%a)"
+      (plist ",@ " (fun ppf (l, e) -> Format.fprintf ppf "%s: %a" l pp e))
+      fields
+  | Map { v; body; src } -> Format.fprintf ppf "@[<hov 2>map[%s: %a](@,%a)@]" v pp body pp src
+  | Select { v; pred; src } ->
+    Format.fprintf ppf "@[<hov 2>select[%s: %a](@,%a)@]" v pp pred pp src
+  | Join { v1; v2; pred; left; right; l1; l2 } ->
+    Format.fprintf ppf "@[<hov 2>join[%s, %s: %a; %s, %s](@,%a,@ %a)@]" v1 v2 pp pred l1 l2 pp
+      left pp right
+  | Semijoin { v1; v2; pred; left; right } ->
+    Format.fprintf ppf "@[<hov 2>semijoin[%s, %s: %a](@,%a,@ %a)@]" v1 v2 pp pred pp left pp
+      right
+  | Aggr (a, e) -> Format.fprintf ppf "%s(%a)" (aggr_name a) pp e
+  | Binop (((Bat.Pow | Bat.MinOp | Bat.MaxOp) as op), a, b) ->
+    Format.fprintf ppf "%s(%a, %a)"
+      (match op with Bat.Pow -> "pow" | Bat.MinOp -> "min2" | _ -> "max2")
+      pp a pp b
+  | Binop (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (binop_sym op) pp b
+  | Unop (op, e) -> Format.fprintf ppf "%s(%a)" (unop_name op) pp e
+  | Exists e -> Format.fprintf ppf "exists(%a)" pp e
+  | Member (x, s) -> Format.fprintf ppf "in(%a, %a)" pp x pp s
+  | Union (a, b) -> Format.fprintf ppf "union(%a, %a)" pp a pp b
+  | Diff (a, b) -> Format.fprintf ppf "diff(%a, %a)" pp a pp b
+  | Inter (a, b) -> Format.fprintf ppf "inter(%a, %a)" pp a pp b
+  | Flat e -> Format.fprintf ppf "flatten(%a)" pp e
+  | Nest { src; key; inner } -> Format.fprintf ppf "nest[%s, %s](%a)" key inner pp src
+  | Unnest { src; field } -> Format.fprintf ppf "unnest[%s](%a)" field pp src
+  | ExtOp { op; args } -> Format.fprintf ppf "%s(%a)" op (plist ",@ " pp) args
+
+let to_string e =
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_set_margin ppf 1000000;
+  Format.pp_set_max_indent ppf 999999;
+  Format.fprintf ppf "@[<h>%a@]@?" pp e;
+  Buffer.contents buf

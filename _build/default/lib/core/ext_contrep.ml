@@ -1,0 +1,365 @@
+module Mil = Mirror_bat.Mil
+module Bat = Mirror_bat.Bat
+module Atom = Mirror_bat.Atom
+module Column = Mirror_bat.Column
+module Space = Mirror_ir.Space
+module Vocab = Mirror_ir.Vocab
+module Belief = Mirror_ir.Belief
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Flatten.Unsupported s)) fmt
+
+module E = struct
+  let name = "CONTREP"
+  let arity = 1
+
+  let check_type = function
+    | [ Types.Atomic _ ] -> Ok ()
+    | _ -> Error "CONTREP takes one atomic media-domain parameter"
+
+  let ops = [ "getBL"; "getBLnet"; "terms"; "tf"; "clen" ]
+
+  let op_type ~op ~args =
+    match (op, args) with
+    | "getBL", [ Types.Xt ("CONTREP", _); Types.Set (Types.Atomic Atom.TStr) ] ->
+      Ok (Types.Set (Types.Atomic Atom.TFlt))
+    | "getBL", _ -> Error "getBL expects (CONTREP<_>, SET<Atomic<str>>)"
+    | "getBLnet", [ Types.Xt ("CONTREP", _); Types.Atomic Atom.TStr ] ->
+      Ok (Types.Atomic Atom.TFlt)
+    | "getBLnet", _ -> Error "getBLnet expects (CONTREP<_>, query-net string)"
+    | "terms", [ Types.Xt ("CONTREP", _) ] -> Ok (Types.Set (Types.Atomic Atom.TStr))
+    | "terms", _ -> Error "terms expects a CONTREP<_>"
+    | "tf", [ Types.Xt ("CONTREP", _); Types.Atomic Atom.TStr ] ->
+      Ok (Types.Atomic Atom.TFlt)
+    | "tf", _ -> Error "tf expects (CONTREP<_>, term string)"
+    | "clen", [ Types.Xt ("CONTREP", _) ] -> Ok (Types.Atomic Atom.TFlt)
+    | "clen", _ -> Error "clen expects a CONTREP<_>"
+    | _, _ -> Error ("CONTREP: unknown operator " ^ op)
+
+  let op_eval env ~op ~args =
+    match (op, args) with
+    | "getBL", [ self; query ] ->
+      let bag = Value.contrep_bag self in
+      let space_name =
+        match Value.contrep_space self with
+        | Some s -> s
+        | None -> failwith "getBL: CONTREP value is not bound to a statistics space"
+      in
+      let space =
+        match env.Extension.space space_name with
+        | Some sp -> sp
+        | None -> failwith (Printf.sprintf "getBL: unknown statistics space %S" space_name)
+      in
+      let doclen = List.fold_left (fun acc (_, tf) -> acc +. tf) 0.0 bag in
+      let beliefs =
+        List.map
+          (fun qv ->
+            let term = Atom.as_string (Value.as_atom qv) in
+            let b =
+              match Vocab.find (Space.vocab space) term with
+              | None -> Belief.default_belief
+              | Some id ->
+                let tf = Option.value ~default:0.0 (List.assoc_opt term bag) in
+                Belief.belief ~tf ~df:(Space.df space id) ~ndocs:(Space.ndocs space) ~doclen
+                  ~avg_doclen:(Space.avg_doc_len space)
+            in
+            Value.flt b)
+          (Value.as_set query)
+      in
+      Value.VSet beliefs
+    | "getBLnet", [ self; Value.Atom (Atom.Str net_src) ] -> (
+      match Mirror_ir.Querynet.of_string net_src with
+      | Error e -> failwith ("getBLnet: " ^ e)
+      | Ok net ->
+        let bag = Value.contrep_bag self in
+        let space_name =
+          match Value.contrep_space self with
+          | Some s -> s
+          | None -> failwith "getBLnet: CONTREP value is not bound to a statistics space"
+        in
+        let space =
+          match env.Extension.space space_name with
+          | Some sp -> sp
+          | None -> failwith (Printf.sprintf "getBLnet: unknown statistics space %S" space_name)
+        in
+        let doclen = List.fold_left (fun acc (_, tf) -> acc +. tf) 0.0 bag in
+        let oracle term =
+          match Vocab.find (Space.vocab space) term with
+          | None -> Belief.default_belief
+          | Some id ->
+            let tf = Option.value ~default:0.0 (List.assoc_opt term bag) in
+            Belief.belief ~tf ~df:(Space.df space id) ~ndocs:(Space.ndocs space) ~doclen
+              ~avg_doclen:(Space.avg_doc_len space)
+        in
+        Value.flt (Mirror_ir.Querynet.eval oracle net))
+    | "terms", [ self ] ->
+      Value.VSet (List.map (fun (term, _) -> Value.str term) (Value.contrep_bag self))
+    | "tf", [ self; Value.Atom (Atom.Str term) ] ->
+      Value.flt (Option.value ~default:0.0 (List.assoc_opt term (Value.contrep_bag self)))
+    | "clen", [ self ] ->
+      Value.flt (List.fold_left (fun acc (_, tf) -> acc +. tf) 0.0 (Value.contrep_bag self))
+    | _, _ -> failwith ("CONTREP: bad operands for " ^ op)
+
+  let bundle ~meta ~bats = Shape.Xstruct { ext = name; meta; bats; subs = [] }
+
+  let op_flatten env ~op ~arg_tys:_ ~raw ~args =
+    match (op, args) with
+    | ( "getBL",
+        [
+          Shape.Xstruct { ext = "CONTREP"; meta; bats = [ ctx; term; tf; len ]; _ };
+          Shape.Set { link = qlink; elem = Shape.Atomic qval };
+        ] ) ->
+      let pairs =
+        Mil.Foreign
+          {
+            name = "contrep_getbl";
+            args = [ ctx; term; tf; len; env.Extension.dom; qlink; qval ];
+            meta;
+          }
+      in
+      let base = env.Extension.fresh 0 in
+      Shape.Set
+        {
+          link = Mil.NumberHead (pairs, base);
+          elem = Shape.Atomic (Mil.NumberTail (pairs, base));
+        }
+    | "getBL", _ -> fail "getBL: malformed flattened operands"
+    | ( "getBLnet",
+        [ Shape.Xstruct { ext = "CONTREP"; meta; bats = [ ctx; term; tf; len ]; _ }; _ ] ) -> (
+      match raw with
+      | [ _; Expr.Lit (Value.Atom (Atom.Str net_src), _) ] -> (
+        match Mirror_ir.Querynet.of_string net_src with
+        | Error e -> fail "getBLnet: %s" e
+        | Ok _ ->
+          Shape.Atomic
+            (Mil.Foreign
+               {
+                 name = "contrep_getblnet";
+                 args = [ ctx; term; tf; len; env.Extension.dom ];
+                 meta = meta @ [ net_src ];
+               }))
+      | _ -> fail "getBLnet: the query net must be a string literal")
+    | "getBLnet", _ -> fail "getBLnet: malformed flattened operands"
+    | "terms", [ Shape.Xstruct { ext = "CONTREP"; bats = [ ctx; term; _tf; _len ]; _ } ] ->
+      Shape.Set { link = ctx; elem = Shape.Atomic term }
+    | "terms", _ -> fail "terms: malformed flattened operands"
+    | "clen", [ Shape.Xstruct { ext = "CONTREP"; bats = [ _ctx; _term; _tf; len ]; _ } ] ->
+      Shape.Atomic (Mil.LeftOuterJoin (env.Extension.dom, len, Atom.Flt 0.0))
+    | "clen", _ -> fail "clen: malformed flattened operands"
+    | "tf", [ Shape.Xstruct { ext = "CONTREP"; bats = [ ctx; term; tf; _len ]; _ }; _ ] -> (
+      (* The term must be a literal so selection happens on the occurrence
+         column (generic-operator path; compare with the dedicated
+         contrep_getbl physical operator). *)
+      match raw with
+      | [ _; Expr.Lit (Value.Atom (Atom.Str t), _) ] ->
+        let hits = Mil.SelectCmp (term, Bat.Eq, Atom.Str t) in
+        let tfs = Mil.Semijoin (tf, hits) in
+        let per_ctx = Mil.Join (Mil.Reverse (Mil.Semijoin (ctx, hits)), tfs) in
+        let summed = Mil.GroupAggr (Bat.Sum, per_ctx) in
+        Shape.Atomic (Mil.LeftOuterJoin (env.Extension.dom, summed, Atom.Flt 0.0))
+      | _ -> fail "tf: term must be a string literal")
+    | "tf", _ -> fail "tf: malformed flattened operands"
+    | _, _ -> fail "CONTREP: bad operands for %s" op
+
+  let materialize env ~recurse:_ ~path ~ty_args:_ ~dom =
+    let space = env.Extension.space_create path in
+    let total =
+      List.fold_left (fun acc (_, v) -> acc + List.length (Value.contrep_bag v)) 0 dom
+    in
+    let base = env.Extension.fresh_store total in
+    let next = ref base in
+    let hb = Column.Builder.create Atom.TOid in
+    let cb = Column.Builder.create Atom.TOid in
+    let tb = Column.Builder.create Atom.TStr in
+    let fb = Column.Builder.create Atom.TFlt in
+    let lh = Column.Builder.create Atom.TOid in
+    let lt = Column.Builder.create Atom.TFlt in
+    List.iter
+      (fun (ctx, v) ->
+        let bag = Value.contrep_bag v in
+        ignore (Space.add_doc space ~doc:ctx bag);
+        List.iter
+          (fun (term, tf) ->
+            Column.Builder.add_oid hb !next;
+            incr next;
+            Column.Builder.add_oid cb ctx;
+            Column.Builder.add tb (Atom.Str term);
+            Column.Builder.add_float fb tf)
+          bag;
+        Column.Builder.add_oid lh ctx;
+        Column.Builder.add_float lt (Space.doc_len space ctx))
+      dom;
+    let heads = Column.Builder.finish hb in
+    (* Build the inverted index the physical getBL fast path uses and
+       key it to this head column's physical identity. *)
+    let postings : (string, (int, float) Hashtbl.t) Hashtbl.t = Hashtbl.create 256 in
+    List.iter
+      (fun (ctx, v) ->
+        List.iter
+          (fun (term, tf) ->
+            let per_ctx =
+              match Hashtbl.find_opt postings term with
+              | Some h -> h
+              | None ->
+                let h = Hashtbl.create 8 in
+                Hashtbl.add postings term h;
+                h
+            in
+            let prev = Option.value ~default:0.0 (Hashtbl.find_opt per_ctx ctx) in
+            Hashtbl.replace per_ctx ctx (prev +. tf))
+          (Value.contrep_bag v))
+      dom;
+    Space.set_index space ~heads:(Column.oid_exn heads) ~postings;
+    let cat = env.Extension.catalog in
+    Mirror_bat.Catalog.put cat (path ^ "#ctx") (Bat.make heads (Column.Builder.finish cb));
+    Mirror_bat.Catalog.put cat (path ^ "#term") (Bat.make heads (Column.Builder.finish tb));
+    Mirror_bat.Catalog.put cat (path ^ "#tf") (Bat.make heads (Column.Builder.finish fb));
+    Mirror_bat.Catalog.put cat (path ^ "#len")
+      (Bat.make (Column.Builder.finish lh) (Column.Builder.finish lt));
+    bundle ~meta:[ path ]
+      ~bats:
+        [
+          Mil.Get (path ^ "#ctx");
+          Mil.Get (path ^ "#term");
+          Mil.Get (path ^ "#tf");
+          Mil.Get (path ^ "#len");
+        ]
+
+  (* Candidate-list style filtering (after Monet): every CONTREP
+     consumer — getBL, tf, clen, and the link re-alignments of
+     terms — only ever consults occurrences of contexts in the current
+     domain, and context filtering shrinks the domain, never the
+     per-context content.  Keeping the occurrence BATs physically
+     untouched therefore preserves semantics AND keeps the inverted-
+     index fast path of the physical operator applicable to filtered
+     collections. *)
+  let filter_flat ~recurse:_ ~meta ~bats ~subs:_ ~survivors:_ =
+    match bats with
+    | [ _; _; _; _ ] -> bundle ~meta ~bats
+    | _ -> invalid_arg "CONTREP.filter_flat: malformed bundle"
+
+  let rebase_flat env ~recurse:_ ~meta ~bats ~subs:_ ~m =
+    match bats with
+    | [ ctx; term; tf; len ] ->
+      let j = Mil.Join (m, Mil.Reverse ctx) in
+      let base = env.Extension.fresh 0 in
+      let ctx' = Mil.NumberHead (j, base) in
+      let m2 = Mil.NumberTail (j, base) in
+      bundle ~meta ~bats:[ ctx'; Mil.Join (m2, term); Mil.Join (m2, tf); Mil.Join (m, len) ]
+    | _ -> invalid_arg "CONTREP.rebase_flat: malformed bundle"
+
+  let reify ~lookup ~recurse:_ ~meta ~bats ~subs:_ ~ctx =
+    match bats with
+    | [ ctx_p; term_p; tf_p; _len_p ] ->
+      let ctx_bat = lookup ctx_p and term_bat = lookup term_p and tf_bat = lookup tf_p in
+      let term_of = Hashtbl.create (Bat.count term_bat) in
+      Bat.iter (fun o t -> Hashtbl.replace term_of (Atom.as_oid o) (Atom.as_string t)) term_bat;
+      let tf_of = Hashtbl.create (Bat.count tf_bat) in
+      Bat.iter (fun o f -> Hashtbl.replace tf_of (Atom.as_oid o) (Atom.as_float f)) tf_bat;
+      let bag = ref [] in
+      Bat.iter
+        (fun o c ->
+          if Atom.as_oid c = ctx then
+            match
+              (Hashtbl.find_opt term_of (Atom.as_oid o), Hashtbl.find_opt tf_of (Atom.as_oid o))
+            with
+            | Some term, Some tf -> bag := (term, tf) :: !bag
+            | _ -> ())
+        ctx_bat;
+      Value.contrep ?space:(match meta with s :: _ -> Some s | [] -> None) (List.rev !bag)
+    | _ -> invalid_arg "CONTREP.reify: malformed bundle"
+
+  let restore env ~recurse:_ ~path ~ty_args:_ =
+    let cat = env.Extension.catalog in
+    let get suffix =
+      match Mirror_bat.Catalog.find cat (path ^ suffix) with
+      | Some b -> b
+      | None -> failwith (Printf.sprintf "CONTREP.restore: missing catalog entry %s%s" path suffix)
+    in
+    let occ_ctx = get "#ctx" and occ_term = get "#term" and occ_tf = get "#tf" in
+    ignore (get "#len");
+    (* Rebuild the statistics space by replaying the documents in
+       context order (first appearance), then the inverted index keyed
+       to the loaded head column. *)
+    let space = env.Extension.space_create path in
+    let order = ref [] in
+    let bags : (int, (string * float) list) Hashtbl.t = Hashtbl.create 64 in
+    let n = Bat.count occ_ctx in
+    for i = 0 to n - 1 do
+      let ctx = Atom.as_oid (Bat.tail_at occ_ctx i) in
+      let term = Atom.as_string (Bat.tail_at occ_term i) in
+      let tf = Atom.as_float (Bat.tail_at occ_tf i) in
+      (match Hashtbl.find_opt bags ctx with
+      | Some bag -> Hashtbl.replace bags ctx ((term, tf) :: bag)
+      | None ->
+        Hashtbl.add bags ctx [ (term, tf) ];
+        order := ctx :: !order)
+    done;
+    (* contexts with an empty representation appear only in #len *)
+    let len_bat = get "#len" in
+    Bat.iter
+      (fun ctx _ ->
+        let c = Atom.as_oid ctx in
+        if not (Hashtbl.mem bags c) then begin
+          Hashtbl.add bags c [];
+          order := c :: !order
+        end)
+      len_bat;
+    let postings : (string, (int, float) Hashtbl.t) Hashtbl.t = Hashtbl.create 256 in
+    List.iter
+      (fun ctx ->
+        let bag = List.rev (Hashtbl.find bags ctx) in
+        ignore (Space.add_doc space ~doc:ctx bag);
+        List.iter
+          (fun (term, tf) ->
+            let per_ctx =
+              match Hashtbl.find_opt postings term with
+              | Some h -> h
+              | None ->
+                let h = Hashtbl.create 8 in
+                Hashtbl.add postings term h;
+                h
+            in
+            let prev = Option.value ~default:0.0 (Hashtbl.find_opt per_ctx ctx) in
+            Hashtbl.replace per_ctx ctx (prev +. tf))
+          bag)
+      (List.rev !order);
+    Space.set_index space ~heads:(Column.oid_exn (Bat.head occ_ctx)) ~postings;
+    bundle ~meta:[ path ]
+      ~bats:
+        [
+          Mil.Get (path ^ "#ctx");
+          Mil.Get (path ^ "#term");
+          Mil.Get (path ^ "#tf");
+          Mil.Get (path ^ "#len");
+        ]
+
+  let getbl_foreign env ~args ~meta =
+    match (args, meta) with
+    | [ occ_ctx; occ_term; occ_tf; len; dom; qlink; qval ], space_name :: _ -> (
+      match env.Extension.space space_name with
+      | Some space ->
+        Mirror_ir.Search.getbl_pairs ~space ~occ_ctx ~occ_term ~occ_tf ~len ~dom ~qlink ~qval
+      | None -> failwith (Printf.sprintf "contrep_getbl: unknown space %S" space_name))
+    | _ -> failwith "contrep_getbl: malformed physical operands"
+
+  let getblnet_foreign env ~args ~meta =
+    match (args, meta) with
+    | [ occ_ctx; occ_term; occ_tf; len; dom ], [ space_name; net_src ] -> (
+      match (env.Extension.space space_name, Mirror_ir.Querynet.of_string net_src) with
+      | Some space, Ok net ->
+        Mirror_ir.Search.getblnet_pairs ~space ~net ~occ_ctx ~occ_term ~occ_tf ~len ~dom
+      | None, _ -> failwith (Printf.sprintf "contrep_getblnet: unknown space %S" space_name)
+      | _, Error e -> failwith ("contrep_getblnet: " ^ e))
+    | _ -> failwith "contrep_getblnet: malformed physical operands"
+
+  let foreign_ops =
+    [ ("contrep_getbl", getbl_foreign); ("contrep_getblnet", getblnet_foreign) ]
+
+  let bind_value ~path ~recurse:_ ~ty_args:_ v =
+    match v with
+    | Value.Xv { ext = "CONTREP"; items; _ } ->
+      Value.Xv { ext = "CONTREP"; meta = [ path ]; items }
+    | _ -> v
+end
+
+let register () = Extension.register (module E : Extension.S)

@@ -1,0 +1,33 @@
+(** The CONTREP structure extension — content representations.
+
+    "The CONTREP Moa structure supports the ranking scheme known as the
+    inference network retrieval model."  A CONTREP value is a term bag
+    over some media domain; materialising one binds it to a statistics
+    space (document frequencies, lengths, collection size) kept by the
+    IR engine.  Its flattened representation is the occurrence
+    decomposition [(occ->ctx, occ->term, occ->tf)] plus a per-context
+    length BAT.
+
+    Operators:
+    - [getBL(contrep, query)] — the paper's belief operator: a
+      [SET<Atomic<flt>>] of one default-belief score per query term,
+      computed by the *physical* probabilistic operator
+      ["contrep_getbl"] this extension registers with the kernel.  For
+      compatibility with the paper's surface syntax a third [stats]
+      argument is accepted by the parser and resolved implicitly to the
+      space the CONTREP is bound to.
+    - [getBLnet(contrep, '#wsum( zebra^2 #and(stripe grass) )')] — a
+      full inference-network operator tree (the InQuery #sum/#wsum/
+      #and/#or/#not/#max combinators, see {!Mirror_ir.Querynet})
+      evaluated per context by the physical operator
+      ["contrep_getblnet"]; the net must be a string literal.
+    - [terms(contrep)] — the term set of the representation.
+    - [tf(contrep, 'term')] — the term frequency of a literal term.
+    - [clen(contrep)] — the representation's length (sum of tfs).
+
+    [tf]/[clen] exist so the belief formula can also be *composed* from
+    generic operators — the baseline experiment E2 measures against the
+    dedicated physical operator. *)
+
+val register : unit -> unit
+(** Idempotently register the extension (and its physical operator). *)

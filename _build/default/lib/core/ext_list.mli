@@ -1,0 +1,21 @@
+(** The LIST structure extension.
+
+    "Henk Ernst Blok … added the LIST structure to Moa" — LIST is the
+    paper's example of *generic* structural extensibility.  A LIST is a
+    SET with a per-context total order; its flattened representation
+    adds one position BAT.
+
+    Operators:
+    - [tolist(set, field)] / [tolist_desc(set, field)] — order a set of
+      tuples by an atomic field (pass [""] as the field to order a set
+      of atomics by the elements themselves).  The field argument must
+      be a string literal.
+    - [take(list, n)] — list of the first [n] positions ([n] an integer
+      literal).
+    - [toset(list)] — forget the order.
+
+    Together they express the top-k result lists of the demo
+    application ([take(tolist_desc(scores, "score"), 10)]). *)
+
+val register : unit -> unit
+(** Idempotently register the extension. *)

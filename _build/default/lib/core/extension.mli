@@ -1,0 +1,153 @@
+(** The structural-extensibility registry — Moa's "open complex object
+    system".
+
+    The kernel knows only [Atomic], [TUPLE] and [SET]; everything else
+    is a registered extension that supplies, for its structure: type
+    formation checking, the typing/semantics/compilation of its
+    operators, how values materialise into BATs, and how its flattened
+    bundles behave under the algebra's context transformations
+    (filtering by surviving contexts and rebasing onto new context
+    oids).  The built-in extensions are LIST ({!Ext_list}) and CONTREP
+    ({!Ext_contrep}); new ones register the same way. *)
+
+type planshape = Mirror_bat.Mil.t Shape.t
+
+type flat_env = {
+  fresh : int -> int;
+      (** [fresh n] allocates a disjoint oid range with room for at
+          least [n] values and returns its base. *)
+  dom : Mirror_bat.Mil.t;  (** Current context domain, a (ctx,ctx) mirror plan. *)
+}
+(** What operator compilation may use. *)
+
+type eval_env = { space : string -> Mirror_ir.Space.t option }
+(** What naive (object-at-a-time) evaluation and foreign physical
+    operators may consult. *)
+
+type store_env = {
+  catalog : Mirror_bat.Catalog.t;
+  fresh_store : int -> int;  (** Oid-range allocator (same discipline as [fresh]). *)
+  space_create : string -> Mirror_ir.Space.t;
+      (** Create-or-reset the statistics space registered under a
+          name. *)
+}
+(** What materialisation may use. *)
+
+module type S = sig
+  val name : string
+  (** Structure name as it appears in types ("LIST", "CONTREP", …). *)
+
+  val arity : int
+  (** Number of type parameters. *)
+
+  val check_type : Types.t list -> (unit, string) result
+  (** Validate the type parameters. *)
+
+  val ops : string list
+  (** Operator names owned by this extension (globally unique). *)
+
+  val op_type : op:string -> args:Types.t list -> (Types.t, string) result
+  (** Result type of an operator; [args] includes the receiver first. *)
+
+  val op_eval : eval_env -> op:string -> args:Value.t list -> Value.t
+  (** Reference object-at-a-time semantics. *)
+
+  val op_flatten :
+    flat_env ->
+    op:string ->
+    arg_tys:Types.t list ->
+    raw:Expr.t list ->
+    args:planshape list ->
+    planshape
+  (** Compile an operator application over flattened arguments. *)
+
+  val materialize :
+    store_env ->
+    recurse:(path:string -> ty:Types.t -> dom:(int * Value.t) list -> planshape) ->
+    path:string ->
+    ty_args:Types.t list ->
+    dom:(int * Value.t) list ->
+    planshape
+  (** Store per-context values of this structure under catalog names
+      prefixed by [path]; [recurse] materialises nested kernel
+      structures. *)
+
+  val filter_flat :
+    recurse:(planshape -> Mirror_bat.Mil.t -> planshape) ->
+    meta:string list ->
+    bats:Mirror_bat.Mil.t list ->
+    subs:planshape list ->
+    survivors:Mirror_bat.Mil.t ->
+    planshape
+  (** Restrict the bundle to surviving context oids (heads of
+      [survivors]). *)
+
+  val rebase_flat :
+    flat_env ->
+    recurse:(flat_env -> planshape -> Mirror_bat.Mil.t -> planshape) ->
+    meta:string list ->
+    bats:Mirror_bat.Mil.t list ->
+    subs:planshape list ->
+    m:Mirror_bat.Mil.t ->
+    planshape
+  (** Re-key the bundle onto new context oids; [m] maps new ctx -> old
+      ctx (possibly duplicating old contexts). *)
+
+  val reify :
+    lookup:(Mirror_bat.Mil.t -> Mirror_bat.Bat.t) ->
+    recurse:(planshape -> int -> Value.t) ->
+    meta:string list ->
+    bats:Mirror_bat.Mil.t list ->
+    subs:planshape list ->
+    ctx:int ->
+    Value.t
+  (** Rebuild the logical value of one context from evaluated BATs. *)
+
+  val restore :
+    store_env ->
+    recurse:(path:string -> ty:Types.t -> planshape) ->
+    path:string ->
+    ty_args:Types.t list ->
+    planshape
+  (** Rebuild the plan shape (and any side state, e.g. statistics
+      spaces and inverted indexes) for a structure previously written
+      by {!materialize} under [path], reading back from the catalog in
+      [store_env].  Used when loading a persisted database. *)
+
+  val foreign_ops :
+    (string * (eval_env -> args:Mirror_bat.Bat.t list -> meta:string list -> Mirror_bat.Bat.t)) list
+  (** Physical operators this extension contributes to the kernel
+      (dispatched from {!Mil.Foreign} nodes). *)
+
+  val bind_value :
+    path:string ->
+    recurse:(path:string -> ty:Types.t -> Value.t -> Value.t) ->
+    ty_args:Types.t list ->
+    Value.t ->
+    Value.t
+  (** Rewrite a stored logical value so it knows where it was
+      materialised (e.g. CONTREP binds its statistics space); called by
+      the storage manager after {!materialize} with the same [path]. *)
+end
+
+val register : (module S) -> unit
+(** Make an extension available.  Registration is keyed by structure
+    name and idempotent: re-registering an existing name is a no-op.
+    A new name whose operator list clashes with an already-registered
+    operator raises [Invalid_argument]. *)
+
+val find : string -> (module S) option
+(** Look up by structure name. *)
+
+val find_exn : string -> (module S)
+(** @raise Invalid_argument for unknown structures. *)
+
+val find_op : string -> (module S) option
+(** Look up by operator name. *)
+
+val registered : unit -> string list
+(** Registered structure names, sorted. *)
+
+val foreign_dispatch : eval_env -> Mirror_bat.Mil.foreign_fn
+(** The kernel-level dispatch function combining every registered
+    extension's physical operators. *)

@@ -1,0 +1,55 @@
+let mean_bag bags =
+  match bags with
+  | [] -> []
+  | _ ->
+    let n = Float.of_int (List.length bags) in
+    let acc = Hashtbl.create 32 in
+    List.iter
+      (fun bag ->
+        List.iter
+          (fun (term, tf) ->
+            let prev = Option.value ~default:0.0 (Hashtbl.find_opt acc term) in
+            Hashtbl.replace acc term (prev +. tf))
+          bag)
+      bags;
+    Hashtbl.fold (fun term total out -> (term, total /. n) :: out) acc []
+
+let rocchio ?(alpha = 1.0) ?(beta = 0.75) ?(gamma = 0.25) ?(max_terms = 10) ~original
+    ~relevant ~irrelevant () =
+  let weights = Hashtbl.create 32 in
+  let add scale bag =
+    List.iter
+      (fun (term, tf) ->
+        let prev = Option.value ~default:0.0 (Hashtbl.find_opt weights term) in
+        Hashtbl.replace weights term (prev +. (scale *. tf)))
+      bag
+  in
+  add alpha original;
+  add beta (mean_bag relevant);
+  add (-.gamma) (mean_bag irrelevant);
+  Hashtbl.fold (fun term w out -> if w > 0.0 then (term, w) :: out else out) weights []
+  |> List.sort (fun (t1, a) (t2, b) ->
+         let c = Float.compare b a in
+         if c <> 0 then c else String.compare t1 t2)
+  |> List.filteri (fun i _ -> i < max_terms)
+
+let precision_at k ~ranked ~relevant =
+  if k <= 0 then 0.0
+  else begin
+    let top = List.filteri (fun i _ -> i < k) ranked in
+    match top with
+    | [] -> 0.0
+    | _ ->
+      Float.of_int (List.length (List.filter relevant top)) /. Float.of_int (List.length top)
+  end
+
+let average_precision ~ranked ~relevant =
+  let hits = ref 0 and sum = ref 0.0 in
+  List.iteri
+    (fun i doc ->
+      if relevant doc then begin
+        incr hits;
+        sum := !sum +. (Float.of_int !hits /. Float.of_int (i + 1))
+      end)
+    ranked;
+  if !hits = 0 then 0.0 else !sum /. Float.of_int !hits

@@ -1,0 +1,31 @@
+(** Relevance feedback (§5.2): "The user may provide relevance feedback
+    for these images; this relevance feedback is used to improve the
+    current query."
+
+    Query reformulation is Rocchio-style over term bags: the new query
+    moves towards the term distribution of judged-relevant documents
+    and away from judged-irrelevant ones. *)
+
+val rocchio :
+  ?alpha:float ->
+  ?beta:float ->
+  ?gamma:float ->
+  ?max_terms:int ->
+  original:(string * float) list ->
+  relevant:(string * float) list list ->
+  irrelevant:(string * float) list list ->
+  unit ->
+  (string * float) list
+(** [alpha] (1.0) weighs the original query, [beta] (0.75) the mean
+    relevant bag, [gamma] (0.25) the mean irrelevant bag.  Terms whose
+    reformulated weight is non-positive are dropped; the [max_terms]
+    (10) heaviest survive, sorted by descending weight (ties by
+    term). *)
+
+val precision_at : int -> ranked:string list -> relevant:(string -> bool) -> float
+(** Fraction of the first [k] ranked items that are relevant (0 when
+    [k = 0] or the ranking is empty). *)
+
+val average_precision : ranked:string list -> relevant:(string -> bool) -> float
+(** Mean of precision@rank over the ranks of relevant items; 0 when
+    nothing relevant is ranked. *)

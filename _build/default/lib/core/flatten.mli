@@ -1,0 +1,40 @@
+(** The flattening compiler: Moa expressions to BAT algebra plans.
+
+    This is the translation of [BWK98] ("Flattening an object algebra
+    to provide performance"): a logical expression over structures
+    compiles to a bundle of {!Mil} plans, one per BAT of the result's
+    flattened representation.  Iteration ([map]) compiles to evaluating
+    the body once over the whole element domain — the set-at-a-time
+    processing the paper credits for Mirror's scalability — and
+    selections/joins become kernel semijoins over link BATs.
+
+    Two context transformations are exposed because extension
+    structures participate in them through their registry hooks:
+    {!filter_shape} (restrict to surviving contexts) and
+    {!rebase_shape} (re-key contexts, duplicating where a context
+    participates in several join pairs). *)
+
+exception Unsupported of string
+(** Raised for constructs outside the compilable fragment (e.g. a
+    [getBL] whose query depends on an enclosing binder, [nest] below
+    the top level, or a literal of unsupported shape).  Expressions
+    accepted by {!Typecheck.infer} otherwise always compile. *)
+
+val compile : ?specialize:bool -> Storage.t -> Expr.t -> Extension.planshape
+(** Compile a closed, well-typed expression.  [specialize] (default
+    true) enables physical specialisations such as the hash equi-join
+    (an equality conjunct in a join predicate restricts candidate pairs
+    by a key join rather than the full cross product); disable it for
+    the optimisation-ablation experiments.  @raise Unsupported. *)
+
+val root_dom : Mirror_bat.Mil.t
+(** The top-level context domain: the singleton [(@0, @0)]. *)
+
+val filter_shape : Extension.planshape -> Mirror_bat.Mil.t -> Extension.planshape
+(** [filter_shape shape survivors] keeps only the contexts that occur
+    among the heads of [survivors]. *)
+
+val rebase_shape :
+  Extension.flat_env -> Extension.planshape -> Mirror_bat.Mil.t -> Extension.planshape
+(** [rebase_shape env shape m] re-keys the bundle onto the new context
+    oids of [m] (a BAT new_ctx -> old_ctx). *)

@@ -1,0 +1,202 @@
+module Bat = Mirror_bat.Bat
+module Atom = Mirror_bat.Atom
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* Best-effort type recovery for values bound from outside. *)
+let rec type_of_value = function
+  | Value.Atom a -> Types.Atomic (Atom.type_of a)
+  | Value.Tup fields -> Types.Tuple (List.map (fun (l, v) -> (l, type_of_value v)) fields)
+  | Value.VSet [] -> Types.Set (Types.Atomic Atom.TInt)
+  | Value.VSet (x :: _) -> Types.Set (type_of_value x)
+  | Value.Xv { ext = "CONTREP"; _ } -> Types.Xt ("CONTREP", [ Types.Atomic Atom.TStr ])
+  | Value.Xv { ext; items = x :: _; _ } -> Types.Xt (ext, [ type_of_value x ])
+  | Value.Xv { ext; items = []; _ } -> Types.Xt (ext, [ Types.Atomic Atom.TInt ])
+
+(* Result type of an expression, used only to type empty-set aggregate
+   defaults; falls back to float when inference fails (it cannot for
+   expressions admitted by Typecheck). *)
+let elem_base storage tenv set_expr =
+  match
+    Typecheck.infer_with (Storage.typecheck_env storage) ~vars:tenv set_expr
+  with
+  | Ok (Types.Set (Types.Atomic b)) -> Some b
+  | Ok _ | Error _ -> None
+
+let aggr_empty_default a base =
+  match a with
+  | Bat.Count -> Atom.Int 0
+  | Bat.Sum -> (
+    match base with Atom.TFlt -> Atom.Flt 0.0 | _ -> Atom.Int 0)
+  | Bat.Prod -> ( match base with Atom.TFlt -> Atom.Flt 1.0 | _ -> Atom.Int 1)
+  | Bat.Avg -> Atom.Flt 0.0
+  | Bat.Min | Bat.Max -> Types.atom_default base
+
+let dedup_atoms items =
+  let seen = ref [] in
+  List.filter
+    (fun v ->
+      let a = Value.as_atom v in
+      if List.exists (Atom.equal a) !seen then false
+      else begin
+        seen := a :: !seen;
+        true
+      end)
+    items
+
+let atoms_of_set v = List.map Value.as_atom (Value.as_set v)
+
+let rec eval_env storage (venv : (string * Value.t) list) (tenv : (string * Types.t) list)
+    expr =
+  let recur = eval_env storage in
+  match expr with
+  | Expr.Extent name -> (
+    match Storage.extent_rows storage name with
+    | Some rows -> Value.VSet rows
+    | None -> fail "naive: extent %S is not loaded" name)
+  | Expr.Lit (v, _) -> v
+  | Expr.Var v -> (
+    match List.assoc_opt v venv with
+    | Some value -> value
+    | None -> fail "naive: unbound variable %S" v)
+  | Expr.Field (e, f) -> Value.field_exn (recur venv tenv e) f
+  | Expr.Tuple fields ->
+    Value.Tup (List.map (fun (l, e) -> (l, recur venv tenv e)) fields)
+  | Expr.Map { v; body; src } ->
+    let src_v = recur venv tenv src in
+    let elem_ty = binder_type storage tenv src in
+    Value.VSet
+      (List.map
+         (fun item -> recur ((v, item) :: venv) ((v, elem_ty) :: tenv) body)
+         (Value.as_set src_v))
+  | Expr.Select { v; pred; src } ->
+    let src_v = recur venv tenv src in
+    let elem_ty = binder_type storage tenv src in
+    Value.VSet
+      (List.filter
+         (fun item ->
+           Atom.as_bool (Value.as_atom (recur ((v, item) :: venv) ((v, elem_ty) :: tenv) pred)))
+         (Value.as_set src_v))
+  | Expr.Join { v1; v2; pred; left; right; l1; l2 } ->
+    let lv = Value.as_set (recur venv tenv left) in
+    let rv = Value.as_set (recur venv tenv right) in
+    let t1 = binder_type storage tenv left and t2 = binder_type storage tenv right in
+    let out = ref [] in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            let venv' = (v1, a) :: (v2, b) :: venv in
+            let tenv' = (v1, t1) :: (v2, t2) :: tenv in
+            if Atom.as_bool (Value.as_atom (recur venv' tenv' pred)) then
+              out := Value.Tup [ (l1, a); (l2, b) ] :: !out)
+          rv)
+      lv;
+    Value.VSet (List.rev !out)
+  | Expr.Semijoin { v1; v2; pred; left; right } ->
+    let lv = Value.as_set (recur venv tenv left) in
+    let rv = Value.as_set (recur venv tenv right) in
+    let t1 = binder_type storage tenv left and t2 = binder_type storage tenv right in
+    Value.VSet
+      (List.filter
+         (fun a ->
+           List.exists
+             (fun b ->
+               let venv' = (v1, a) :: (v2, b) :: venv in
+               let tenv' = (v1, t1) :: (v2, t2) :: tenv in
+               Atom.as_bool (Value.as_atom (recur venv' tenv' pred)))
+             rv)
+         lv)
+  | Expr.Aggr (Bat.Count, e) ->
+    Value.int (List.length (Value.as_set (recur venv tenv e)))
+  | Expr.Aggr (a, e) -> (
+    let atoms = atoms_of_set (recur venv tenv e) in
+    match atoms with
+    | [] ->
+      let base = Option.value ~default:Atom.TFlt (elem_base storage tenv e) in
+      Value.Atom (aggr_empty_default a base)
+    | _ ->
+      let b =
+        Bat.of_pairs Atom.TOid (Atom.type_of (List.hd atoms))
+          (List.map (fun x -> (Atom.Oid 0, x)) atoms)
+      in
+      Value.Atom (Bat.aggr_all a b))
+  | Expr.Binop (op, a, b) ->
+    let va = Value.as_atom (recur venv tenv a) in
+    let vb = Value.as_atom (recur venv tenv b) in
+    Value.Atom (Bat.apply_binop op va vb)
+  | Expr.Unop (op, e) -> Value.Atom (Bat.apply_unop op (Value.as_atom (recur venv tenv e)))
+  | Expr.Exists e -> Value.bool (Value.as_set (recur venv tenv e) <> [])
+  | Expr.Member (x, s) ->
+    let a = Value.as_atom (recur venv tenv x) in
+    Value.bool (List.exists (Atom.equal a) (atoms_of_set (recur venv tenv s)))
+  | Expr.Union (a, b) ->
+    let xs = Value.as_set (recur venv tenv a) and ys = Value.as_set (recur venv tenv b) in
+    Value.VSet (dedup_atoms (xs @ ys))
+  | Expr.Diff (a, b) ->
+    let xs = Value.as_set (recur venv tenv a) in
+    let ys = atoms_of_set (recur venv tenv b) in
+    Value.VSet
+      (List.filter
+         (fun v -> not (List.exists (Atom.equal (Value.as_atom v)) ys))
+         (dedup_atoms xs))
+  | Expr.Inter (a, b) ->
+    let xs = Value.as_set (recur venv tenv a) in
+    let ys = atoms_of_set (recur venv tenv b) in
+    Value.VSet
+      (List.filter (fun v -> List.exists (Atom.equal (Value.as_atom v)) ys) (dedup_atoms xs))
+  | Expr.Flat e ->
+    let sets = Value.as_set (recur venv tenv e) in
+    Value.VSet (List.concat_map Value.as_set sets)
+  | Expr.Nest { src; key; inner } ->
+    let rows = Value.as_set (recur venv tenv src) in
+    let order = ref [] in
+    let groups = Hashtbl.create 16 in
+    List.iter
+      (fun row ->
+        let k = Value.as_atom (Value.field_exn row key) in
+        (match Hashtbl.find_opt groups (Atom.to_string k) with
+        | Some items -> Hashtbl.replace groups (Atom.to_string k) (row :: items)
+        | None ->
+          Hashtbl.add groups (Atom.to_string k) [ row ];
+          order := k :: !order))
+      rows;
+    Value.VSet
+      (List.rev_map
+         (fun k ->
+           let items = List.rev (Hashtbl.find groups (Atom.to_string k)) in
+           Value.Tup [ (key, Value.Atom k); (inner, Value.VSet items) ])
+         !order)
+  | Expr.Unnest { src; field } ->
+    let rows = Value.as_set (recur venv tenv src) in
+    Value.VSet
+      (List.concat_map
+         (fun row ->
+           let fields = Value.as_tuple row in
+           let others = List.filter (fun (l, _) -> l <> field) fields in
+           let inner = Value.as_set (Value.field_exn row field) in
+           List.map
+             (fun item ->
+               match item with
+               | Value.Tup ifields -> Value.Tup (others @ ifields)
+               | atom_or_other -> Value.Tup (others @ [ (field, atom_or_other) ]))
+             inner)
+         rows)
+  | Expr.ExtOp { op; args } -> (
+    match Extension.find_op op with
+    | None -> fail "naive: unknown operator %S" op
+    | Some (module E : Extension.S) ->
+      let vargs = List.map (recur venv tenv) args in
+      E.op_eval (Storage.eval_env storage) ~op ~args:vargs)
+
+and binder_type storage tenv src =
+  match Typecheck.infer_with (Storage.typecheck_env storage) ~vars:tenv src with
+  | Ok (Types.Set elem) -> elem
+  | Ok other -> fail "naive: mapped a non-set %s" (Types.to_string other)
+  | Error e -> fail "naive: %s" e
+
+let eval storage expr = eval_env storage [] [] expr
+
+let eval_with storage ~vars expr =
+  let tenv = List.map (fun (v, value) -> (v, type_of_value value)) vars in
+  eval_env storage vars tenv expr

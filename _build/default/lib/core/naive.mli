@@ -1,0 +1,22 @@
+(** The object-at-a-time reference evaluator.
+
+    Direct recursive interpretation of Moa expressions over logical
+    values: the semantics the flattened set-at-a-time execution must
+    agree with (tested by QCheck equivalence properties), and the
+    baseline that the [BWK98] flattening claim — experiment E1 — is
+    measured against. *)
+
+val aggr_empty_default : Mirror_bat.Bat.aggr -> Mirror_bat.Atom.ty -> Mirror_bat.Atom.t
+(** The total-semantics value of an aggregate over an empty set of the
+    given element base type ([Sum]/[Count] 0, [Prod] 1, [Min]/[Max]/
+    [Avg] the base type's zero).  Shared with the flattening compiler
+    so the two evaluators agree. *)
+
+val eval : Storage.t -> Expr.t -> Value.t
+(** Evaluate a closed expression against the loaded extents.
+    @raise Failure on unbound names or dynamic type errors (expressions
+    accepted by {!Typecheck.infer} do not raise). *)
+
+val eval_with : Storage.t -> vars:(string * Value.t) list -> Expr.t -> Value.t
+(** Evaluate with free variables pre-bound (their types are recovered
+    from the values; intended for tests). *)

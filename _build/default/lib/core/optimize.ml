@@ -1,0 +1,172 @@
+module Bat = Mirror_bat.Bat
+module Atom = Mirror_bat.Atom
+
+let gensym_counter = ref 0
+
+let gensym () =
+  incr gensym_counter;
+  Printf.sprintf "~opt%d" !gensym_counter
+
+(* Capture-avoiding substitution. *)
+let rec subst e v r =
+  let free_r = Expr.free_vars r in
+  let rec go e =
+    match e with
+    | Expr.Extent _ | Expr.Lit _ -> e
+    | Expr.Var x -> if x = v then r else e
+    | Expr.Field (e1, f) -> Expr.Field (go e1, f)
+    | Expr.Tuple fields -> Expr.Tuple (List.map (fun (l, e1) -> (l, go e1)) fields)
+    | Expr.Map { v = b; body; src } ->
+      let b, body = protect b body free_r in
+      Expr.Map { v = b; body = (if b = v then body else go_under b body); src = go src }
+    | Expr.Select { v = b; pred; src } ->
+      let b, pred = protect b pred free_r in
+      Expr.Select { v = b; pred = (if b = v then pred else go_under b pred); src = go src }
+    | Expr.Join { v1; v2; pred; left; right; l1; l2 } ->
+      let v1, pred = protect v1 pred free_r in
+      let v2, pred = protect v2 pred free_r in
+      let pred = if v1 = v || v2 = v then pred else go pred in
+      Expr.Join { v1; v2; pred; left = go left; right = go right; l1; l2 }
+    | Expr.Semijoin { v1; v2; pred; left; right } ->
+      let v1, pred = protect v1 pred free_r in
+      let v2, pred = protect v2 pred free_r in
+      let pred = if v1 = v || v2 = v then pred else go pred in
+      Expr.Semijoin { v1; v2; pred; left = go left; right = go right }
+    | Expr.Aggr (a, e1) -> Expr.Aggr (a, go e1)
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, go a, go b)
+    | Expr.Unop (op, e1) -> Expr.Unop (op, go e1)
+    | Expr.Exists e1 -> Expr.Exists (go e1)
+    | Expr.Member (a, b) -> Expr.Member (go a, go b)
+    | Expr.Union (a, b) -> Expr.Union (go a, go b)
+    | Expr.Diff (a, b) -> Expr.Diff (go a, go b)
+    | Expr.Inter (a, b) -> Expr.Inter (go a, go b)
+    | Expr.Flat e1 -> Expr.Flat (go e1)
+    | Expr.Nest { src; key; inner } -> Expr.Nest { src = go src; key; inner }
+    | Expr.Unnest { src; field } -> Expr.Unnest { src = go src; field }
+    | Expr.ExtOp { op; args } -> Expr.ExtOp { op; args = List.map go args }
+  and go_under b body = if b = v then body else go body
+  (* Rename binder [b] away when it would capture a free variable of [r]. *)
+  and protect b body free_r =
+    if b <> v && List.mem b free_r then begin
+      let fresh = gensym () in
+      (fresh, subst body b (Expr.Var fresh))
+    end
+    else (b, body)
+  in
+  go e
+
+let is_cheap_body body =
+  let rec expensive = function
+    | Expr.ExtOp _ | Expr.Aggr _ | Expr.Join _ | Expr.Semijoin _ | Expr.Nest _
+    | Expr.Unnest _ -> true
+    | Expr.Extent _ | Expr.Lit _ | Expr.Var _ -> false
+    | Expr.Field (e, _) | Expr.Unop (_, e) | Expr.Exists e | Expr.Flat e -> expensive e
+    | Expr.Tuple fields -> List.exists (fun (_, e) -> expensive e) fields
+    | Expr.Map { body; src; _ } | Expr.Select { pred = body; src; _ } ->
+      expensive body || expensive src
+    | Expr.Binop (_, a, b)
+    | Expr.Member (a, b)
+    | Expr.Union (a, b)
+    | Expr.Diff (a, b)
+    | Expr.Inter (a, b) ->
+      expensive a || expensive b
+  in
+  Expr.size body <= 12 && not (expensive body)
+
+let fold_binop op a b =
+  match Bat.apply_binop op a b with
+  | atom -> Some atom
+  | exception (Invalid_argument _ | Division_by_zero) -> None
+
+let fold_unop op a =
+  match Bat.apply_unop op a with
+  | atom -> Some atom
+  | exception Invalid_argument _ -> None
+
+(* One bottom-up pass; records fired rule names. *)
+let rec pass fired e =
+  let e =
+    match e with
+    | Expr.Extent _ | Expr.Lit _ | Expr.Var _ -> e
+    | Expr.Field (e1, f) -> Expr.Field (pass fired e1, f)
+    | Expr.Tuple fields -> Expr.Tuple (List.map (fun (l, x) -> (l, pass fired x)) fields)
+    | Expr.Map { v; body; src } ->
+      Expr.Map { v; body = pass fired body; src = pass fired src }
+    | Expr.Select { v; pred; src } ->
+      Expr.Select { v; pred = pass fired pred; src = pass fired src }
+    | Expr.Join { v1; v2; pred; left; right; l1; l2 } ->
+      Expr.Join
+        { v1; v2; pred = pass fired pred; left = pass fired left; right = pass fired right; l1; l2 }
+    | Expr.Semijoin { v1; v2; pred; left; right } ->
+      Expr.Semijoin
+        { v1; v2; pred = pass fired pred; left = pass fired left; right = pass fired right }
+    | Expr.Aggr (a, e1) -> Expr.Aggr (a, pass fired e1)
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, pass fired a, pass fired b)
+    | Expr.Unop (op, e1) -> Expr.Unop (op, pass fired e1)
+    | Expr.Exists e1 -> Expr.Exists (pass fired e1)
+    | Expr.Member (a, b) -> Expr.Member (pass fired a, pass fired b)
+    | Expr.Union (a, b) -> Expr.Union (pass fired a, pass fired b)
+    | Expr.Diff (a, b) -> Expr.Diff (pass fired a, pass fired b)
+    | Expr.Inter (a, b) -> Expr.Inter (pass fired a, pass fired b)
+    | Expr.Flat e1 -> Expr.Flat (pass fired e1)
+    | Expr.Nest { src; key; inner } -> Expr.Nest { src = pass fired src; key; inner }
+    | Expr.Unnest { src; field } -> Expr.Unnest { src = pass fired src; field }
+    | Expr.ExtOp { op; args } -> Expr.ExtOp { op; args = List.map (pass fired) args }
+  in
+  rules fired e
+
+and rules fired e =
+  let fire name e' =
+    fired := name :: !fired;
+    e'
+  in
+  match e with
+  (* map[b2](map[b1](src)) => map[b2{v2:=b1}](src) *)
+  | Expr.Map { v = v2; body = b2; src = Expr.Map { v = v1; body = b1; src } } ->
+    fire "map-map-fusion" (Expr.Map { v = v1; body = subst b2 v2 b1; src })
+  (* identity map *)
+  | Expr.Map { v; body = Expr.Var v'; src } when v = v' -> fire "identity-map" src
+  (* select[p2](select[p1](src)) => select[p1 and p2{v2:=v1}](src) *)
+  | Expr.Select { v = v2; pred = p2; src = Expr.Select { v = v1; pred = p1; src } } ->
+    fire "select-select-fusion"
+      (Expr.Select { v = v1; pred = Expr.Binop (Bat.And, p1, subst p2 v2 (Expr.Var v1)); src })
+  (* select[true](src) *)
+  | Expr.Select { pred = Expr.Lit (Value.Atom (Atom.Bool true), _); src; _ } ->
+    fire "select-true" src
+  (* select[p](map[body](src)) => map[body](select[p{v2:=body}](src)) for cheap bodies *)
+  | Expr.Select { v = v2; pred; src = Expr.Map { v = v1; body; src } }
+    when is_cheap_body body ->
+    fire "select-pushdown"
+      (Expr.Map { v = v1; body; src = Expr.Select { v = v1; pred = subst pred v2 body; src } })
+  (* tuple projection *)
+  | Expr.Field (Expr.Tuple fields, f) when List.mem_assoc f fields ->
+    fire "tuple-projection" (List.assoc f fields)
+  (* constant folding *)
+  | Expr.Binop (op, Expr.Lit (Value.Atom a, _), Expr.Lit (Value.Atom b, _)) -> (
+    match fold_binop op a b with
+    | Some atom ->
+      fire "constant-folding" (Expr.Lit (Value.Atom atom, Types.Atomic (Atom.type_of atom)))
+    | None -> e)
+  | Expr.Unop (op, Expr.Lit (Value.Atom a, _)) -> (
+    match fold_unop op a with
+    | Some atom ->
+      fire "constant-folding" (Expr.Lit (Value.Atom atom, Types.Atomic (Atom.type_of atom)))
+    | None -> e)
+  (* cardinality-only consumers ignore map *)
+  | Expr.Exists (Expr.Map { src; _ }) -> fire "exists-ignores-map" (Expr.Exists src)
+  | Expr.Aggr (Bat.Count, Expr.Map { src; _ }) ->
+    fire "count-ignores-map" (Expr.Aggr (Bat.Count, src))
+  | e -> e
+
+let rewrite_trace expr =
+  let fired = ref [] in
+  let rec fix e n =
+    if n = 0 then e
+    else
+      let e' = pass fired e in
+      if e' = e then e else fix e' (n - 1)
+  in
+  let result = fix expr 20 in
+  (result, List.rev !fired)
+
+let rewrite expr = fst (rewrite_trace expr)

@@ -1,0 +1,25 @@
+(** Algebraic query optimisation on Moa expressions.
+
+    "The translation from the logical data model into a different
+    physical model provides an excellent basis for algebraic query
+    optimization" — these are the logical rewrites; common
+    subexpression elimination happens below, in the {!Mil} executor's
+    memo table.
+
+    Rules (applied bottom-up to a fixpoint):
+    - map/map fusion, select/select fusion
+    - select pushdown through cheap map bodies
+    - identity-map and constant-true-select elimination
+    - projection of constructed tuples
+    - constant folding of atomic operators
+    - cardinality-only shortcuts ([exists]/[count] ignore [map]) *)
+
+val rewrite : Expr.t -> Expr.t
+(** Optimised equivalent expression. *)
+
+val rewrite_trace : Expr.t -> Expr.t * string list
+(** Also report the names of the rules that fired, in order. *)
+
+val subst : Expr.t -> string -> Expr.t -> Expr.t
+(** [subst e v r] — capture-avoiding substitution of [r] for free
+    occurrences of [v] in [e] (exposed for tests). *)

@@ -1,0 +1,607 @@
+module Atom = Mirror_bat.Atom
+module Bat = Mirror_bat.Bat
+module Stringx = Mirror_util.Stringx
+
+type stmt =
+  | Define of string * Types.t
+  | Let of string * Expr.t
+  | Insert of string * Expr.t
+  | Delete of string * (string * Expr.t)  (** extent, (binder, predicate) *)
+  | Query of Expr.t
+
+(* {1 Lexer} *)
+
+type token =
+  | TIdent of string
+  | TInt of int
+  | TFlt of float
+  | TStr of string
+  | TLparen
+  | TRparen
+  | TLbracket
+  | TRbracket
+  | TLbrace
+  | TRbrace
+  | TLt
+  | TGt
+  | TComma
+  | TSemi
+  | TColon
+  | TDot
+  | TEq
+  | TNe
+  | TLe
+  | TGe
+  | TPlus
+  | TMinus
+  | TStar
+  | TSlash
+
+exception Syntax of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Syntax s)) fmt
+
+let lex src =
+  let n = String.length src in
+  let out = ref [] in
+  let i = ref 0 in
+  let push tok = out := tok :: !out in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      (* line comment *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if Stringx.is_digit c then begin
+      let j = ref !i in
+      while !j < n && (Stringx.is_digit src.[!j] || src.[!j] = '.') do
+        incr j
+      done;
+      let text = String.sub src !i (!j - !i) in
+      (match (int_of_string_opt text, float_of_string_opt text) with
+      | Some v, _ -> push (TInt v)
+      | None, Some v -> push (TFlt v)
+      | None, None -> fail "bad number %S" text);
+      i := !j
+    end
+    else if Stringx.is_alpha c || c = '_' then begin
+      let j = ref !i in
+      while !j < n && (Stringx.is_alnum src.[!j] || src.[!j] = '_') do
+        incr j
+      done;
+      push (TIdent (String.sub src !i (!j - !i)));
+      i := !j
+    end
+    else if c = '\'' || c = '"' then begin
+      let quote = c in
+      let j = ref (!i + 1) in
+      let buf = Buffer.create 16 in
+      while !j < n && src.[!j] <> quote do
+        Buffer.add_char buf src.[!j];
+        incr j
+      done;
+      if !j >= n then fail "unterminated string literal";
+      push (TStr (Buffer.contents buf));
+      i := !j + 1
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "!=" | "<>" ->
+        push TNe;
+        i := !i + 2
+      | "<=" ->
+        push TLe;
+        i := !i + 2
+      | ">=" ->
+        push TGe;
+        i := !i + 2
+      | _ ->
+        (match c with
+        | '(' -> push TLparen
+        | ')' -> push TRparen
+        | '[' -> push TLbracket
+        | ']' -> push TRbracket
+        | '{' -> push TLbrace
+        | '}' -> push TRbrace
+        | '<' -> push TLt
+        | '>' -> push TGt
+        | ',' -> push TComma
+        | ';' -> push TSemi
+        | ':' -> push TColon
+        | '.' -> push TDot
+        | '=' -> push TEq
+        | '+' -> push TPlus
+        | '-' -> push TMinus
+        | '*' -> push TStar
+        | '/' -> push TSlash
+        | _ -> fail "unexpected character %C" c);
+        incr i
+    end
+  done;
+  List.rev !out
+
+(* {1 Token stream} *)
+
+type state = {
+  mutable tokens : token list;
+  mutable bindings : (string * Expr.t) list;
+  mutable binders : string list;  (* THIS stack, innermost first *)
+  mutable fresh : int;
+}
+
+let peek st = match st.tokens with [] -> None | tok :: _ -> Some tok
+
+let advance st =
+  match st.tokens with
+  | [] -> fail "unexpected end of input"
+  | tok :: rest ->
+    st.tokens <- rest;
+    tok
+
+let expect st tok what =
+  let got = advance st in
+  if got <> tok then fail "expected %s" what
+
+let expect_ident st what =
+  match advance st with TIdent id -> id | _ -> fail "expected %s" what
+
+let fresh_var st prefix =
+  st.fresh <- st.fresh + 1;
+  Printf.sprintf "%s%d" prefix st.fresh
+
+(* {1 Types} *)
+
+let media_base = function
+  | "URL" | "Text" | "Image" | "str" | "string" -> Ok Atom.TStr
+  | "int" | "integer" -> Ok Atom.TInt
+  | "flt" | "float" -> Ok Atom.TFlt
+  | "bool" -> Ok Atom.TBool
+  | "oid" -> Ok Atom.TOid
+  | other -> Error other
+
+let rec parse_ty st =
+  let id = expect_ident st "a structure name" in
+  match String.uppercase_ascii id with
+  | "SET" ->
+    expect st TLt "'<'";
+    let elem = parse_ty st in
+    expect st TGt "'>'";
+    Types.Set elem
+  | "LIST" ->
+    expect st TLt "'<'";
+    let elem = parse_ty st in
+    expect st TGt "'>'";
+    Types.Xt ("LIST", [ elem ])
+  | "TUPLE" ->
+    expect st TLt "'<'";
+    let rec fields acc =
+      let fty = parse_ty st in
+      expect st TColon "':'";
+      let label = expect_ident st "a field label" in
+      let acc = (label, fty) :: acc in
+      match peek st with
+      | Some TComma ->
+        ignore (advance st);
+        fields acc
+      | _ -> List.rev acc
+    in
+    let fs = fields [] in
+    expect st TGt "'>'";
+    Types.Tuple fs
+  | "CONTREP" -> (
+    expect st TLt "'<'";
+    (* either a media-domain name (paper syntax, CONTREP<Text>) or a
+       full atomic type (round-trip syntax, CONTREP< Atomic<str> >) *)
+    match st.tokens with
+    | TIdent _ :: TGt :: _ ->
+      let medium = expect_ident st "a media domain" in
+      expect st TGt "'>'";
+      (match media_base medium with
+      | Ok base -> Types.Xt ("CONTREP", [ Types.Atomic base ])
+      | Error other -> fail "unknown media domain %S" other)
+    | _ ->
+      let inner = parse_ty st in
+      expect st TGt "'>'";
+      (match inner with
+      | Types.Atomic _ -> Types.Xt ("CONTREP", [ inner ])
+      | _ -> fail "CONTREP takes an atomic media domain"))
+  | "ATOMIC" ->
+    expect st TLt "'<'";
+    let medium = expect_ident st "a base type" in
+    expect st TGt "'>'";
+    (match media_base medium with
+    | Ok base -> Types.Atomic base
+    | Error other -> fail "unknown base type %S" other)
+  | _ -> (
+    (* any registered structure extension is legal DDL: ID< t1, t2 > *)
+    match Extension.find id with
+    | None -> fail "unknown structure %S" id
+    | Some _ -> (
+      match peek st with
+      | Some TLt ->
+        ignore (advance st);
+        let rec params acc =
+          let ty = parse_ty st in
+          match advance st with
+          | TComma -> params (ty :: acc)
+          | TGt -> List.rev (ty :: acc)
+          | _ -> fail "expected ',' or '>'"
+        in
+        Types.Xt (id, params [])
+      | _ -> Types.Xt (id, [])))
+
+(* {1 Expressions} *)
+
+let aggr_of = function
+  | "sum" -> Some Bat.Sum
+  | "count" -> Some Bat.Count
+  | "min" -> Some Bat.Min
+  | "max" -> Some Bat.Max
+  | "avg" -> Some Bat.Avg
+  | "prod" -> Some Bat.Prod
+  | _ -> None
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | Some (TIdent "or") ->
+    ignore (advance st);
+    Expr.Binop (Bat.Or, lhs, parse_or st)
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  match peek st with
+  | Some (TIdent "and") ->
+    ignore (advance st);
+    Expr.Binop (Bat.And, lhs, parse_and st)
+  | _ -> lhs
+
+and parse_not st =
+  match peek st with
+  | Some (TIdent "not") ->
+    ignore (advance st);
+    Expr.Unop (Bat.Not, parse_not st)
+  | _ -> parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let cmp c =
+    ignore (advance st);
+    Expr.Binop (Bat.CmpOp c, lhs, parse_add st)
+  in
+  match peek st with
+  | Some TEq -> cmp Bat.Eq
+  | Some TNe -> cmp Bat.Ne
+  | Some TLt -> cmp Bat.Lt
+  | Some TLe -> cmp Bat.Le
+  | Some TGt -> cmp Bat.Gt
+  | Some TGe -> cmp Bat.Ge
+  | _ -> lhs
+
+and parse_add st =
+  let rec loop lhs =
+    match peek st with
+    | Some TPlus ->
+      ignore (advance st);
+      loop (Expr.Binop (Bat.Add, lhs, parse_mul st))
+    | Some TMinus ->
+      ignore (advance st);
+      loop (Expr.Binop (Bat.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    match peek st with
+    | Some TStar ->
+      ignore (advance st);
+      loop (Expr.Binop (Bat.Mul, lhs, parse_postfix st))
+    | Some TSlash ->
+      ignore (advance st);
+      loop (Expr.Binop (Bat.Div, lhs, parse_postfix st))
+    | _ -> lhs
+  in
+  loop (parse_postfix st)
+
+and parse_postfix st =
+  let rec loop e =
+    match peek st with
+    | Some TDot ->
+      ignore (advance st);
+      loop (Expr.Field (e, expect_ident st "a field name"))
+    | _ -> e
+  in
+  loop (parse_primary st)
+
+and parse_args st =
+  expect st TLparen "'('";
+  match peek st with
+  | Some TRparen ->
+    ignore (advance st);
+    []
+  | _ ->
+    let rec loop acc =
+      let e = parse_or st in
+      match advance st with
+      | TComma -> loop (e :: acc)
+      | TRparen -> List.rev (e :: acc)
+      | _ -> fail "expected ',' or ')'"
+    in
+    loop []
+
+and parse_primary st =
+  match advance st with
+  | TInt v -> Expr.lit_int v
+  | TFlt v -> Expr.lit_flt v
+  | TStr v -> Expr.lit_str v
+  | TMinus -> (
+    match parse_primary st with
+    | Expr.Lit (Value.Atom (Atom.Int v), _) -> Expr.lit_int (-v)
+    | Expr.Lit (Value.Atom (Atom.Flt v), _) -> Expr.lit_flt (-.v)
+    | e -> Expr.Unop (Bat.Neg, e))
+  | TLparen ->
+    let e = parse_or st in
+    expect st TRparen "')'";
+    e
+  | TLbrace -> (
+    (* set literal of atoms *)
+    let rec items acc =
+      match advance st with
+      | TRbrace -> List.rev acc
+      | TInt v -> sep (Value.int v :: acc)
+      | TFlt v -> sep (Value.flt v :: acc)
+      | TStr v -> sep (Value.str v :: acc)
+      | TIdent "true" -> sep (Value.bool true :: acc)
+      | TIdent "false" -> sep (Value.bool false :: acc)
+      | _ -> fail "set literals may contain only atoms"
+    and sep acc =
+      match advance st with
+      | TComma -> items acc
+      | TRbrace -> List.rev acc
+      | _ -> fail "expected ',' or '}'"
+    in
+    match items [] with
+    | [] -> fail "empty set literals need a type; use a typed binding instead"
+    | first :: _ as atoms ->
+      let base = Atom.type_of (Value.as_atom first) in
+      if List.for_all (fun v -> Atom.type_of (Value.as_atom v) = base) atoms then
+        Expr.Lit (Value.VSet atoms, Types.Set (Types.Atomic base))
+      else fail "set literal atoms must share one type")
+  | TIdent id -> parse_ident st id
+  | _ -> fail "unexpected token"
+
+and parse_ident st id =
+  match id with
+  | "true" -> Expr.lit_bool true
+  | "false" -> Expr.lit_bool false
+  | "THIS" -> (
+    match st.binders with
+    | v :: _ -> Expr.Var v
+    | [] -> fail "THIS outside of map/select")
+  | "THIS1" | "THIS2" -> Expr.Var id
+  | "map" | "select" ->
+    expect st TLbracket "'['";
+    (* optional explicit binder: map[v: body](src) *)
+    let v =
+      match st.tokens with
+      | TIdent v :: TColon :: rest ->
+        st.tokens <- rest;
+        v
+      | _ -> fresh_var st "this"
+    in
+    let saved = st.binders in
+    st.binders <- v :: st.binders;
+    let body = parse_or st in
+    st.binders <- saved;
+    expect st TRbracket "']'";
+    expect st TLparen "'('";
+    let src = parse_or st in
+    expect st TRparen "')'";
+    if id = "map" then Expr.Map { v; body; src } else Expr.Select { v; pred = body; src }
+  | "join" | "semijoin" -> (
+    expect st TLbracket "'['";
+    (* optional explicit binders: join[a, b: pred](x, y) *)
+    let v1, v2 =
+      match st.tokens with
+      | TIdent a :: TComma :: TIdent b :: TColon :: rest ->
+        st.tokens <- rest;
+        (a, b)
+      | _ -> ("THIS1", "THIS2")
+    in
+    let saved = st.binders in
+    st.binders <- v1 :: v2 :: st.binders;
+    let pred = parse_or st in
+    st.binders <- saved;
+    let l1, l2 =
+      match peek st with
+      | Some TSemi ->
+        ignore (advance st);
+        let l1 = expect_ident st "a label" in
+        expect st TComma "','";
+        let l2 = expect_ident st "a label" in
+        (l1, l2)
+      | _ -> ("left", "right")
+    in
+    expect st TRbracket "']'";
+    match parse_args st with
+    | [ left; right ] ->
+      if id = "join" then Expr.Join { v1; v2; pred; left; right; l1; l2 }
+      else Expr.Semijoin { v1; v2; pred; left; right }
+    | _ -> fail "%s takes two collection arguments" id)
+  | "unnest" ->
+    expect st TLbracket "'['";
+    let field = expect_ident st "a field name" in
+    expect st TRbracket "']'";
+    (match parse_args st with
+    | [ src ] -> Expr.Unnest { src; field }
+    | _ -> fail "unnest takes one argument")
+  | "nest" ->
+    expect st TLbracket "'['";
+    let key = expect_ident st "a key field" in
+    expect st TComma "','";
+    let inner = expect_ident st "an inner label" in
+    expect st TRbracket "']'";
+    (match parse_args st with
+    | [ src ] -> Expr.Nest { src; key; inner }
+    | _ -> fail "nest takes one argument")
+  | "tuple" ->
+    expect st TLparen "'('";
+    let rec fields acc =
+      let label = expect_ident st "a field label" in
+      expect st TColon "':'";
+      let e = parse_or st in
+      match advance st with
+      | TComma -> fields ((label, e) :: acc)
+      | TRparen -> List.rev ((label, e) :: acc)
+      | _ -> fail "expected ',' or ')'"
+    in
+    Expr.Tuple (fields [])
+  | "exists" -> one_arg st "exists" (fun e -> Expr.Exists e)
+  | "distinct" -> one_arg st "distinct" (fun e -> Expr.Union (e, e))
+  | "flatten" -> one_arg st "flatten" (fun e -> Expr.Flat e)
+  | "in" -> two_args st "in" (fun a b -> Expr.Member (a, b))
+  | "union" -> two_args st "union" (fun a b -> Expr.Union (a, b))
+  | "pow" -> two_args st "pow" (fun a b -> Expr.Binop (Bat.Pow, a, b))
+  | "min2" -> two_args st "min2" (fun a b -> Expr.Binop (Bat.MinOp, a, b))
+  | "max2" -> two_args st "max2" (fun a b -> Expr.Binop (Bat.MaxOp, a, b))
+  | "diff" -> two_args st "diff" (fun a b -> Expr.Diff (a, b))
+  | "inter" -> two_args st "inter" (fun a b -> Expr.Inter (a, b))
+  | "getBLnet" | "getblnet" -> (
+    match parse_args st with
+    | [ a; b ] -> Expr.ExtOp { op = "getBLnet"; args = [ a; b ] }
+    | [ a; b; Expr.Extent _ ] | [ a; b; Expr.Var _ ] ->
+      Expr.ExtOp { op = "getBLnet"; args = [ a; b ] }
+    | _ -> fail "getBLnet takes (contrep, 'net'[, stats])")
+  | "getBL" | "getbl" -> (
+    match parse_args st with
+    | [ a; b ] -> Expr.ExtOp { op = "getBL"; args = [ a; b ] }
+    | [ a; b; Expr.Extent _ ] | [ a; b; Expr.Var _ ] ->
+      (* The paper passes a third `stats` handle; statistics are
+         resolved through the CONTREP's bound space. *)
+      Expr.ExtOp { op = "getBL"; args = [ a; b ] }
+    | _ -> fail "getBL takes (contrep, query[, stats])")
+  | _ when aggr_of id <> None -> (
+    match parse_args st with
+    | [ e ] -> Expr.Aggr (Option.get (aggr_of id), e)
+    | _ -> fail "%s takes one argument" id)
+  | "terms" | "toset" | "clen" -> (
+    match parse_args st with
+    | [ e ] -> Expr.ExtOp { op = id; args = [ e ] }
+    | _ -> fail "%s takes one argument" id)
+  | "tolist" | "tolist_desc" | "take" | "tf" -> (
+    match parse_args st with
+    | [ a; b ] -> Expr.ExtOp { op = id; args = [ a; b ] }
+    | _ -> fail "%s takes two arguments" id)
+  | _ when List.mem id st.binders ->
+    (* an explicitly-named binder in scope *)
+    Expr.Var id
+  | _ -> (
+    (* caller bindings first, then registered extension operators, then
+       extents *)
+    match List.assoc_opt id st.bindings with
+    | Some e -> e
+    | None -> (
+      match peek st with
+      | Some TLparen -> (
+        match Extension.find_op id with
+        | Some _ -> Expr.ExtOp { op = id; args = parse_args st }
+        | None -> fail "unknown function %S" id)
+      | _ -> Expr.Extent id))
+
+and one_arg st name f =
+  match parse_args st with
+  | [ e ] -> f e
+  | _ -> fail "%s takes one argument" name
+
+and two_args st name f =
+  match parse_args st with
+  | [ a; b ] -> f a b
+  | _ -> fail "%s takes two arguments" name
+
+(* {1 Statements} *)
+
+let parse_stmt st =
+  match st.tokens with
+  | TIdent "let" :: TIdent _ :: TEq :: _ ->
+    ignore (advance st);
+    let name = expect_ident st "a binding name" in
+    ignore (advance st);
+    let e = parse_or st in
+    expect st TSemi "';'";
+    (* later statements see the binding by substitution *)
+    st.bindings <- (name, e) :: st.bindings;
+    Let (name, e)
+  | TIdent "insert" :: TIdent "into" :: _ ->
+    ignore (advance st);
+    ignore (advance st);
+    let name = expect_ident st "an extent name" in
+    let e = parse_or st in
+    expect st TSemi "';'";
+    Insert (name, e)
+  | TIdent "delete" :: TIdent "from" :: _ ->
+    ignore (advance st);
+    ignore (advance st);
+    let name = expect_ident st "an extent name" in
+    (match advance st with
+    | TIdent "where" -> ()
+    | _ -> fail "expected 'where'");
+    let v = fresh_var st "this" in
+    let saved = st.binders in
+    st.binders <- v :: st.binders;
+    let pred = parse_or st in
+    st.binders <- saved;
+    expect st TSemi "';'";
+    Delete (name, (v, pred))
+  | _ ->
+  match peek st with
+  | Some (TIdent "define") ->
+    ignore (advance st);
+    let name = expect_ident st "an extent name" in
+    (match advance st with
+    | TIdent "as" -> ()
+    | _ -> fail "expected 'as'");
+    let ty = parse_ty st in
+    expect st TSemi "';'";
+    Define (name, ty)
+  | _ ->
+    let e = parse_or st in
+    (match peek st with
+    | Some TSemi -> ignore (advance st)
+    | None -> ()
+    | Some _ -> fail "expected ';'");
+    Query e
+
+let run_parser ?(bindings = []) src k =
+  Bootstrap.ensure ();
+  match lex src with
+  | exception Syntax msg -> Error msg
+  | tokens -> (
+    let st = { tokens; bindings; binders = []; fresh = 0 } in
+    match k st with
+    | result ->
+      if st.tokens <> [] then Error "trailing input after expression" else Ok result
+    | exception Syntax msg -> Error msg)
+
+let parse_program ?bindings src =
+  run_parser ?bindings src (fun st ->
+      let rec loop acc =
+        match peek st with
+        | None -> List.rev acc
+        | Some _ -> loop (parse_stmt st :: acc)
+      in
+      loop [])
+
+let parse_expr ?bindings src =
+  run_parser ?bindings src (fun st ->
+      let e = parse_or st in
+      (* tolerate one trailing statement terminator *)
+      (match peek st with Some TSemi -> ignore (advance st) | _ -> ());
+      e)
+
+let parse_type src = run_parser src (fun st -> parse_ty st)

@@ -1,0 +1,50 @@
+(** Parser for the Moa concrete syntax used in the paper.
+
+    Schema definitions follow §3/§5.2 exactly:
+    {v
+    define TraditionalImgLib as
+      SET< TUPLE< Atomic<URL>: source, CONTREP<Text>: annotation > >;
+    v}
+
+    Queries follow the [map]/[select] bracket syntax with [THIS] bound
+    to the innermost iteration variable:
+    {v
+    map[sum(THIS)](
+      map[getBL(THIS.annotation, query, stats)]( TraditionalImgLib ));
+    v}
+
+    Notes:
+    - Media domains map onto physical base types: [URL], [Text] and
+      [Image] are stored as strings; [int]/[flt]/[str]/[bool]/[oid] are
+      accepted directly.
+    - [getBL] accepts the paper's third [stats] argument as a bare
+      identifier and resolves it implicitly (statistics live with the
+      CONTREP's space); any other third argument is an error.
+    - [join\[pred\](a, b)] binds [THIS1]/[THIS2] in the predicate and
+      yields [TUPLE<left:_, right:_>]; labels can be overridden with
+      [join\[pred; lab1, lab2\](a, b)].
+    - Identifiers bound by the caller (e.g. [query]) can be supplied
+      through [bindings]. *)
+
+type stmt =
+  | Define of string * Types.t  (** [define N as T;] *)
+  | Let of string * Expr.t
+      (** [let q = {'cat','dog'};] — later statements in the same
+          program see [q] by substitution (view semantics). *)
+  | Insert of string * Expr.t
+      (** [insert into N EXPR;] — the (closed) expression evaluates to
+          one new row. *)
+  | Delete of string * (string * Expr.t)
+      (** [delete from N where PRED;] — [THIS] in the predicate binds
+          each row. *)
+  | Query of Expr.t  (** A bare expression statement. *)
+
+val parse_program : ?bindings:(string * Expr.t) list -> string -> (stmt list, string) result
+(** Parse a sequence of statements separated/terminated by [;]. *)
+
+val parse_expr : ?bindings:(string * Expr.t) list -> string -> (Expr.t, string) result
+(** Parse a single expression.  Free identifiers are looked up in
+    [bindings] first and otherwise treated as extent names. *)
+
+val parse_type : string -> (Types.t, string) result
+(** Parse a structure type. *)

@@ -1,0 +1,330 @@
+module Catalog = Mirror_bat.Catalog
+module Bat = Mirror_bat.Bat
+module Mil = Mirror_bat.Mil
+module Atom = Mirror_bat.Atom
+module Column = Mirror_bat.Column
+module Space = Mirror_ir.Space
+
+type extent = {
+  ty : Types.t;
+  mutable shape : Extension.planshape option;
+  mutable rows : Value.t list option;
+}
+
+type t = {
+  cat : Catalog.t;
+  exts : (string, extent) Hashtbl.t;
+  spaces : (string, Space.t) Hashtbl.t;
+  mutable next_store : int;
+  mutable next_query : int;
+}
+
+let query_base_start = 1 lsl 40
+let query_stride = 1 lsl 32
+
+let create () =
+  {
+    cat = Catalog.create ();
+    exts = Hashtbl.create 16;
+    spaces = Hashtbl.create 8;
+    next_store = 0;
+    next_query = query_base_start;
+  }
+
+let catalog t = t.cat
+
+let fresh_store t n =
+  let base = t.next_store in
+  t.next_store <- t.next_store + max n 1;
+  base
+
+let fresh_query_base t =
+  let base = t.next_query in
+  t.next_query <- t.next_query + query_stride;
+  base
+
+let space_find t name = Hashtbl.find_opt t.spaces name
+
+let space_create t name =
+  let sp = Space.create name in
+  Hashtbl.replace t.spaces name sp;
+  sp
+
+let eval_env t = { Extension.space = space_find t }
+
+let store_env t =
+  { Extension.catalog = t.cat; fresh_store = fresh_store t; space_create = space_create t }
+
+(* {1 Schema} *)
+
+let rec check_type ty =
+  match ty with
+  | Types.Atomic _ -> Ok ()
+  | Types.Tuple fields ->
+    List.fold_left
+      (fun acc (_, fty) -> Result.bind acc (fun () -> check_type fty))
+      (Ok ()) fields
+  | Types.Set elem -> check_type elem
+  | Types.Xt (name, args) -> (
+    match Extension.find name with
+    | None -> Error (Printf.sprintf "unknown structure %S" name)
+    | Some (module E : Extension.S) ->
+      if List.length args <> E.arity then
+        Error (Printf.sprintf "%s expects %d type parameter(s)" name E.arity)
+      else
+        Result.bind (E.check_type args) (fun () ->
+            List.fold_left
+              (fun acc a -> Result.bind acc (fun () -> check_type a))
+              (Ok ()) args))
+
+let define_raw t ~name ty =
+  if Hashtbl.mem t.exts name then Error (Printf.sprintf "extent %S already defined" name)
+  else if String.contains name '#' || String.contains name '/' then
+    Error "extent names must not contain '#' or '/'"
+  else if not (Types.well_labelled ty) then Error "tuple labels must be non-empty and distinct"
+  else
+    match ty with
+    | Types.Set _ ->
+      Result.map
+        (fun () -> Hashtbl.add t.exts name { ty; shape = None; rows = None })
+        (check_type ty)
+    | _ -> Error (Printf.sprintf "extents must be sets, got %s" (Types.to_string ty))
+
+(* {1 Materialisation} *)
+
+let put_atomic_bat t ~path ~base_ty dom =
+  let hb = Column.Builder.create Atom.TOid in
+  let tb = Column.Builder.create base_ty in
+  List.iter
+    (fun (ctx, v) ->
+      Column.Builder.add_oid hb ctx;
+      Column.Builder.add tb (Value.as_atom v))
+    dom;
+  Catalog.put t.cat path (Bat.make (Column.Builder.finish hb) (Column.Builder.finish tb))
+
+let rec materialize t ~path ~ty ~dom : Extension.planshape =
+  let fail ctx v =
+    invalid_arg
+      (Printf.sprintf "Storage: value %s at %s (ctx @%d) does not match type %s"
+         (Value.to_string v) path ctx (Types.to_string ty))
+  in
+  match ty with
+  | Types.Atomic base_ty ->
+    List.iter
+      (fun (ctx, v) ->
+        match v with
+        | Value.Atom a when Atom.type_of a = base_ty -> ()
+        | _ -> fail ctx v)
+      dom;
+    put_atomic_bat t ~path ~base_ty dom;
+    Shape.Atomic (Mil.Get path)
+  | Types.Tuple fields ->
+    let sub (label, fty) =
+      let fdom =
+        List.map
+          (fun (ctx, v) ->
+            match v with
+            | Value.Tup fs -> (
+              match List.assoc_opt label fs with
+              | Some fv -> (ctx, fv)
+              | None -> fail ctx v)
+            | _ -> fail ctx v)
+          dom
+      in
+      (label, materialize t ~path:(path ^ "/" ^ label) ~ty:fty ~dom:fdom)
+    in
+    Shape.Tuple (List.map sub fields)
+  | Types.Set elem_ty ->
+    let total =
+      List.fold_left
+        (fun acc (ctx, v) ->
+          match v with Value.VSet items -> acc + List.length items | _ -> fail ctx v)
+        0 dom
+    in
+    let base = fresh_store t total in
+    let next = ref base in
+    let hb = Column.Builder.create Atom.TOid in
+    let tb = Column.Builder.create Atom.TOid in
+    let elem_dom = ref [] in
+    List.iter
+      (fun (ctx, v) ->
+        List.iter
+          (fun item ->
+            Column.Builder.add_oid hb !next;
+            Column.Builder.add_oid tb ctx;
+            elem_dom := (!next, item) :: !elem_dom;
+            incr next)
+          (Value.as_set v))
+      dom;
+    Catalog.put t.cat (path ^ "#in")
+      (Bat.make (Column.Builder.finish hb) (Column.Builder.finish tb));
+    let elem =
+      materialize t ~path:(path ^ "#el") ~ty:elem_ty ~dom:(List.rev !elem_dom)
+    in
+    Shape.Set { link = Mil.Get (path ^ "#in"); elem }
+  | Types.Xt (name, ty_args) ->
+    let (module E : Extension.S) = Extension.find_exn name in
+    List.iter
+      (fun (ctx, v) ->
+        match v with Value.Xv { ext; _ } when ext = name -> () | _ -> fail ctx v)
+      dom;
+    E.materialize (store_env t)
+      ~recurse:(fun ~path ~ty ~dom -> materialize t ~path ~ty ~dom)
+      ~path ~ty_args ~dom
+
+let rec bind_value t ~path ~ty v =
+  match (ty, v) with
+  | Types.Atomic _, _ -> v
+  | Types.Tuple fields, Value.Tup fvs ->
+    Value.Tup
+      (List.map
+         (fun (label, fv) ->
+           match List.assoc_opt label fields with
+           | Some fty -> (label, bind_value t ~path:(path ^ "/" ^ label) ~ty:fty fv)
+           | None -> (label, fv))
+         fvs)
+  | Types.Set elem_ty, Value.VSet items ->
+    Value.VSet (List.map (bind_value t ~path:(path ^ "#el") ~ty:elem_ty) items)
+  | Types.Xt (name, ty_args), Value.Xv _ ->
+    let (module E : Extension.S) = Extension.find_exn name in
+    E.bind_value ~path
+      ~recurse:(fun ~path ~ty v -> bind_value t ~path ~ty v)
+      ~ty_args v
+  | _, _ -> v
+
+let clear_prefix t name =
+  List.iter
+    (fun entry ->
+      if
+        entry = name
+        || Mirror_util.Stringx.starts_with ~prefix:(name ^ "#") entry
+        || Mirror_util.Stringx.starts_with ~prefix:(name ^ "/") entry
+      then Catalog.remove t.cat entry)
+    (Catalog.names t.cat);
+  List.iter
+    (fun sp ->
+      if
+        sp = name
+        || Mirror_util.Stringx.starts_with ~prefix:(name ^ "#") sp
+        || Mirror_util.Stringx.starts_with ~prefix:(name ^ "/") sp
+      then Hashtbl.remove t.spaces sp)
+    (List.of_seq (Hashtbl.to_seq_keys t.spaces))
+
+let load t ~name rows =
+  match Hashtbl.find_opt t.exts name with
+  | None -> Error (Printf.sprintf "unknown extent %S" name)
+  | Some extent -> (
+    let elem_ty = match extent.ty with Types.Set e -> e | _ -> assert false in
+    match List.find_opt (fun r -> not (Value.type_ok elem_ty r)) rows with
+    | Some bad ->
+      Error
+        (Printf.sprintf "row %s does not match element type %s" (Value.to_string bad)
+           (Types.to_string elem_ty))
+    | None -> (
+      clear_prefix t name;
+      let base = fresh_store t (List.length rows) in
+      let oids = List.mapi (fun i _ -> base + i) rows in
+      let hb = Column.Builder.create Atom.TOid in
+      let tb = Column.Builder.create Atom.TOid in
+      List.iter
+        (fun oid ->
+          Column.Builder.add_oid hb oid;
+          Column.Builder.add_oid tb 0)
+        oids;
+      Catalog.put t.cat (name ^ "#in")
+        (Bat.make (Column.Builder.finish hb) (Column.Builder.finish tb));
+      match
+        materialize t ~path:(name ^ "#el") ~ty:elem_ty ~dom:(List.combine oids rows)
+      with
+      | shape ->
+        extent.shape <- Some (Shape.Set { link = Mil.Get (name ^ "#in"); elem = shape });
+        extent.rows <-
+          Some (List.map (bind_value t ~path:(name ^ "#el") ~ty:elem_ty) rows);
+        Ok oids
+      | exception Invalid_argument msg -> Error msg))
+
+(* Restore path: rebuild an extent's plan shape from the catalog's
+   deterministic naming (the dual of [materialize]); extension
+   structures rebuild their side state through their [restore] hook. *)
+let rec restore_shape t ~path ~ty : Extension.planshape =
+  let need name =
+    if not (Catalog.mem t.cat name) then
+      invalid_arg (Printf.sprintf "restore: missing catalog entry %S" name)
+  in
+  match ty with
+  | Types.Atomic _ ->
+    need path;
+    Shape.Atomic (Mil.Get path)
+  | Types.Tuple fields ->
+    Shape.Tuple
+      (List.map (fun (l, fty) -> (l, restore_shape t ~path:(path ^ "/" ^ l) ~ty:fty)) fields)
+  | Types.Set elem_ty ->
+    need (path ^ "#in");
+    Shape.Set
+      { link = Mil.Get (path ^ "#in"); elem = restore_shape t ~path:(path ^ "#el") ~ty:elem_ty }
+  | Types.Xt (name, ty_args) ->
+    let (module E : Extension.S) = Extension.find_exn name in
+    E.restore (store_env t)
+      ~recurse:(fun ~path ~ty -> restore_shape t ~path ~ty)
+      ~path ~ty_args
+
+let define_restored t ~name ty =
+  match define_raw t ~name ty with
+  | Error _ as e -> e
+  | Ok () -> (
+    let extent = Hashtbl.find t.exts name in
+    match restore_shape t ~path:name ~ty with
+    | shape ->
+      extent.shape <- Some shape;
+      Ok shape
+    | exception Invalid_argument msg | exception Failure msg ->
+      Hashtbl.remove t.exts name;
+      Error msg)
+
+let set_rows t ~name rows =
+  match Hashtbl.find_opt t.exts name with
+  | None -> invalid_arg (Printf.sprintf "Storage.set_rows: unknown extent %S" name)
+  | Some extent -> extent.rows <- Some rows
+
+let bump_store_base t oid = if oid >= t.next_store then t.next_store <- oid + 1
+
+(* A freshly-defined extent is immediately queryable as the empty set. *)
+let define t ~name ty =
+  match define_raw t ~name ty with
+  | Error _ as e -> e
+  | Ok () -> Result.map (fun (_ : int list) -> ()) (load t ~name [])
+
+(* DML is copying: BATs are append-only in spirit, but replacing the
+   extent wholesale keeps every invariant (statistics spaces, indexes)
+   trivially correct.  Element oids are re-assigned. *)
+let insert t ~name new_rows =
+  match Hashtbl.find_opt t.exts name with
+  | None -> Error (Printf.sprintf "unknown extent %S" name)
+  | Some extent -> (
+    match extent.rows with
+    | None -> Error (Printf.sprintf "extent %S has no loaded contents" name)
+    | Some old_rows -> load t ~name (old_rows @ new_rows))
+
+let delete_where t ~name pred =
+  match Hashtbl.find_opt t.exts name with
+  | None -> Error (Printf.sprintf "unknown extent %S" name)
+  | Some extent -> (
+    match extent.rows with
+    | None -> Error (Printf.sprintf "extent %S has no loaded contents" name)
+    | Some old_rows ->
+      let survivors = List.filter (fun r -> not (pred r)) old_rows in
+      let removed = List.length old_rows - List.length survivors in
+      Result.map (fun _ -> removed) (load t ~name survivors))
+
+let extents t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.exts [])
+let extent_type t name = Option.map (fun e -> e.ty) (Hashtbl.find_opt t.exts name)
+
+let extent_shape t name =
+  Option.bind (Hashtbl.find_opt t.exts name) (fun e -> e.shape)
+
+let extent_rows t name = Option.bind (Hashtbl.find_opt t.exts name) (fun e -> e.rows)
+
+let extent_count t name =
+  match extent_rows t name with Some rows -> List.length rows | None -> 0
+
+let typecheck_env t = { Typecheck.extent = extent_type t }

@@ -1,0 +1,83 @@
+(** The storage manager: logical extents on binary-relational storage.
+
+    [define] registers an extent's Moa type; [load] materialises rows
+    into the BAT catalog following the [BWK98] flattening (one BAT per
+    atomic path, a link BAT per set nesting, extension-defined BATs for
+    extension structures) and records the plan-shape whose leaves are
+    catalog lookups.  Both evaluators work against this state: the
+    flattening compiler starts from the plan shapes, the naive
+    evaluator from the retained logical rows. *)
+
+type t
+
+val create : unit -> t
+(** Empty storage with a fresh catalog. *)
+
+val catalog : t -> Mirror_bat.Catalog.t
+(** The underlying BAT catalog. *)
+
+val define : t -> name:string -> Types.t -> (unit, string) result
+(** Register an extent.  The type must be a well-labelled [SET<...>]
+    whose extension structures are registered and well-formed.
+    Redefinition of an existing name is an error. *)
+
+val load : t -> name:string -> Value.t list -> (int list, string) result
+(** (Re)populate an extent: type-checks the rows, materialises them
+    (replacing any previous contents), and returns the element oids
+    assigned to the rows, in order. *)
+
+val insert : t -> name:string -> Value.t list -> (int list, string) result
+(** Append rows to a loaded extent (copying implementation: the whole
+    extent re-materialises, so previously returned element oids are
+    invalidated).  Returns the oids of all rows, old first. *)
+
+val delete_where : t -> name:string -> (Value.t -> bool) -> (int, string) result
+(** Remove the rows satisfying the predicate; returns how many were
+    removed.  Copying, like {!insert}. *)
+
+val extents : t -> string list
+(** Defined extents, sorted. *)
+
+val extent_type : t -> string -> Types.t option
+(** Declared type. *)
+
+val extent_shape : t -> string -> Extension.planshape option
+(** Flattened plan shape ([None] until loaded). *)
+
+val extent_rows : t -> string -> Value.t list option
+(** The logical rows with storage bindings applied ([None] until
+    loaded) — the naive evaluator's view. *)
+
+val extent_count : t -> string -> int
+(** Loaded row count (0 when unloaded). *)
+
+val space_find : t -> string -> Mirror_ir.Space.t option
+(** Statistics space registered under a name (CONTREP paths). *)
+
+val eval_env : t -> Extension.eval_env
+(** Environment handed to naive extension evaluation and physical
+    operators. *)
+
+val fresh_query_base : t -> int
+(** Allocate an oid range for query-time [mark]/[number] operators.
+    Ranges are wide (2^32) and disjoint from storage oids. *)
+
+val typecheck_env : t -> Typecheck.env
+(** Schema view for the type checker. *)
+
+(** {1 Restore (persisted databases — see {!Persist})} *)
+
+val define_restored : t -> name:string -> Types.t -> (Extension.planshape, string) result
+(** Register an extent whose BATs are already present in the catalog
+    (following the deterministic materialisation naming) and rebuild
+    its plan shape; extension structures rebuild side state (statistics
+    spaces, indexes) through their [restore] hook.  The logical rows
+    are not recovered here — reify them and call {!set_rows}. *)
+
+val set_rows : t -> name:string -> Value.t list -> unit
+(** Attach the logical rows of a restored extent (the naive evaluator's
+    view). *)
+
+val bump_store_base : t -> int -> unit
+(** Ensure future storage oids are allocated above the given oid (call
+    with the largest oid found in a loaded catalog). *)

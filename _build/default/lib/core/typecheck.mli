@@ -1,0 +1,16 @@
+(** Structural type inference for Moa expressions.
+
+    Checks an expression against the schema (extent types) and the
+    extension registry, and returns its structure type.  Everything the
+    flattening compiler assumes is validated here, so compilation can
+    be written against well-typed inputs. *)
+
+type env = { extent : string -> Types.t option }
+(** Schema access. *)
+
+val infer : env -> Expr.t -> (Types.t, string) result
+(** Type of a closed expression. *)
+
+val infer_with : env -> vars:(string * Types.t) list -> Expr.t -> (Types.t, string) result
+(** Type of an expression with free variables bound to the given
+    types. *)

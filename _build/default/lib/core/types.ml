@@ -1,0 +1,63 @@
+module Atom = Mirror_bat.Atom
+
+type t =
+  | Atomic of Atom.ty
+  | Tuple of (string * t) list
+  | Set of t
+  | Xt of string * t list
+
+let rec equal a b =
+  match (a, b) with
+  | Atomic x, Atomic y -> x = y
+  | Tuple xs, Tuple ys ->
+    List.length xs = List.length ys
+    && List.for_all2 (fun (lx, tx) (ly, ty) -> String.equal lx ly && equal tx ty) xs ys
+  | Set x, Set y -> equal x y
+  | Xt (nx, xs), Xt (ny, ys) ->
+    String.equal nx ny && List.length xs = List.length ys && List.for_all2 equal xs ys
+  | (Atomic _ | Tuple _ | Set _ | Xt _), _ -> false
+
+let rec pp ppf = function
+  | Atomic ty -> Format.fprintf ppf "Atomic<%s>" (Atom.ty_name ty)
+  | Tuple fields ->
+    Format.fprintf ppf "TUPLE< %a >"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         (fun ppf (label, ty) -> Format.fprintf ppf "%a: %s" pp ty label))
+      fields
+  | Set elem -> Format.fprintf ppf "SET< %a >" pp elem
+  | Xt (name, []) -> Format.pp_print_string ppf name
+  | Xt (name, args) ->
+    Format.fprintf ppf "%s< %a >" name
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp)
+      args
+
+let to_string ty =
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_set_margin ppf 1000000;
+  Format.pp_set_max_indent ppf 999999;
+  Format.fprintf ppf "@[<h>%a@]@?" pp ty;
+  Buffer.contents buf
+
+let field ty label =
+  match ty with
+  | Tuple fields -> List.assoc_opt label fields
+  | Atomic _ | Set _ | Xt _ -> None
+
+let rec well_labelled = function
+  | Atomic _ -> true
+  | Set elem -> well_labelled elem
+  | Xt (_, args) -> List.for_all well_labelled args
+  | Tuple fields ->
+    let labels = List.map fst fields in
+    List.for_all (fun l -> l <> "") labels
+    && List.length (List.sort_uniq String.compare labels) = List.length labels
+    && List.for_all (fun (_, ty) -> well_labelled ty) fields
+
+let atom_default = function
+  | Atom.TInt -> Atom.Int 0
+  | Atom.TFlt -> Atom.Flt 0.0
+  | Atom.TStr -> Atom.Str ""
+  | Atom.TBool -> Atom.Bool false
+  | Atom.TOid -> Atom.Oid 0

@@ -1,0 +1,38 @@
+(** The Moa structural type system.
+
+    "Structures, such as tuple and (multi-)set, define complex data
+    types out of the simple base types.  The base types, such as
+    integer and string, are inherited from the underlying physical
+    database."  The kernel structures are [Atomic], [TUPLE] and [SET];
+    every other structure (LIST, CONTREP, …) enters through the
+    extension registry as an [Xt] node — the "open complex object
+    system". *)
+
+type t =
+  | Atomic of Mirror_bat.Atom.ty
+      (** Base types inherited from the physical model. *)
+  | Tuple of (string * t) list  (** Labelled record; labels unique. *)
+  | Set of t  (** Multi-set structure. *)
+  | Xt of string * t list
+      (** Extension structure instance: name and type parameters,
+          e.g. [Xt ("LIST", [elem])] or [Xt ("CONTREP", [Atomic TStr])]. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** Paper-style rendering: [SET< TUPLE< Atomic<str>: name > >]. *)
+
+val to_string : t -> string
+(** [Format.asprintf "%a" pp]. *)
+
+val field : t -> string -> t option
+(** Field type of a tuple type ([None] for other types or missing
+    labels). *)
+
+val well_labelled : t -> bool
+(** Tuples everywhere have non-empty, pairwise-distinct labels. *)
+
+val atom_default : Mirror_bat.Atom.ty -> Mirror_bat.Atom.t
+(** The zero value of a base type — used as the aggregate default for
+    empty groups. *)

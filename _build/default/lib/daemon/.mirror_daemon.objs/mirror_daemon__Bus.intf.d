@@ -1,0 +1,1 @@
+lib/daemon/bus.mli:

@@ -1,0 +1,1 @@
+lib/daemon/daemon.ml: Bus Dictionary Media Store

@@ -1,0 +1,1 @@
+lib/daemon/daemon.mli: Bus Dictionary Media Store

@@ -1,0 +1,1 @@
+lib/daemon/dictionary.ml: Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/daemon/faults.ml: Daemon Mirror_util

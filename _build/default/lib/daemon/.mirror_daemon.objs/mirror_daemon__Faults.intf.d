@@ -1,0 +1,1 @@
+lib/daemon/faults.mli: Daemon Mirror_util

@@ -1,0 +1,1 @@
+lib/daemon/media.ml: Hashtbl List Mirror_mm String

@@ -1,0 +1,1 @@
+lib/daemon/media.mli: Mirror_mm

@@ -1,0 +1,1 @@
+lib/daemon/orchestrator.ml: Bus Daemon Dictionary Hashtbl List Media Mirror_util Option Standard Store String Sys

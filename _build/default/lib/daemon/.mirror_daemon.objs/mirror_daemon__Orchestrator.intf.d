@@ -1,0 +1,1 @@
+lib/daemon/orchestrator.mli: Bus Daemon Mirror_mm

@@ -1,0 +1,1 @@
+lib/daemon/standard.ml: Array Bus Daemon Dictionary List Media Mirror_ir Mirror_mm Mirror_thesaurus Mirror_util Printf Store String

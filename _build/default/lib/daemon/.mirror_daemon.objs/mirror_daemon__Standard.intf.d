@@ -1,0 +1,1 @@
+lib/daemon/standard.mli: Daemon Mirror_mm

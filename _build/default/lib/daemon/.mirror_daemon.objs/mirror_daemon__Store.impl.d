@@ -1,0 +1,1 @@
+lib/daemon/store.ml: Hashtbl List Mirror_mm Mirror_thesaurus Option String

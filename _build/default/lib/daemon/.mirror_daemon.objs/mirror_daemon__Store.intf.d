@@ -1,0 +1,1 @@
+lib/daemon/store.mli: Mirror_mm Mirror_thesaurus

@@ -1,0 +1,50 @@
+type message = {
+  topic : string;
+  subject : int;
+  payload : (string * string) list;
+}
+
+let attr m key = List.assoc_opt key m.payload
+
+type t = {
+  subscribers : (string, string list) Hashtbl.t;  (* topic -> daemon names, reversed *)
+  queues : (string, message Queue.t) Hashtbl.t;  (* daemon name -> inbox *)
+  mutable published : int;
+  mutable dropped : int;
+}
+
+let create () =
+  { subscribers = Hashtbl.create 16; queues = Hashtbl.create 16; published = 0; dropped = 0 }
+
+let queue_of t name =
+  match Hashtbl.find_opt t.queues name with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add t.queues name q;
+    q
+
+let subscribe t ~topic ~name =
+  ignore (queue_of t name);
+  let subs = Option.value ~default:[] (Hashtbl.find_opt t.subscribers topic) in
+  if not (List.mem name subs) then Hashtbl.replace t.subscribers topic (name :: subs)
+
+let publish t m =
+  t.published <- t.published + 1;
+  match Hashtbl.find_opt t.subscribers m.topic with
+  | None | Some [] -> t.dropped <- t.dropped + 1
+  | Some subs -> List.iter (fun name -> Queue.push m (queue_of t name)) (List.rev subs)
+
+let fetch t ~name =
+  match Hashtbl.find_opt t.queues name with
+  | None -> None
+  | Some q -> if Queue.is_empty q then None else Some (Queue.pop q)
+
+let requeue t ~name m = Queue.push m (queue_of t name)
+
+let pending t = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.queues 0
+
+let queued t ~name =
+  match Hashtbl.find_opt t.queues name with None -> 0 | Some q -> Queue.length q
+let published t = t.published
+let dropped t = t.dropped

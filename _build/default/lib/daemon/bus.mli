@@ -1,0 +1,48 @@
+(** The message bus — the offline stand-in for the CORBA ORB.
+
+    "Using CORBA, we allow distribution of operations, establishing
+    independence between the management of meta data and the parties
+    that create these meta data."  Daemons never call each other; they
+    subscribe to topics and publish messages.  Delivery is asynchronous
+    (per-subscriber FIFO queues drained by the orchestrator), which
+    preserves the decoupling that matters architecturally. *)
+
+type message = {
+  topic : string;  (** e.g. "image.new", "segments.ready". *)
+  subject : int;  (** The object (document oid) the message concerns. *)
+  payload : (string * string) list;  (** Free-form attributes. *)
+}
+
+val attr : message -> string -> string option
+(** Payload attribute lookup. *)
+
+type t
+
+val create : unit -> t
+(** Fresh bus with no subscribers. *)
+
+val subscribe : t -> topic:string -> name:string -> unit
+(** Register interest of daemon [name] in [topic] (idempotent). *)
+
+val publish : t -> message -> unit
+(** Fan the message out to every subscriber's queue.  Messages on
+    topics nobody subscribes to are counted as dropped. *)
+
+val fetch : t -> name:string -> message option
+(** Pop the next message queued for a daemon. *)
+
+val requeue : t -> name:string -> message -> unit
+(** Push a message back onto one daemon's queue (retry path; does not
+    fan out and does not count as a new publication). *)
+
+val pending : t -> int
+(** Messages currently queued across all subscribers. *)
+
+val queued : t -> name:string -> int
+(** Messages currently queued for one daemon. *)
+
+val published : t -> int
+(** Messages published so far. *)
+
+val dropped : t -> int
+(** Messages published to topics with no subscriber. *)

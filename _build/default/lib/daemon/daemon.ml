@@ -1,0 +1,14 @@
+type ctx = {
+  bus : Bus.t;
+  media : Media.t;
+  dict : Dictionary.t;
+  store : Store.t;
+}
+
+type t = {
+  name : string;
+  topics : string list;
+  handle : ctx -> Bus.message -> Bus.message list;
+}
+
+let make ~name ~topics handle = { name; topics; handle }

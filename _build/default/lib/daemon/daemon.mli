@@ -1,0 +1,31 @@
+(** The daemon abstraction.
+
+    "The notion of a 'daemon' abstracts from the various techniques for
+    meta data extraction and query formulation."  A daemon is a named
+    message handler: it subscribes to topics and reacts to messages by
+    reading/writing the metadata store and emitting follow-up
+    messages.  Daemons hold no references to each other. *)
+
+type ctx = {
+  bus : Bus.t;
+  media : Media.t;
+  dict : Dictionary.t;
+  store : Store.t;
+}
+(** Everything a daemon may touch. *)
+
+type t = {
+  name : string;
+  topics : string list;  (** Subscriptions. *)
+  handle : ctx -> Bus.message -> Bus.message list;
+      (** React to one message; returned messages are published by the
+          orchestrator.  May raise — the orchestrator retries and
+          eventually dead-letters. *)
+}
+
+val make :
+  name:string ->
+  topics:string list ->
+  (ctx -> Bus.message -> Bus.message list) ->
+  t
+(** Build a daemon. *)

@@ -1,0 +1,21 @@
+type t = (string, (string * string) list) Hashtbl.t
+(* name -> (schema, owner) versions, newest first *)
+
+let create () : t = Hashtbl.create 16
+
+let register t ~name ~schema ~owner =
+  if Hashtbl.mem t name then
+    invalid_arg (Printf.sprintf "Dictionary.register: extent %S already exists" name);
+  Hashtbl.add t name [ (schema, owner) ]
+
+let evolve t ~name ~schema ~by =
+  match Hashtbl.find_opt t name with
+  | None -> raise Not_found
+  | Some versions -> Hashtbl.replace t name ((schema, by) :: versions)
+
+let schema_of t name =
+  Option.map (fun versions -> fst (List.hd versions)) (Hashtbl.find_opt t name)
+
+let history t name = List.rev (Option.value ~default:[] (Hashtbl.find_opt t name))
+
+let extents t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])

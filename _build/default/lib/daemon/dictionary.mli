@@ -1,0 +1,29 @@
+(** The distributed data dictionary of figure 1.
+
+    Records which extents exist, their (textual) schemas, and which
+    party produced each schema version — the daemons evolve the
+    ImageLibrary schema into ImageLibraryInternal, and the dictionary
+    is where that evolution is visible. *)
+
+type t
+
+val create : unit -> t
+(** Empty dictionary. *)
+
+val register : t -> name:string -> schema:string -> owner:string -> unit
+(** Register a new extent. @raise Invalid_argument when the name is
+    taken. *)
+
+val evolve : t -> name:string -> schema:string -> by:string -> unit
+(** Append a schema version for an existing extent.
+    @raise Not_found for unknown extents. *)
+
+val schema_of : t -> string -> string option
+(** Latest schema of an extent. *)
+
+val history : t -> string -> (string * string) list
+(** All (schema, owner) versions, oldest first; empty for unknown
+    names. *)
+
+val extents : t -> string list
+(** Registered extents, sorted. *)

@@ -1,0 +1,13 @@
+let failure_message = "injected fault"
+
+let flaky g ~rate (d : Daemon.t) =
+  {
+    d with
+    Daemon.handle =
+      (fun ctx m ->
+        if Mirror_util.Prng.float g 1.0 < rate then failwith failure_message
+        else d.Daemon.handle ctx m);
+  }
+
+let broken (d : Daemon.t) =
+  { d with Daemon.handle = (fun _ _ -> failwith failure_message) }

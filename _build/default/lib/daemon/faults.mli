@@ -1,0 +1,15 @@
+(** Failure injection for the distributed architecture.
+
+    An open multi-party architecture must tolerate flaky parties; the
+    orchestrator's retry/dead-letter behaviour is tested by wrapping
+    daemons with these combinators. *)
+
+val flaky : Mirror_util.Prng.t -> rate:float -> Daemon.t -> Daemon.t
+(** Fails (raises) with probability [rate] per message, otherwise
+    behaves like the wrapped daemon. *)
+
+val broken : Daemon.t -> Daemon.t
+(** Always fails. *)
+
+val failure_message : string
+(** The message carried by injected failures (stable for tests). *)

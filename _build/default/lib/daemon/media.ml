@@ -1,0 +1,7 @@
+type t = (string, Mirror_mm.Image.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+let put t ~url img = Hashtbl.replace t url img
+let get t url = Hashtbl.find_opt t url
+let urls t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+let count t = Hashtbl.length t

@@ -1,0 +1,22 @@
+(** The media server of figure 1 ("the media server is a web server"):
+    multimedia footage addressed by URL.  Offline, it is an in-memory
+    URL -> image store; the metadata database never copies the footage,
+    only its URLs — exactly the paper's separation between meta data
+    and media. *)
+
+type t
+
+val create : unit -> t
+(** Empty server. *)
+
+val put : t -> url:string -> Mirror_mm.Image.t -> unit
+(** Publish footage under a URL (rebinding allowed). *)
+
+val get : t -> string -> Mirror_mm.Image.t option
+(** Fetch by URL. *)
+
+val urls : t -> string list
+(** All published URLs, sorted. *)
+
+val count : t -> int
+(** Number of published objects. *)

@@ -1,0 +1,149 @@
+type daemon_stats = {
+  name : string;
+  handled : int;
+  produced : int;
+  failures : int;
+  cpu_seconds : float;
+}
+
+type report = {
+  rounds : int;
+  stats : daemon_stats list;
+  dead_letters : (string * Bus.message) list;
+}
+
+type mutable_stats = {
+  mutable m_handled : int;
+  mutable m_produced : int;
+  mutable m_failures : int;
+  mutable m_cpu : float;
+}
+
+type t = {
+  context : Daemon.ctx;
+  daemons : Daemon.t list;
+  tallies : (string, mutable_stats) Hashtbl.t;
+}
+
+let initial_schema =
+  "SET< TUPLE< Atomic<URL>: source, Atomic<Text>: annotation, Atomic<Image>: image > >"
+
+let create ?daemons () =
+  let daemons = match daemons with Some ds -> ds | None -> Standard.all () in
+  let context =
+    {
+      Daemon.bus = Bus.create ();
+      media = Media.create ();
+      dict = Dictionary.create ();
+      store = Store.create ();
+    }
+  in
+  Dictionary.register context.Daemon.dict ~name:"ImageLibrary" ~schema:initial_schema
+    ~owner:"application";
+  let tallies = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Daemon.t) ->
+      Hashtbl.replace tallies d.Daemon.name
+        { m_handled = 0; m_produced = 0; m_failures = 0; m_cpu = 0.0 };
+      List.iter (fun topic -> Bus.subscribe context.Daemon.bus ~topic ~name:d.Daemon.name)
+        d.Daemon.topics)
+    daemons;
+  { context; daemons; tallies }
+
+let ctx t = t.context
+
+let ingest_image t ~doc ~url ?annotation img =
+  Media.put t.context.Daemon.media ~url img;
+  Store.register_doc t.context.Daemon.store ~doc ~url;
+  Bus.publish t.context.Daemon.bus
+    { Bus.topic = "image.new"; subject = doc; payload = [ ("url", url) ] };
+  match annotation with
+  | None -> ()
+  | Some text ->
+    Bus.publish t.context.Daemon.bus
+      { Bus.topic = "annotation.new"; subject = doc; payload = [ ("text", text) ] }
+
+let complete_collection t =
+  Bus.publish t.context.Daemon.bus
+    { Bus.topic = "collection.complete"; subject = -1; payload = [] }
+
+let formulate t text =
+  let bus = t.context.Daemon.bus in
+  let reply = "client.formulated" in
+  Bus.subscribe bus ~topic:reply ~name:"client";
+  Bus.publish bus
+    { Bus.topic = "query.formulate"; subject = -1; payload = [ ("text", text); ("reply", reply) ] }
+
+let formulated t =
+  let bus = t.context.Daemon.bus in
+  match Bus.fetch bus ~name:"client" with
+  | None -> None
+  | Some m -> (
+    match Bus.attr m "concepts" with
+    | None -> Some []
+    | Some enc ->
+      Some
+        (Mirror_util.Stringx.split_on (fun c -> c = ';') enc
+        |> List.filter_map (fun pair ->
+               match String.index_opt pair '=' with
+               | None -> None
+               | Some i ->
+                 let c = String.sub pair 0 i in
+                 let w = String.sub pair (i + 1) (String.length pair - i - 1) in
+                 Option.map (fun w -> (c, w)) (float_of_string_opt w))))
+
+let run ?(max_retries = 2) ?(max_rounds = 1000) t =
+  let bus = t.context.Daemon.bus in
+  let dead = ref [] in
+  let attempts : (string * Bus.message, int) Hashtbl.t = Hashtbl.create 64 in
+  let rounds = ref 0 in
+  while Bus.pending bus > 0 && !rounds < max_rounds do
+    incr rounds;
+    List.iter
+      (fun (d : Daemon.t) ->
+        let tally = Hashtbl.find t.tallies d.Daemon.name in
+        (* handle at most the messages present at round start, so a
+           daemon whose output feeds its own inbox cannot monopolise a
+           round (the rounds guard then catches livelock) *)
+        let rec drain budget =
+          if budget = 0 then ()
+          else
+            match Bus.fetch bus ~name:d.Daemon.name with
+            | None -> ()
+            | Some m ->
+            let t0 = Sys.time () in
+            (match d.Daemon.handle t.context m with
+            | out ->
+              tally.m_cpu <- tally.m_cpu +. (Sys.time () -. t0);
+              tally.m_handled <- tally.m_handled + 1;
+              tally.m_produced <- tally.m_produced + List.length out;
+              List.iter (Bus.publish bus) out
+            | exception _ ->
+              tally.m_cpu <- tally.m_cpu +. (Sys.time () -. t0);
+              tally.m_failures <- tally.m_failures + 1;
+              let key = (d.Daemon.name, m) in
+              let tries = Option.value ~default:0 (Hashtbl.find_opt attempts key) in
+              if tries < max_retries then begin
+                Hashtbl.replace attempts key (tries + 1);
+                Bus.requeue bus ~name:d.Daemon.name m
+              end
+              else dead := (d.Daemon.name, m) :: !dead);
+              drain (budget - 1)
+        in
+        drain (Bus.queued bus ~name:d.Daemon.name))
+      t.daemons
+  done;
+  let stats =
+    List.map
+      (fun (d : Daemon.t) ->
+        let m = Hashtbl.find t.tallies d.Daemon.name in
+        {
+          name = d.Daemon.name;
+          handled = m.m_handled;
+          produced = m.m_produced;
+          failures = m.m_failures;
+          cpu_seconds = m.m_cpu;
+        })
+      t.daemons
+  in
+  { rounds = !rounds; stats; dead_letters = List.rev !dead }

@@ -1,0 +1,53 @@
+(** Drives the open distributed architecture.
+
+    Owns the bus/media/dictionary/store context, ingests footage
+    (publishing the corresponding messages) and then pumps the bus in
+    rounds until the daemons go quiescent.  Failed deliveries are
+    retried a bounded number of times and then dead-lettered — a party
+    in an open architecture may simply be down. *)
+
+type daemon_stats = {
+  name : string;
+  handled : int;  (** Messages successfully processed. *)
+  produced : int;  (** Messages published as a result. *)
+  failures : int;  (** Raised handlings (each attempt counts). *)
+  cpu_seconds : float;  (** Processor time inside the handler. *)
+}
+
+type report = {
+  rounds : int;
+  stats : daemon_stats list;  (** In daemon registration order. *)
+  dead_letters : (string * Bus.message) list;  (** (daemon, message). *)
+}
+
+type t
+
+val create : ?daemons:Daemon.t list -> unit -> t
+(** Fresh context with the given daemons subscribed ([Standard.all] by
+    default) and the ["ImageLibrary"] extent registered in the
+    dictionary. *)
+
+val ctx : t -> Daemon.ctx
+(** The underlying context (media server, store, dictionary, bus). *)
+
+val ingest_image :
+  t -> doc:int -> url:string -> ?annotation:string -> Mirror_mm.Image.t -> unit
+(** Publish footage on the media server, register the document, and
+    announce ["image.new"] (and ["annotation.new"] when an annotation
+    is supplied). *)
+
+val complete_collection : t -> unit
+(** Announce ["collection.complete"] — unblocks the clusterer. *)
+
+val formulate : t -> string -> unit
+(** Post a ["query.formulate"] request for the given text on behalf of
+    a client; the formulation daemon answers after the next {!run}. *)
+
+val formulated : t -> (string * float) list option
+(** Pop the client's next formulation answer (concept, belief) — the
+    interactive query-formulation round trip of §5.1. *)
+
+val run : ?max_retries:int -> ?max_rounds:int -> t -> report
+(** Pump messages until quiescence.  [max_retries] (default 2) extra
+    attempts per message per daemon; [max_rounds] (default 1000)
+    guards against livelock. *)

@@ -1,0 +1,111 @@
+module Segment = Mirror_mm.Segment
+module Features = Mirror_mm.Features
+module Autoclass = Mirror_mm.Autoclass
+module Vocabmap = Mirror_mm.Vocabmap
+module Prng = Mirror_util.Prng
+
+let msg ?(payload = []) topic subject = { Bus.topic; subject; payload }
+
+let image_of ctx doc =
+  match Store.url_of ctx.Daemon.store doc with
+  | None -> failwith (Printf.sprintf "daemon: unknown document %d" doc)
+  | Some url -> (
+    match Media.get ctx.Daemon.media url with
+    | None -> failwith (Printf.sprintf "daemon: media server has no %S" url)
+    | Some img -> img)
+
+let segmenter ?(params = Segment.default_params) () =
+  Daemon.make ~name:"segmenter" ~topics:[ "image.new" ] (fun ctx m ->
+      let img = image_of ctx m.Bus.subject in
+      let regions = Segment.segment_flat ~params img in
+      Store.put_segments ctx.Daemon.store ~doc:m.Bus.subject regions;
+      [ msg "segments.ready" m.Bus.subject ])
+
+let feature_daemon (f : Features.t) =
+  Daemon.make ~name:("feature:" ^ f.Features.name) ~topics:[ "segments.ready" ] (fun ctx m ->
+      let doc = m.Bus.subject in
+      let img = image_of ctx doc in
+      match Store.segments ctx.Daemon.store ~doc with
+      | None -> failwith "feature daemon: segments not ready"
+      | Some regions ->
+        let vectors = Array.of_list (List.map (fun r -> f.Features.extract img r) regions) in
+        Store.put_features ctx.Daemon.store ~doc ~space:f.Features.name vectors;
+        [ msg ~payload:[ ("space", f.Features.name) ] "features.ready" doc ])
+
+let annotation_indexer =
+  Daemon.make ~name:"annotation-indexer" ~topics:[ "annotation.new" ] (fun ctx m ->
+      match Bus.attr m "text" with
+      | None -> failwith "annotation indexer: missing text payload"
+      | Some text ->
+        Store.put_text ctx.Daemon.store ~doc:m.Bus.subject (Mirror_ir.Tokenize.tf_bag text);
+        [ msg "annotation.indexed" m.Bus.subject ])
+
+let internal_schema spaces =
+  Printf.sprintf
+    "SET< TUPLE< Atomic<URL>: source, CONTREP<Text>: annotation, CONTREP<Image>: image (%d feature spaces) > >"
+    spaces
+
+let clusterer ?(seed = 20259) ?(kmin = 2) ?(kmax = 6) ?(expected_spaces = 6) () =
+  Daemon.make ~name:"autoclass" ~topics:[ "collection.complete" ] (fun ctx m ->
+      ignore m;
+      let store = ctx.Daemon.store in
+      let g = Prng.create seed in
+      let out = ref [] in
+      List.iter
+        (fun space ->
+          let per_doc = Store.all_features store ~space in
+          let all = Array.concat (List.map snd per_doc) in
+          if Array.length all > 0 then begin
+            let model = Autoclass.select (Prng.split g) ~kmin ~kmax ~restarts:1 all in
+            Store.put_model store ~space model;
+            List.iter
+              (fun (doc, vectors) ->
+                Store.add_visual_words store ~doc (Vocabmap.soft_words model ~space vectors))
+              per_doc;
+            out :=
+              msg
+                ~payload:[ ("space", space); ("k", string_of_int model.Autoclass.k) ]
+                "clustering.done" (-1)
+              :: !out
+          end)
+        (Store.feature_spaces store);
+      (* Schema evolution is visible in the data dictionary. *)
+      (match Dictionary.schema_of ctx.Daemon.dict "ImageLibrary" with
+      | Some schema when schema <> internal_schema expected_spaces ->
+        Dictionary.evolve ctx.Daemon.dict ~name:"ImageLibrary"
+          ~schema:(internal_schema expected_spaces) ~by:"autoclass"
+      | _ -> ());
+      List.rev (msg "contrep.ready" (-1) :: !out))
+
+(* "thesaurus daemons that are interactively used during query
+   formulation": a client posts "query.formulate" with the text and a
+   reply topic; the daemon answers with the associated concepts. *)
+let formulation_daemon =
+  Daemon.make ~name:"query-formulation" ~topics:[ "query.formulate" ] (fun ctx m ->
+      match (Bus.attr m "text", Bus.attr m "reply") with
+      | Some text, Some reply -> (
+        match Store.thesaurus ctx.Daemon.store with
+        | None -> failwith "query formulation: thesaurus not built yet"
+        | Some th ->
+          let terms = Mirror_ir.Tokenize.terms text in
+          let ranked =
+            if terms = [] then []
+            else Mirror_thesaurus.Concepts.associate th ~limit:5 (Mirror_ir.Querynet.flat terms)
+          in
+          let encoded =
+            String.concat ";" (List.map (fun (c, w) -> Printf.sprintf "%s=%.6f" c w) ranked)
+          in
+          [ msg ~payload:[ ("text", text); ("concepts", encoded) ] reply m.Bus.subject ])
+      | _ -> failwith "query formulation: missing text/reply payload")
+
+let thesaurus_daemon =
+  Daemon.make ~name:"thesaurus" ~topics:[ "contrep.ready" ] (fun ctx m ->
+      ignore m;
+      let th = Mirror_thesaurus.Concepts.build (Store.evidence ctx.Daemon.store) in
+      Store.put_thesaurus ctx.Daemon.store th;
+      [ msg "thesaurus.ready" (-1) ])
+
+let all ?(seed = 20259) () =
+  segmenter ()
+  :: List.map feature_daemon Features.all
+  @ [ annotation_indexer; clusterer ~seed (); thesaurus_daemon; formulation_daemon ]

@@ -1,0 +1,51 @@
+(** The concrete daemons of the paper's prototype environment (§5.1):
+    a segmenter, two colour-histogram daemons, the four MeasTex texture
+    daemons, the AutoClass clusterer, the annotation indexer and the
+    thesaurus daemon.
+
+    Message protocol (topics):
+    - ["image.new"] (payload [url]) — published on ingest.
+    - ["annotation.new"] (payload [text]) — published on ingest of an
+      annotated image.
+    - ["segments.ready"] — segmenter output.
+    - ["features.ready"] (payload [space]) — per feature daemon.
+    - ["collection.complete"] — published by the orchestrator when
+      ingestion finishes; triggers clustering.
+    - ["clustering.done"] (payload [space; k]) — per clustered space.
+    - ["contrep.ready"] — all spaces clustered.
+    - ["thesaurus.ready"] — thesaurus built. *)
+
+val segmenter : ?params:Mirror_mm.Segment.params -> unit -> Daemon.t
+(** Reacts to ["image.new"]; stores the document's segment list. *)
+
+val feature_daemon : Mirror_mm.Features.t -> Daemon.t
+(** Reacts to ["segments.ready"]; stores one vector per segment in its
+    feature space. *)
+
+val annotation_indexer : Daemon.t
+(** Reacts to ["annotation.new"]; stores the stemmed/stopped term
+    bag. *)
+
+val clusterer :
+  ?seed:int -> ?kmin:int -> ?kmax:int -> ?expected_spaces:int -> unit -> Daemon.t
+(** Reacts to ["collection.complete"]: clusters every feature space
+    with the AutoClass substitute, stores the models, converts each
+    document's segment vectors into visual words, and evolves the
+    dictionary schema of ["ImageLibrary"] to the internal CONTREP
+    form.  [expected_spaces] (default 6) is only used in the evolved
+    schema text. *)
+
+val formulation_daemon : Daemon.t
+(** Reacts to ["query.formulate"] (payload [text], [reply]): answers on
+    the reply topic with the thesaurus concepts for the text — the
+    paper's "thesaurus daemons that are interactively used during query
+    formulation". *)
+
+val thesaurus_daemon : Daemon.t
+(** Reacts to ["contrep.ready"]; builds the concept thesaurus from the
+    store's evidence. *)
+
+val all : ?seed:int -> unit -> Daemon.t list
+(** The full §5.1 environment: segmenter, six feature daemons,
+    annotation indexer, clusterer, thesaurus daemon, query-formulation
+    daemon. *)

@@ -1,0 +1,94 @@
+type t = {
+  urls : (int, string) Hashtbl.t;
+  mutable docs_rev : int list;
+  segs : (int, Mirror_mm.Segment.region list) Hashtbl.t;
+  feats : (int * string, float array array) Hashtbl.t;
+  spaces : (string, unit) Hashtbl.t;
+  models : (string, Mirror_mm.Autoclass.model) Hashtbl.t;
+  texts : (int, (string * float) list) Hashtbl.t;
+  visual : (int, (string, float) Hashtbl.t) Hashtbl.t;
+  mutable thesaurus : Mirror_thesaurus.Concepts.t option;
+}
+
+let create () =
+  {
+    urls = Hashtbl.create 64;
+    docs_rev = [];
+    segs = Hashtbl.create 64;
+    feats = Hashtbl.create 256;
+    spaces = Hashtbl.create 8;
+    models = Hashtbl.create 8;
+    texts = Hashtbl.create 64;
+    visual = Hashtbl.create 64;
+    thesaurus = None;
+  }
+
+let register_doc t ~doc ~url =
+  if not (Hashtbl.mem t.urls doc) then begin
+    Hashtbl.add t.urls doc url;
+    t.docs_rev <- doc :: t.docs_rev
+  end
+
+let url_of t doc = Hashtbl.find_opt t.urls doc
+let docs t = List.rev t.docs_rev
+
+let put_segments t ~doc segs = Hashtbl.replace t.segs doc segs
+let segments t ~doc = Hashtbl.find_opt t.segs doc
+
+let put_features t ~doc ~space vectors =
+  Hashtbl.replace t.feats (doc, space) vectors;
+  Hashtbl.replace t.spaces space ()
+
+let features t ~doc ~space = Hashtbl.find_opt t.feats (doc, space)
+
+let all_features t ~space =
+  List.filter_map
+    (fun doc -> Option.map (fun v -> (doc, v)) (features t ~doc ~space))
+    (docs t)
+
+let feature_spaces t =
+  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) t.spaces [])
+
+let put_model t ~space m = Hashtbl.replace t.models space m
+let model t ~space = Hashtbl.find_opt t.models space
+
+let clustered_spaces t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.models [])
+
+let put_text t ~doc bag = Hashtbl.replace t.texts doc bag
+let text t ~doc = Hashtbl.find_opt t.texts doc
+
+let add_visual_words t ~doc words =
+  let bag =
+    match Hashtbl.find_opt t.visual doc with
+    | Some b -> b
+    | None ->
+      let b = Hashtbl.create 16 in
+      Hashtbl.add t.visual doc b;
+      b
+  in
+  List.iter
+    (fun (w, tf) ->
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt bag w) in
+      Hashtbl.replace bag w (prev +. tf))
+    words
+
+let visual_words t ~doc =
+  match Hashtbl.find_opt t.visual doc with
+  | None -> []
+  | Some bag ->
+    Hashtbl.fold (fun w tf acc -> (w, tf) :: acc) bag []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let put_thesaurus t th = t.thesaurus <- Some th
+let thesaurus t = t.thesaurus
+
+let evidence t =
+  List.map
+    (fun doc ->
+      {
+        Mirror_thesaurus.Assoc.doc;
+        text = Option.value ~default:[] (text t ~doc);
+        visual = visual_words t ~doc;
+      })
+    (docs t)

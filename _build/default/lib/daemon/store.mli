@@ -1,0 +1,71 @@
+(** The metadata staging area the daemons read and write.
+
+    In the paper this is the Mirror DBMS's metadata database; during
+    pipeline execution daemons exchange intermediate content
+    representations (segments, feature vectors, cluster models, visual
+    words, text bags) through this store, and the Mirror facade loads
+    the finished CONTREP representations out of it afterwards. *)
+
+type t
+
+val create : unit -> t
+(** Empty store. *)
+
+(** {1 Documents} *)
+
+val register_doc : t -> doc:int -> url:string -> unit
+(** Announce a document (idempotent per doc). *)
+
+val url_of : t -> int -> string option
+(** URL of a registered document. *)
+
+val docs : t -> int list
+(** Registered documents in registration order. *)
+
+(** {1 Segments} *)
+
+val put_segments : t -> doc:int -> Mirror_mm.Segment.region list -> unit
+val segments : t -> doc:int -> Mirror_mm.Segment.region list option
+
+(** {1 Feature vectors (per document, per feature space)} *)
+
+val put_features : t -> doc:int -> space:string -> float array array -> unit
+(** One vector per segment of the document. *)
+
+val features : t -> doc:int -> space:string -> float array array option
+
+val all_features : t -> space:string -> (int * float array array) list
+(** Per-document vectors for one space, in document order — the
+    clusterer's input. *)
+
+val feature_spaces : t -> string list
+(** Spaces with at least one stored vector set, sorted. *)
+
+(** {1 Cluster models} *)
+
+val put_model : t -> space:string -> Mirror_mm.Autoclass.model -> unit
+val model : t -> space:string -> Mirror_mm.Autoclass.model option
+val clustered_spaces : t -> string list
+
+(** {1 Content representations} *)
+
+val put_text : t -> doc:int -> (string * float) list -> unit
+(** The indexed annotation term bag. *)
+
+val text : t -> doc:int -> (string * float) list option
+
+val add_visual_words : t -> doc:int -> (string * float) list -> unit
+(** Merge additional visual words into the document's image CONTREP
+    bag (tf-additive). *)
+
+val visual_words : t -> doc:int -> (string * float) list
+(** Accumulated visual words (empty list when none). *)
+
+(** {1 Thesaurus} *)
+
+val put_thesaurus : t -> Mirror_thesaurus.Concepts.t -> unit
+val thesaurus : t -> Mirror_thesaurus.Concepts.t option
+
+val evidence : t -> Mirror_thesaurus.Assoc.evidence list
+(** Per-document (text, visual) evidence for thesaurus construction,
+    in document order. *)

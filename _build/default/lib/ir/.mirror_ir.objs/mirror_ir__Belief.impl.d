@@ -1,0 +1,1 @@
+lib/ir/belief.ml: Float List

@@ -1,0 +1,1 @@
+lib/ir/index.ml: Array Hashtbl List Mirror_bat Space Vocab

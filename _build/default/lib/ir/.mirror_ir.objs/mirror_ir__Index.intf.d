@@ -1,0 +1,1 @@
+lib/ir/index.mli: Mirror_bat Space

@@ -1,0 +1,1 @@
+lib/ir/porter.ml: Bytes List String

@@ -1,0 +1,1 @@
+lib/ir/querynet.ml: Belief List Mirror_util Printf String

@@ -1,0 +1,1 @@
+lib/ir/search.ml: Array Belief Float Hashtbl Index Int Lazy List Mirror_bat Option Querynet Space Vocab

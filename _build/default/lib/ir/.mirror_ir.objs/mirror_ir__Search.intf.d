@@ -1,0 +1,1 @@
+lib/ir/search.mli: Index Mirror_bat Querynet Space

@@ -1,0 +1,1 @@
+lib/ir/space.ml: Array Belief Float Hashtbl List Option Printf Vocab

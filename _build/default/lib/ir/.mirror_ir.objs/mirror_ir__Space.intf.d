@@ -1,0 +1,1 @@
+lib/ir/space.mli: Hashtbl Vocab

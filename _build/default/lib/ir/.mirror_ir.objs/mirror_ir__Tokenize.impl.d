@@ -1,0 +1,1 @@
+lib/ir/tokenize.ml: Hashtbl List Mirror_util Porter Stopwords String

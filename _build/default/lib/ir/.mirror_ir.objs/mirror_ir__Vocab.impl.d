@@ -1,0 +1,1 @@
+lib/ir/vocab.ml: Array Hashtbl

@@ -1,0 +1,42 @@
+let default_belief = 0.4
+let belief_weight = 0.6
+
+let tf_part ~tf ~doclen ~avg_doclen =
+  if tf <= 0.0 then 0.0
+  else
+    let ratio = if avg_doclen > 0.0 then doclen /. avg_doclen else 1.0 in
+    tf /. (tf +. 0.5 +. (1.5 *. ratio))
+
+let idf_part ~df ~ndocs =
+  if df <= 0 || ndocs <= 0 then 0.0
+  else
+    let n = Float.of_int ndocs in
+    let v = log ((n +. 0.5) /. Float.of_int df) /. log (n +. 1.0) in
+    Float.max 0.0 v
+
+let belief ~tf ~df ~ndocs ~doclen ~avg_doclen =
+  default_belief
+  +. (belief_weight *. tf_part ~tf ~doclen ~avg_doclen *. idf_part ~df ~ndocs)
+
+module Combine = struct
+  let sum = function
+    | [] -> default_belief
+    | ps -> List.fold_left ( +. ) 0.0 ps /. Float.of_int (List.length ps)
+
+  let wsum = function
+    | [] -> default_belief
+    | wps ->
+      let wtotal = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 wps in
+      if wtotal <= 0.0 then default_belief
+      else List.fold_left (fun acc (w, p) -> acc +. (w *. p)) 0.0 wps /. wtotal
+
+  let and_ ps = List.fold_left ( *. ) 1.0 ps
+
+  let or_ ps = 1.0 -. List.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0 ps
+
+  let not_ p = 1.0 -. p
+
+  let max = function
+    | [] -> default_belief
+    | ps -> List.fold_left Float.max neg_infinity ps
+end

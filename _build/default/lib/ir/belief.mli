@@ -1,0 +1,52 @@
+(** The inference-network default belief function.
+
+    These are the InQuery ranking formulae (Turtle & Croft; Broglio et
+    al.) that the CONTREP structure's probabilistic operators implement
+    at the physical level:
+
+    {v
+    tf_part  = tf / (tf + 0.5 + 1.5 * doclen / avg_doclen)
+    idf_part = ln((N + 0.5) / df) / ln(N + 1)
+    belief   = 0.4 + 0.6 * tf_part * idf_part
+    v}
+
+    Beliefs always lie in [default_belief, 1).  A term absent from the
+    document (tf = 0), absent from the collection (df = 0) or queried
+    against an empty collection contributes exactly [default_belief]. *)
+
+val default_belief : float
+(** 0.4. *)
+
+val belief_weight : float
+(** 0.6 (= 1 - default). *)
+
+val tf_part : tf:float -> doclen:float -> avg_doclen:float -> float
+(** Robertson-style tf normalisation in [0, 1). *)
+
+val idf_part : df:int -> ndocs:int -> float
+(** Scaled idf in [0, 1], clamped to 0 for over-frequent terms. *)
+
+val belief : tf:float -> df:int -> ndocs:int -> doclen:float -> avg_doclen:float -> float
+(** The full default belief. *)
+
+(** Belief combination rules of the inference network's query
+    operators; every input and output is a probability. *)
+module Combine : sig
+  val sum : float list -> float
+  (** #sum — the mean ([default_belief] on empty input). *)
+
+  val wsum : (float * float) list -> float
+  (** #wsum — weighted mean of [(weight, belief)] pairs. *)
+
+  val and_ : float list -> float
+  (** #and — product. *)
+
+  val or_ : float list -> float
+  (** #or — complement of product of complements. *)
+
+  val not_ : float -> float
+  (** #not — complement. *)
+
+  val max : float list -> float
+  (** #max ([default_belief] on empty input). *)
+end

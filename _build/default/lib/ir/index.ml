@@ -1,0 +1,81 @@
+module Bat = Mirror_bat.Bat
+module Atom = Mirror_bat.Atom
+
+type posting = { doc : int; tf : float }
+
+type t = {
+  sp : Space.t;
+  mutable postings : posting list array;  (* by term id, reversed *)
+  mutable docs_rev : int list;
+  doc_terms : (int, (int * float) list) Hashtbl.t;  (* doc -> (term id, tf) *)
+}
+
+let create name =
+  { sp = Space.create name; postings = Array.make 256 []; docs_rev = []; doc_terms = Hashtbl.create 64 }
+
+let space t = t.sp
+
+let ensure t id =
+  if id >= Array.length t.postings then begin
+    let fresh = Array.make (max (2 * Array.length t.postings) (id + 1)) [] in
+    Array.blit t.postings 0 fresh 0 (Array.length t.postings);
+    t.postings <- fresh
+  end
+
+let add_doc t ~doc bag =
+  let ids = Space.add_doc t.sp ~doc bag in
+  t.docs_rev <- doc :: t.docs_rev;
+  let with_ids = List.map2 (fun (_, tf) id -> (id, tf)) bag ids in
+  Hashtbl.add t.doc_terms doc with_ids;
+  List.iter
+    (fun (id, tf) ->
+      ensure t id;
+      t.postings.(id) <- { doc; tf } :: t.postings.(id))
+    with_ids
+
+let postings t term =
+  match Vocab.find (Space.vocab t.sp) term with
+  | None -> []
+  | Some id ->
+    if id >= Array.length t.postings then []
+    else List.rev_map (fun p -> (p.doc, p.tf)) t.postings.(id)
+
+let doc_tf t ~doc ~term =
+  match Vocab.find (Space.vocab t.sp) term with
+  | None -> 0.0
+  | Some id -> (
+    match Hashtbl.find_opt t.doc_terms doc with
+    | None -> 0.0
+    | Some terms -> ( match List.assoc_opt id terms with Some tf -> tf | None -> 0.0))
+
+let ndocs t = Space.ndocs t.sp
+let docs t = List.rev t.docs_rev
+
+let to_bats t ~base =
+  let voc = Space.vocab t.sp in
+  let ctx = Mirror_bat.Column.Builder.create Atom.TOid in
+  let term = Mirror_bat.Column.Builder.create Atom.TStr in
+  let tf = Mirror_bat.Column.Builder.create Atom.TFlt in
+  let occ = Mirror_bat.Column.Builder.create Atom.TOid in
+  let lctx = Mirror_bat.Column.Builder.create Atom.TOid in
+  let llen = Mirror_bat.Column.Builder.create Atom.TFlt in
+  let next = ref base in
+  List.iter
+    (fun doc ->
+      let terms = Hashtbl.find t.doc_terms doc in
+      List.iter
+        (fun (id, f) ->
+          Mirror_bat.Column.Builder.add_oid occ !next;
+          incr next;
+          Mirror_bat.Column.Builder.add_oid ctx doc;
+          Mirror_bat.Column.Builder.add term (Atom.Str (Vocab.word voc id));
+          Mirror_bat.Column.Builder.add_float tf f)
+        terms;
+      Mirror_bat.Column.Builder.add_oid lctx doc;
+      Mirror_bat.Column.Builder.add_float llen (Space.doc_len t.sp doc))
+    (docs t);
+  let occ1 = Mirror_bat.Column.Builder.finish occ in
+  ( Bat.make occ1 (Mirror_bat.Column.Builder.finish ctx),
+    Bat.make occ1 (Mirror_bat.Column.Builder.finish term),
+    Bat.make occ1 (Mirror_bat.Column.Builder.finish tf),
+    Bat.make (Mirror_bat.Column.Builder.finish lctx) (Mirror_bat.Column.Builder.finish llen) )

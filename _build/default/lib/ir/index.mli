@@ -1,0 +1,40 @@
+(** Inverted index over a statistics space.
+
+    Postings are kept per interned term id; each posting is a
+    (document, term frequency) pair.  The Mirror DBMS stores document
+    representations as BATs; this standalone index serves the direct
+    IR API (thesaurus construction, daemons, examples) and can export
+    its postings as BATs for the catalog. *)
+
+type t
+
+val create : string -> t
+(** Empty index whose space has the given name. *)
+
+val space : t -> Space.t
+(** The statistics space maintained by this index. *)
+
+val add_doc : t -> doc:int -> (string * float) list -> unit
+(** Index one document's term bag (also updates the space).
+    @raise Invalid_argument if [doc] was already indexed. *)
+
+val postings : t -> string -> (int * float) list
+(** [(doc, tf)] pairs for a term, in insertion order; empty for unknown
+    terms. *)
+
+val doc_tf : t -> doc:int -> term:string -> float
+(** Term frequency of [term] in [doc] (0 when absent). *)
+
+val ndocs : t -> int
+(** Documents indexed. *)
+
+val docs : t -> int list
+(** All document ids, in insertion order. *)
+
+val to_bats :
+  t ->
+  base:int ->
+  Mirror_bat.Bat.t * Mirror_bat.Bat.t * Mirror_bat.Bat.t * Mirror_bat.Bat.t
+(** Export the CONTREP physical representation
+    [(occ->doc, occ->term_string, occ->tf, doc->length)] with
+    occurrence oids starting at [base]. *)

@@ -1,0 +1,172 @@
+(* Direct port of Martin Porter's reference implementation.  The word
+   lives in [b.(0..k)]; [j] marks the stem end during condition tests. *)
+
+type state = { mutable b : Bytes.t; mutable k : int; mutable j : int }
+
+let rec is_cons s i =
+  match Bytes.get s.b i with
+  | 'a' | 'e' | 'i' | 'o' | 'u' -> false
+  | 'y' -> if i = 0 then true else not (is_cons s (i - 1))
+  | _ -> true
+
+(* measure of the stem b[0..j] *)
+let measure s =
+  let n = ref 0 in
+  let i = ref 0 in
+  let continue = ref true in
+  (* skip initial consonants *)
+  while !continue do
+    if !i > s.j then continue := false
+    else if not (is_cons s !i) then continue := false
+    else incr i
+  done;
+  if !i <= s.j then begin
+    let running = ref true in
+    while !running do
+      (* skip vowels *)
+      let c1 = ref true in
+      while !c1 do
+        if !i > s.j then begin
+          c1 := false;
+          running := false
+        end
+        else if is_cons s !i then c1 := false
+        else incr i
+      done;
+      if !running then begin
+        incr i;
+        incr n;
+        (* skip consonants *)
+        let c2 = ref true in
+        while !c2 do
+          if !i > s.j then begin
+            c2 := false;
+            running := false
+          end
+          else if not (is_cons s !i) then c2 := false
+          else incr i
+        done;
+        if !running then incr i
+      end
+    done
+  end;
+  !n
+
+let vowel_in_stem s =
+  let rec go i = i <= s.j && (not (is_cons s i) || go (i + 1)) in
+  go 0
+
+let double_cons s i = i >= 1 && Bytes.get s.b i = Bytes.get s.b (i - 1) && is_cons s i
+
+(* cvc ending where the last consonant is not w, x or y *)
+let cvc s i =
+  if i < 2 || not (is_cons s i) || is_cons s (i - 1) || not (is_cons s (i - 2)) then false
+  else
+    match Bytes.get s.b i with
+    | 'w' | 'x' | 'y' -> false
+    | _ -> true
+
+let ends s suffix =
+  let l = String.length suffix in
+  if l > s.k + 1 then false
+  else if Bytes.sub_string s.b (s.k - l + 1) l <> suffix then false
+  else begin
+    s.j <- s.k - l;
+    true
+  end
+
+let set_to s suffix =
+  let l = String.length suffix in
+  Bytes.blit_string suffix 0 s.b (s.j + 1) l;
+  s.k <- s.j + l
+
+let replace_if_m_gt_0 s suffix = if measure s > 0 then set_to s suffix
+
+let step1ab s =
+  if Bytes.get s.b s.k = 's' then begin
+    if ends s "sses" then s.k <- s.k - 2
+    else if ends s "ies" then set_to s "i"
+    else if Bytes.get s.b (s.k - 1) <> 's' then s.k <- s.k - 1
+  end;
+  if ends s "eed" then begin
+    if measure s > 0 then s.k <- s.k - 1
+  end
+  else if (ends s "ed" || ends s "ing") && vowel_in_stem s then begin
+    s.k <- s.j;
+    if ends s "at" then set_to s "ate"
+    else if ends s "bl" then set_to s "ble"
+    else if ends s "iz" then set_to s "ize"
+    else if double_cons s s.k then begin
+      match Bytes.get s.b s.k with
+      | 'l' | 's' | 'z' -> ()
+      | _ -> s.k <- s.k - 1
+    end
+    else begin
+      s.j <- s.k;
+      if measure s = 1 && cvc s s.k then set_to s "e"
+    end
+  end
+
+let step1c s = if ends s "y" && vowel_in_stem s then Bytes.set s.b s.k 'i'
+
+let step2 s =
+  let rules =
+    [
+      ("ational", "ate"); ("tional", "tion"); ("enci", "ence"); ("anci", "ance");
+      ("izer", "ize"); ("abli", "able"); ("alli", "al"); ("entli", "ent"); ("eli", "e");
+      ("ousli", "ous"); ("ization", "ize"); ("ation", "ate"); ("ator", "ate");
+      ("alism", "al"); ("iveness", "ive"); ("fulness", "ful"); ("ousness", "ous");
+      ("aliti", "al"); ("iviti", "ive"); ("biliti", "ble");
+    ]
+  in
+  (* dispatch on the penultimate character like the reference code; a
+     simple linear scan is fine at our scale *)
+  ignore (List.exists (fun (suf, rep) -> if ends s suf then (replace_if_m_gt_0 s rep; true) else false) rules)
+
+let step3 s =
+  let rules =
+    [
+      ("icate", "ic"); ("ative", ""); ("alize", "al"); ("iciti", "ic"); ("ical", "ic");
+      ("ful", ""); ("ness", "");
+    ]
+  in
+  ignore (List.exists (fun (suf, rep) -> if ends s suf then (replace_if_m_gt_0 s rep; true) else false) rules)
+
+let step4 s =
+  let simple =
+    [
+      "al"; "ance"; "ence"; "er"; "ic"; "able"; "ible"; "ant"; "ement"; "ment"; "ent";
+      "ou"; "ism"; "ate"; "iti"; "ous"; "ive"; "ize";
+    ]
+  in
+  let matched =
+    List.exists (fun suf -> ends s suf) simple
+    ||
+    (* (s|t)ion -> ion *)
+    (ends s "ion"
+    && s.j >= 0
+    && (Bytes.get s.b s.j = 's' || Bytes.get s.b s.j = 't'))
+  in
+  if matched && measure s > 1 then s.k <- s.j
+
+let step5 s =
+  s.j <- s.k;
+  if Bytes.get s.b s.k = 'e' then begin
+    let a = measure s in
+    if a > 1 || (a = 1 && not (cvc s (s.k - 1))) then s.k <- s.k - 1
+  end;
+  if Bytes.get s.b s.k = 'l' && double_cons s s.k && measure s > 1 then s.k <- s.k - 1
+
+let stem word =
+  let word = String.lowercase_ascii word in
+  if String.length word <= 2 then word
+  else begin
+    let s = { b = Bytes.of_string word; k = String.length word - 1; j = 0 } in
+    step1ab s;
+    step1c s;
+    step2 s;
+    step3 s;
+    step4 s;
+    step5 s;
+    Bytes.sub_string s.b 0 (s.k + 1)
+  end

@@ -1,0 +1,7 @@
+(** The Porter stemming algorithm (Porter 1980), as used by InQuery-era
+    text retrieval systems.  Words shorter than three characters are
+    returned unchanged; input is lower-cased first. *)
+
+val stem : string -> string
+(** Stem of an English word, e.g. [stem "caresses" = "caress"],
+    [stem "relational" = "relat"]. *)

@@ -1,0 +1,156 @@
+type t =
+  | Term of string * float
+  | Sum of t list
+  | Wsum of (float * t) list
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Max of t list
+
+let rec terms = function
+  | Term (w, weight) -> [ (w, weight) ]
+  | Sum ts | And ts | Or ts | Max ts -> List.concat_map terms ts
+  | Wsum wts -> List.concat_map (fun (_, t) -> terms t) wts
+  | Not t -> terms t
+
+let rec eval oracle = function
+  | Term (w, _) -> oracle w
+  | Sum ts ->
+    (* weights of direct Term children participate as a wsum *)
+    Belief.Combine.wsum (List.map (fun t -> (weight_of t, eval oracle t)) ts)
+  | Wsum wts -> Belief.Combine.wsum (List.map (fun (w, t) -> (w, eval oracle t)) wts)
+  | And ts -> Belief.Combine.and_ (List.map (eval oracle) ts)
+  | Or ts -> Belief.Combine.or_ (List.map (eval oracle) ts)
+  | Not t -> Belief.Combine.not_ (eval oracle t)
+  | Max ts -> Belief.Combine.max (List.map (eval oracle) ts)
+
+and weight_of = function Term (_, w) -> w | _ -> 1.0
+
+let flat words = Sum (List.map (fun w -> Term (w, 1.0)) words)
+
+(* {1 Concrete syntax} *)
+
+type token = Lparen | Rparen | Op of string | Word of string * float
+
+let tokenize s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  let err = ref None in
+  let is_word_char c = Mirror_util.Stringx.is_alnum c || c = '_' || c = '.' || c = '-' in
+  while !i < n && !err = None do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = ',' then incr i
+    else if c = '(' then begin
+      out := Lparen :: !out;
+      incr i
+    end
+    else if c = ')' then begin
+      out := Rparen :: !out;
+      incr i
+    end
+    else if c = '#' then begin
+      let j = ref (!i + 1) in
+      while !j < n && Mirror_util.Stringx.is_alpha s.[!j] do
+        incr j
+      done;
+      if !j = !i + 1 then err := Some "dangling #"
+      else begin
+        out := Op (String.sub s (!i + 1) (!j - !i - 1)) :: !out;
+        i := !j
+      end
+    end
+    else if is_word_char c then begin
+      let j = ref !i in
+      while !j < n && is_word_char s.[!j] do
+        incr j
+      done;
+      let word = String.sub s !i (!j - !i) in
+      (* optional ^weight *)
+      if !j < n && s.[!j] = '^' then begin
+        let k = ref (!j + 1) in
+        while
+          !k < n && (Mirror_util.Stringx.is_digit s.[!k] || s.[!k] = '.' || s.[!k] = '-')
+        do
+          incr k
+        done;
+        match float_of_string_opt (String.sub s (!j + 1) (!k - !j - 1)) with
+        | Some w ->
+          out := Word (word, w) :: !out;
+          i := !k
+        | None -> err := Some (Printf.sprintf "bad weight after %S" word)
+      end
+      else begin
+        out := Word (word, 1.0) :: !out;
+        i := !j
+      end
+    end
+    else err := Some (Printf.sprintf "unexpected character %C" c)
+  done;
+  match !err with Some e -> Error e | None -> Ok (List.rev !out)
+
+let of_string s =
+  match tokenize s with
+  | Error e -> Error e
+  | Ok tokens ->
+    let rec parse_one = function
+      | Word (w, weight) :: rest -> Ok (Term (w, weight), rest)
+      | Op op :: Lparen :: rest -> (
+        let rec children acc rest =
+          match rest with
+          | Rparen :: rest -> Ok (List.rev acc, rest)
+          | [] -> Error "missing )"
+          | _ -> (
+            match parse_one rest with
+            | Error e -> Error e
+            | Ok (child, rest) -> children (child :: acc) rest)
+        in
+        match children [] rest with
+        | Error e -> Error e
+        | Ok (kids, rest) -> (
+          match (op, kids) with
+          | "sum", ks -> Ok (Sum ks, rest)
+          | "wsum", ks ->
+            (* child weights come from term weights *)
+            Ok (Wsum (List.map (fun k -> (weight_of k, k)) ks), rest)
+          | "and", ks -> Ok (And ks, rest)
+          | "or", ks -> Ok (Or ks, rest)
+          | "max", ks -> Ok (Max ks, rest)
+          | "not", [ k ] -> Ok (Not k, rest)
+          | "not", _ -> Error "#not takes exactly one child"
+          | other, _ -> Error (Printf.sprintf "unknown operator #%s" other)))
+      | Op op :: _ -> Error (Printf.sprintf "#%s must be followed by (" op)
+      | Lparen :: _ -> Error "unexpected ("
+      | Rparen :: _ -> Error "unexpected )"
+      | [] -> Error "empty query"
+    in
+    let rec parse_many acc rest =
+      match rest with
+      | [] -> Ok (List.rev acc)
+      | _ -> (
+        match parse_one rest with
+        | Error e -> Error e
+        | Ok (t, rest) -> parse_many (t :: acc) rest)
+    in
+    (match parse_many [] tokens with
+    | Error e -> Error e
+    | Ok [] -> Error "empty query"
+    | Ok [ t ] -> Ok t
+    | Ok many -> Ok (Sum many))
+
+let rec to_string = function
+  | Term (w, 1.0) -> w
+  | Term (w, weight) -> Printf.sprintf "%s^%g" w weight
+  | Sum ts -> node "sum" ts
+  | Wsum wts ->
+    Printf.sprintf "#wsum( %s )"
+      (String.concat " "
+         (List.map (fun (w, t) -> Printf.sprintf "%s^%g" (strip t) w) wts))
+  | And ts -> node "and" ts
+  | Or ts -> node "or" ts
+  | Not t -> Printf.sprintf "#not( %s )" (to_string t)
+  | Max ts -> node "max" ts
+
+and node name ts = Printf.sprintf "#%s( %s )" name (String.concat " " (List.map to_string ts))
+
+and strip = function Term (w, _) -> w | t -> to_string t

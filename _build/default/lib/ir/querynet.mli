@@ -1,0 +1,38 @@
+(** Inference-network query operator trees.
+
+    "It allows flexible modeling of the combination of evidence
+    originating from different sources" — query nets combine term
+    beliefs with the InQuery operators.  A net is evaluated against a
+    belief oracle for the leaf terms. *)
+
+type t =
+  | Term of string * float  (** Query term with weight (1.0 = plain). *)
+  | Sum of t list  (** #sum: mean of children. *)
+  | Wsum of (float * t) list  (** #wsum: weighted mean. *)
+  | And of t list  (** #and: product. *)
+  | Or of t list  (** #or: noisy-or. *)
+  | Not of t  (** #not: complement. *)
+  | Max of t list  (** #max. *)
+
+val terms : t -> (string * float) list
+(** All leaf terms with their weights, in order, duplicates kept. *)
+
+val eval : (string -> float) -> t -> float
+(** Evaluate against a belief oracle for the leaves.  Weighted leaves
+    feed their weight into the nearest enclosing [Wsum]-like average —
+    concretely a [Term (w, t)] leaf evaluates to the oracle belief;
+    weights participate in {!Belief.Combine.wsum} under [Sum] and
+    [Wsum] nodes. *)
+
+val flat : string list -> t
+(** [#sum] over unit-weight terms — the shape of the paper's example
+    queries (a set of query terms combined by [map[sum(THIS)]]). *)
+
+val of_string : string -> (t, string) result
+(** Parse the concrete syntax
+    [#sum( cat dog^2.5 #and( stripes yellow ) #not( grid ) )].
+    A bare word list parses as {!flat}.  Term weights attach with
+    [word^weight]. *)
+
+val to_string : t -> string
+(** Render back to the concrete syntax. *)

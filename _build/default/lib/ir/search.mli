@@ -1,0 +1,57 @@
+(** Ranking: query nets against indexes, and the physical [getbl]
+    operator that the CONTREP structure contributes to the kernel. *)
+
+type hit = { doc : int; score : float }
+
+val run : Index.t -> ?limit:int -> Querynet.t -> hit list
+(** Rank every indexed document by the query net's belief, descending;
+    ties break by document id.  [limit] truncates the result. *)
+
+val run_indexed : Index.t -> ?limit:int -> Querynet.t -> hit list
+(** Same contract as {!run}, but candidate documents come from the
+    inverted file: only documents containing at least one of the net's
+    terms are scored through the oracle — the rest share the
+    all-defaults belief.  Equivalent to {!run} (tested), much cheaper
+    when query terms are selective. *)
+
+val belief_oracle : Index.t -> doc:int -> string -> float
+(** The per-document leaf-belief function {!run} uses (exposed for
+    tests and for the thesaurus). *)
+
+val getblnet_pairs :
+  space:Space.t ->
+  net:Querynet.t ->
+  occ_ctx:Mirror_bat.Bat.t ->
+  occ_term:Mirror_bat.Bat.t ->
+  occ_tf:Mirror_bat.Bat.t ->
+  len:Mirror_bat.Bat.t ->
+  dom:Mirror_bat.Bat.t ->
+  Mirror_bat.Bat.t
+(** The physical operator behind the Moa-level [getBLnet]: evaluate a
+    full inference-network operator tree per context, producing one
+    [(ctx, belief)] row per context in [dom] order.  Leaf beliefs use
+    the same statistics and fast paths as {!getbl_pairs}. *)
+
+val getbl_pairs :
+  space:Space.t ->
+  occ_ctx:Mirror_bat.Bat.t ->
+  occ_term:Mirror_bat.Bat.t ->
+  occ_tf:Mirror_bat.Bat.t ->
+  len:Mirror_bat.Bat.t ->
+  dom:Mirror_bat.Bat.t ->
+  qlink:Mirror_bat.Bat.t ->
+  qval:Mirror_bat.Bat.t ->
+  Mirror_bat.Bat.t
+(** The physical probabilistic operator behind the Moa-level [getBL]:
+    given a CONTREP occurrence decomposition ([occ_oid->ctx],
+    [occ_oid->term_string], [occ_oid->tf]), the per-context document
+    lengths ([ctx->flt], carried in the representation so that the
+    algebra can rebase contexts under joins), the context domain [dom]
+    (a [(ctx,ctx)] mirror), and the query as a flattened per-context
+    set ([qlink : qelem->ctx], [qval : qelem->str]; a context-constant
+    query simply links a copy of its terms to every context), produce
+    one [(ctx, belief)] row per context x query term, context-major in
+    [dom] order, each context's query terms in [qlink] order.  The
+    [space] supplies the collection-global statistics (df, N, average
+    length); terms unknown to the space or absent from a context
+    contribute the default belief. *)

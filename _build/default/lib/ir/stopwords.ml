@@ -1,0 +1,21 @@
+let all =
+  [
+    "a"; "about"; "above"; "after"; "again"; "all"; "am"; "an"; "and"; "any"; "are";
+    "as"; "at"; "be"; "because"; "been"; "before"; "being"; "below"; "between"; "both";
+    "but"; "by"; "can"; "did"; "do"; "does"; "doing"; "down"; "during"; "each"; "few";
+    "for"; "from"; "further"; "had"; "has"; "have"; "having"; "he"; "her"; "here";
+    "hers"; "him"; "his"; "how"; "i"; "if"; "in"; "into"; "is"; "it"; "its"; "just";
+    "me"; "more"; "most"; "my"; "no"; "nor"; "not"; "now"; "of"; "off"; "on"; "once";
+    "only"; "or"; "other"; "our"; "ours"; "out"; "over"; "own"; "same"; "she"; "so";
+    "some"; "such"; "than"; "that"; "the"; "their"; "theirs"; "them"; "then"; "there";
+    "these"; "they"; "this"; "those"; "through"; "to"; "too"; "under"; "until"; "up";
+    "very"; "was"; "we"; "were"; "what"; "when"; "where"; "which"; "while"; "who";
+    "whom"; "why"; "will"; "with"; "you"; "your"; "yours";
+  ]
+
+let table = lazy (
+  let t = Hashtbl.create 128 in
+  List.iter (fun w -> Hashtbl.replace t w ()) all;
+  t)
+
+let is_stopword w = Hashtbl.mem (Lazy.force table) (String.lowercase_ascii w)

@@ -1,0 +1,7 @@
+(** English stopword list used when indexing annotations. *)
+
+val is_stopword : string -> bool
+(** Case-insensitive membership in the built-in list. *)
+
+val all : string list
+(** The list itself (lower case, sorted). *)

@@ -1,0 +1,25 @@
+module Stringx = Mirror_util.Stringx
+
+let words text =
+  Stringx.split_on (fun c -> not (Stringx.is_alnum c)) (String.lowercase_ascii text)
+  |> List.filter (fun w -> String.length w > 1)
+
+let terms ?(stem = true) ?(stop = true) text =
+  words text
+  |> List.filter (fun w -> not (stop && Stopwords.is_stopword w))
+  |> List.map (fun w -> if stem then Porter.stem w else w)
+
+let bag_of_words ws =
+  let counts = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun w ->
+      match Hashtbl.find_opt counts w with
+      | Some n -> Hashtbl.replace counts w (n +. 1.0)
+      | None ->
+        Hashtbl.add counts w 1.0;
+        order := w :: !order)
+    ws;
+  List.rev_map (fun w -> (w, Hashtbl.find counts w)) !order
+
+let tf_bag ?(stem = true) ?(stop = true) text = bag_of_words (terms ~stem ~stop text)

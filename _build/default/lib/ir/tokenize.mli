@@ -1,0 +1,17 @@
+(** Text analysis: raw annotation text to indexable terms. *)
+
+val words : string -> string list
+(** Lower-cased maximal runs of ASCII letters/digits (single characters
+    are dropped). *)
+
+val terms : ?stem:bool -> ?stop:bool -> string -> string list
+(** {!words} with stopword removal ([stop], default true) and Porter
+    stemming ([stem], default true) applied, in input order. *)
+
+val tf_bag : ?stem:bool -> ?stop:bool -> string -> (string * float) list
+(** Term-frequency bag of {!terms}: each distinct term with its count,
+    in first-occurrence order. *)
+
+val bag_of_words : string list -> (string * float) list
+(** TF bag of an already-tokenised word list (no stemming or stopping —
+    used for visual words, which must not be mangled). *)

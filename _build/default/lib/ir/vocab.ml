@@ -1,0 +1,33 @@
+type t = {
+  ids : (string, int) Hashtbl.t;
+  mutable words : string array;
+  mutable n : int;
+}
+
+let create () = { ids = Hashtbl.create 256; words = Array.make 256 ""; n = 0 }
+
+let intern t w =
+  match Hashtbl.find_opt t.ids w with
+  | Some id -> id
+  | None ->
+    let id = t.n in
+    if id = Array.length t.words then begin
+      let fresh = Array.make (2 * id) "" in
+      Array.blit t.words 0 fresh 0 id;
+      t.words <- fresh
+    end;
+    t.words.(id) <- w;
+    Hashtbl.add t.ids w id;
+    t.n <- t.n + 1;
+    id
+
+let find t w = Hashtbl.find_opt t.ids w
+
+let word t id = if id < 0 || id >= t.n then raise Not_found else t.words.(id)
+
+let size t = t.n
+
+let iter f t =
+  for id = 0 to t.n - 1 do
+    f t.words.(id) id
+  done

@@ -1,0 +1,23 @@
+(** Bidirectional term dictionary: term string <-> dense integer id.
+    Each statistics space has one; the ids are what the physical BATs
+    store in their term columns. *)
+
+type t
+
+val create : unit -> t
+(** Empty vocabulary. *)
+
+val intern : t -> string -> int
+(** Id of the term, allocating the next dense id on first sight. *)
+
+val find : t -> string -> int option
+(** Id without interning. *)
+
+val word : t -> int -> string
+(** Term of an id. @raise Not_found for unknown ids. *)
+
+val size : t -> int
+(** Number of distinct terms. *)
+
+val iter : (string -> int -> unit) -> t -> unit
+(** Visit every (term, id) pair in id order. *)

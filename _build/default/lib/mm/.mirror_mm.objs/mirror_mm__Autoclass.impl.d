@@ -1,0 +1,1 @@
+lib/mm/autoclass.ml: Array Float Kmeans List Mirror_util Option

@@ -1,0 +1,1 @@
+lib/mm/autoclass.mli: Mirror_util

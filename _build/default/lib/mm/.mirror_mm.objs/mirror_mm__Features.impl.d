@@ -1,0 +1,1 @@
+lib/mm/features.ml: Fractal Gabor Glcm Histogram Image List Mrf Segment String

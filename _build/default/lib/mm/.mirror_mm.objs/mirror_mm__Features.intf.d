@@ -1,0 +1,1 @@
+lib/mm/features.mli: Image Segment

@@ -1,0 +1,1 @@
+lib/mm/fractal.ml: Array Float Image List Mirror_util Segment

@@ -1,0 +1,1 @@
+lib/mm/fractal.mli: Image Segment

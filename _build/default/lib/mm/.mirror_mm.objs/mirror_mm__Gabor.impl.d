@@ -1,0 +1,1 @@
+lib/mm/gabor.ml: Array Float Image Lazy List Segment

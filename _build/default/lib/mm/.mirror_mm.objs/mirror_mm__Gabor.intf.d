@@ -1,0 +1,1 @@
+lib/mm/gabor.mli: Image Segment

@@ -1,0 +1,1 @@
+lib/mm/glcm.ml: Array Float Image Segment

@@ -1,0 +1,1 @@
+lib/mm/glcm.mli: Image Segment

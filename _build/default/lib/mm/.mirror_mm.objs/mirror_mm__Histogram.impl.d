@@ -1,0 +1,1 @@
+lib/mm/histogram.ml: Array Float Image Mirror_util Segment

@@ -1,0 +1,1 @@
+lib/mm/histogram.mli: Image Segment

@@ -1,0 +1,1 @@
+lib/mm/image.ml: Array Float Printf

@@ -1,0 +1,1 @@
+lib/mm/kmeans.ml: Array Float List Mirror_util

@@ -1,0 +1,1 @@
+lib/mm/kmeans.mli: Mirror_util

@@ -1,0 +1,1 @@
+lib/mm/mrf.ml: Array Float Image Mirror_util Segment

@@ -1,0 +1,1 @@
+lib/mm/mrf.mli: Image Segment

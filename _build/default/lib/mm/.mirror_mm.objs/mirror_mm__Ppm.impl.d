@@ -1,0 +1,1 @@
+lib/mm/ppm.ml: Array Buffer Char Float Fun Image Option Printf Result String

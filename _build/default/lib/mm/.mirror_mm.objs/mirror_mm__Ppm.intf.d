@@ -1,0 +1,1 @@
+lib/mm/ppm.mli: Image

@@ -1,0 +1,1 @@
+lib/mm/segment.ml: Array Float Hashtbl Image List

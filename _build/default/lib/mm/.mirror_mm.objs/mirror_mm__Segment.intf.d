@@ -1,0 +1,1 @@
+lib/mm/segment.mli: Image

@@ -1,0 +1,1 @@
+lib/mm/synth.ml: Array Float Image List Mirror_util String

@@ -1,0 +1,1 @@
+lib/mm/synth.mli: Image Mirror_util

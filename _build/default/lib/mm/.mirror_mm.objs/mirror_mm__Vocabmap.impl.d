@@ -1,0 +1,1 @@
+lib/mm/vocabmap.ml: Array Autoclass Float List Printf String

@@ -1,0 +1,1 @@
+lib/mm/vocabmap.mli: Autoclass

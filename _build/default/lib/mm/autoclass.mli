@@ -1,0 +1,53 @@
+(** Bayesian mixture clustering — the AutoClass substitute.
+
+    AutoClass (Cheeseman & Stutz 1995) fits a finite mixture model and
+    selects the number of classes automatically.  We reproduce that
+    behaviour with a diagonal-covariance Gaussian mixture fitted by EM
+    (k-means++ initialisation, multiple restarts) and class-count
+    selection by the Bayesian information criterion, which approximates
+    AutoClass's marginal-likelihood comparison. *)
+
+type model = {
+  k : int;  (** Number of mixture components. *)
+  weights : float array;  (** Component priors (sum to 1). *)
+  means : float array array;  (** Component means. *)
+  variances : float array array;  (** Per-dimension variances (floored). *)
+  loglik : float;  (** Final training log-likelihood. *)
+  loglik_trace : float list;  (** Per-EM-iteration log-likelihood, oldest first. *)
+}
+
+val fit :
+  Mirror_util.Prng.t ->
+  k:int ->
+  ?restarts:int ->
+  ?max_iter:int ->
+  ?tol:float ->
+  float array array ->
+  model
+(** Fit a [k]-component mixture; the best of [restarts] (default 2)
+    EM runs by log-likelihood is returned.
+    @raise Invalid_argument on empty data or non-positive [k]. *)
+
+val bic : model -> n:int -> float
+(** Bayesian information criterion (lower is better):
+    [-2 loglik + params ln n]. *)
+
+val select :
+  Mirror_util.Prng.t ->
+  ?kmin:int ->
+  ?kmax:int ->
+  ?restarts:int ->
+  float array array ->
+  model
+(** Fit for each class count in [kmin..kmax] (defaults 2..8, clamped to
+    the data size) and keep the best BIC — the "automatic class
+    discovery" behaviour the paper gets from AutoClass. *)
+
+val posterior : model -> float array -> float array
+(** Class membership probabilities for one point (sums to 1). *)
+
+val classify : model -> float array -> int
+(** Most probable class. *)
+
+val log_density : model -> float array -> float
+(** Log mixture density of one point. *)

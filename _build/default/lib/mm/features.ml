@@ -1,0 +1,16 @@
+type t = {
+  name : string;
+  dims : int;
+  extract : Image.t -> Segment.region -> float array;
+}
+
+let rgb_histogram = { name = "rgb"; dims = Histogram.rgb_dims; extract = Histogram.rgb }
+let hsv_histogram = { name = "hsv"; dims = Histogram.hsv_dims; extract = Histogram.hsv }
+let gabor = { name = "gabor"; dims = Gabor.dims; extract = Gabor.extract }
+let glcm = { name = "glcm"; dims = Glcm.dims; extract = Glcm.extract }
+let mrf = { name = "mrf"; dims = Mrf.dims; extract = Mrf.extract }
+let fractal = { name = "fractal"; dims = Fractal.dims; extract = Fractal.extract }
+
+let all = [ rgb_histogram; hsv_histogram; gabor; glcm; mrf; fractal ]
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all

@@ -1,0 +1,37 @@
+(** The feature-extraction daemon registry.
+
+    Each value of {!type-t} corresponds to one feature-extraction daemon of
+    the paper's figure 1: the two colour-histogram daemons and the four
+    MeasTex texture daemons.  Every extractor maps an image region to a
+    fixed-dimension feature vector; each extractor's outputs form one
+    "feature space" that AutoClass later clusters. *)
+
+type t = {
+  name : string;  (** Feature-space name, e.g. "rgb" or "gabor". *)
+  dims : int;  (** Output dimensionality. *)
+  extract : Image.t -> Segment.region -> float array;
+}
+
+val rgb_histogram : t
+(** First colour daemon (RGB cube). *)
+
+val hsv_histogram : t
+(** Second colour daemon (HSV). *)
+
+val gabor : t
+(** Texture daemon 1: Gabor bank. *)
+
+val glcm : t
+(** Texture daemon 2: co-occurrence statistics. *)
+
+val mrf : t
+(** Texture daemon 3: autoregressive MRF coefficients. *)
+
+val fractal : t
+(** Texture daemon 4: fractal dimension + lacunarity. *)
+
+val all : t list
+(** All six extractors, colour first. *)
+
+val find : string -> t option
+(** Look an extractor up by name. *)

@@ -1,0 +1,17 @@
+(** Fractal texture features (MeasTex reference algorithm 4).
+
+    Differential box counting estimates the fractal dimension of the
+    region's luminance surface; lacunarity (variance-over-mean-squared
+    of box masses at a fixed scale) measures gappiness.  Feature vector
+    is [dimension; lacunarity]. *)
+
+val dims : int
+(** 2. *)
+
+val box_counts : Image.t -> Segment.region -> (int * float) list
+(** [(box_size, N_r)] pairs used in the regression — exposed for
+    tests. *)
+
+val extract : Image.t -> Segment.region -> float array
+(** [fractal_dimension; lacunarity].  Smooth surfaces approach 2.0,
+    rough ones 3.0; degenerate regions return [2.0; 0.0]. *)

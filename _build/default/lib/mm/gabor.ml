@@ -1,0 +1,66 @@
+let pi = 4.0 *. atan 1.0
+
+let orientations = [| 0.0; pi /. 4.0; pi /. 2.0; 3.0 *. pi /. 4.0 |]
+let wavelengths = [| 4.0; 8.0 |]
+let dims = Array.length orientations * Array.length wavelengths * 2
+
+let kernel_radius = 4 (* 9x9 kernels *)
+
+let kernel ~theta ~wavelength =
+  let sigma = 0.56 *. wavelength in
+  let gamma = 0.5 in
+  let size = (2 * kernel_radius) + 1 in
+  let k = Array.make_matrix size size 0.0 in
+  for j = 0 to size - 1 do
+    for i = 0 to size - 1 do
+      let x = Float.of_int (i - kernel_radius) and y = Float.of_int (j - kernel_radius) in
+      let xr = (x *. cos theta) +. (y *. sin theta) in
+      let yr = (-.x *. sin theta) +. (y *. cos theta) in
+      let envelope = exp (-.((xr *. xr) +. (gamma *. gamma *. yr *. yr)) /. (2.0 *. sigma *. sigma)) in
+      k.(j).(i) <- envelope *. cos (2.0 *. pi *. xr /. wavelength)
+    done
+  done;
+  (* Zero-mean the kernel so flat patches give no response. *)
+  let sum = Array.fold_left (fun acc row -> Array.fold_left ( +. ) acc row) 0.0 k in
+  let n = Float.of_int (size * size) in
+  Array.map (Array.map (fun v -> v -. (sum /. n))) k
+
+let bank = lazy (
+  Array.to_list orientations
+  |> List.concat_map (fun theta ->
+         Array.to_list wavelengths
+         |> List.map (fun wavelength -> kernel ~theta ~wavelength)))
+
+let extract img (r : Segment.region) =
+  let kernels = Lazy.force bank in
+  let x0 = r.Segment.x and y0 = r.Segment.y and w = r.Segment.w and h = r.Segment.h in
+  (* Luminance patch with clamped borders so small regions still work. *)
+  let at x y =
+    let cx = max x0 (min (x0 + w - 1) x) and cy = max y0 (min (y0 + h - 1) y) in
+    Image.gray_at img ~x:cx ~y:cy
+  in
+  let feats = Array.make dims 0.0 in
+  List.iteri
+    (fun ki k ->
+      let sum = ref 0.0 and sumsq = ref 0.0 in
+      let count = w * h in
+      for y = y0 to y0 + h - 1 do
+        for x = x0 to x0 + w - 1 do
+          let resp = ref 0.0 in
+          for dj = -kernel_radius to kernel_radius do
+            for di = -kernel_radius to kernel_radius do
+              resp := !resp +. (k.(dj + kernel_radius).(di + kernel_radius) *. at (x + di) (y + dj))
+            done
+          done;
+          let m = Float.abs !resp in
+          sum := !sum +. m;
+          sumsq := !sumsq +. (m *. m)
+        done
+      done;
+      let n = Float.of_int count in
+      let mean = !sum /. n in
+      let var = Float.max 0.0 ((!sumsq /. n) -. (mean *. mean)) in
+      feats.(2 * ki) <- mean;
+      feats.((2 * ki) + 1) <- sqrt var)
+    kernels;
+  feats

@@ -1,0 +1,22 @@
+(** Gabor filter-bank texture features (MeasTex reference algorithm 1).
+
+    A bank of 4 orientations x 2 wavelengths of real Gabor kernels is
+    convolved over the region's luminance; the feature vector holds the
+    mean absolute response and its standard deviation per filter
+    (16 dimensions). *)
+
+val dims : int
+(** 4 orientations x 2 wavelengths x (mean, stddev) = 16. *)
+
+val orientations : float array
+(** Bank orientations in radians. *)
+
+val wavelengths : float array
+(** Bank wavelengths in pixels. *)
+
+val kernel : theta:float -> wavelength:float -> float array array
+(** The (odd-sized, square) real Gabor kernel for one bank member —
+    exposed for tests. *)
+
+val extract : Image.t -> Segment.region -> float array
+(** Feature vector for a region. *)

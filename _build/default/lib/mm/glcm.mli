@@ -1,0 +1,21 @@
+(** Grey-level co-occurrence matrix (Haralick) texture features
+    (MeasTex reference algorithm 2).
+
+    The region's luminance is quantised to {!levels} grey levels; a
+    symmetric co-occurrence matrix is accumulated for each of two pixel
+    offsets (east and south neighbours), and five classic Haralick
+    statistics are computed per offset. *)
+
+val levels : int
+(** Grey quantisation levels (8). *)
+
+val dims : int
+(** 2 offsets x 5 statistics = 10. *)
+
+val matrix : Image.t -> Segment.region -> dx:int -> dy:int -> float array array
+(** The normalised symmetric co-occurrence matrix for one offset —
+    exposed for tests (rows sum to 1 overall). *)
+
+val extract : Image.t -> Segment.region -> float array
+(** [contrast; energy; entropy; homogeneity; correlation] for offsets
+    (1,0) then (0,1). *)

@@ -1,0 +1,35 @@
+module Vecmath = Mirror_util.Vecmath
+
+let bin v bins =
+  let b = int_of_float (v *. Float.of_int bins) in
+  max 0 (min (bins - 1) b)
+
+let rgb_bins = 4
+let rgb_dims = rgb_bins * rgb_bins * rgb_bins
+
+let rgb img (r : Segment.region) =
+  let h = Array.make rgb_dims 0.0 in
+  for y = r.Segment.y to r.Segment.y + r.Segment.h - 1 do
+    for x = r.Segment.x to r.Segment.x + r.Segment.w - 1 do
+      let pr, pg, pb = Image.get img ~x ~y in
+      let i = (bin pr rgb_bins * rgb_bins * rgb_bins) + (bin pg rgb_bins * rgb_bins) + bin pb rgb_bins in
+      h.(i) <- h.(i) +. 1.0
+    done
+  done;
+  Vecmath.normalize_l1 h
+
+let hue_bins = 6
+let sat_bins = 2
+let val_bins = 2
+let hsv_dims = hue_bins * sat_bins * val_bins
+
+let hsv img (r : Segment.region) =
+  let hist = Array.make hsv_dims 0.0 in
+  for y = r.Segment.y to r.Segment.y + r.Segment.h - 1 do
+    for x = r.Segment.x to r.Segment.x + r.Segment.w - 1 do
+      let hh, ss, vv = Image.rgb_to_hsv (Image.get img ~x ~y) in
+      let i = (bin hh hue_bins * sat_bins * val_bins) + (bin ss sat_bins * val_bins) + bin vv val_bins in
+      hist.(i) <- hist.(i) +. 1.0
+    done
+  done;
+  Vecmath.normalize_l1 hist

@@ -1,0 +1,18 @@
+(** Colour-histogram feature extraction.
+
+    The demo environment runs "two color histogram daemons"; these are
+    their algorithms: an RGB-cube histogram and an HSV histogram.  Both
+    return L1-normalised bin frequencies over a region. *)
+
+val rgb_dims : int
+(** 4 bins per channel = 64 dimensions. *)
+
+val rgb : Image.t -> Segment.region -> float array
+(** RGB-cube histogram of the region (sums to 1 for non-empty
+    regions). *)
+
+val hsv_dims : int
+(** 6 hue x 2 saturation x 2 value = 24 dimensions. *)
+
+val hsv : Image.t -> Segment.region -> float array
+(** HSV histogram of the region. *)

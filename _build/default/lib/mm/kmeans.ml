@@ -1,0 +1,89 @@
+module Prng = Mirror_util.Prng
+module Vecmath = Mirror_util.Vecmath
+
+type result = {
+  centroids : float array array;
+  assign : int array;
+  inertia : float;
+  iterations : int;
+}
+
+let plusplus_init g ~k points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kmeans: no points";
+  let k = min k n in
+  let centroids = Array.make k points.(0) in
+  centroids.(0) <- Array.copy points.(Prng.int g n);
+  let d2 = Array.map (fun p -> Vecmath.dist2 p centroids.(0)) points in
+  for c = 1 to k - 1 do
+    let total = Array.fold_left ( +. ) 0.0 d2 in
+    let idx =
+      if total <= 0.0 then Prng.int g n
+      else Prng.sample_weighted g d2
+    in
+    centroids.(c) <- Array.copy points.(idx);
+    Array.iteri (fun i p -> d2.(i) <- Float.min d2.(i) (Vecmath.dist2 p centroids.(c))) points
+  done;
+  centroids
+
+let assign_points points centroids =
+  Array.map
+    (fun p ->
+      let best = ref 0 and bestd = ref infinity in
+      Array.iteri
+        (fun c mu ->
+          let d = Vecmath.dist2 p mu in
+          if d < !bestd then begin
+            bestd := d;
+            best := c
+          end)
+        centroids;
+      !best)
+    points
+
+let run g ~k ?(max_iter = 50) points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kmeans.run: no points";
+  if k <= 0 then invalid_arg "Kmeans.run: k must be positive";
+  let k = min k n in
+  let dims = Array.length points.(0) in
+  let centroids = plusplus_init g ~k points in
+  let assign = ref (assign_points points centroids) in
+  let iterations = ref 0 in
+  let changed = ref true in
+  while !changed && !iterations < max_iter do
+    incr iterations;
+    (* Recompute centroids. *)
+    let sums = Array.init k (fun _ -> Array.make dims 0.0) in
+    let counts = Array.make k 0 in
+    Array.iteri
+      (fun i c ->
+        counts.(c) <- counts.(c) + 1;
+        Vecmath.axpy 1.0 points.(i) sums.(c))
+      !assign;
+    for c = 0 to k - 1 do
+      if counts.(c) = 0 then begin
+        (* Re-seed an empty cluster on the point farthest from its centroid. *)
+        let far = ref 0 and fard = ref neg_infinity in
+        Array.iteri
+          (fun i p ->
+            let d = Vecmath.dist2 p centroids.(!assign.(i)) in
+            if d > !fard then begin
+              fard := d;
+              far := i
+            end)
+          points;
+        centroids.(c) <- Array.copy points.(!far)
+      end
+      else centroids.(c) <- Vecmath.scale (1.0 /. Float.of_int counts.(c)) sums.(c)
+    done;
+    let next = assign_points points centroids in
+    changed := not (next = !assign);
+    assign := next
+  done;
+  let inertia =
+    Array.to_list points
+    |> List.mapi (fun i p -> Vecmath.dist2 p centroids.(!assign.(i)))
+    |> List.fold_left ( +. ) 0.0
+  in
+  { centroids; assign = !assign; inertia; iterations = !iterations }

@@ -1,0 +1,24 @@
+(** k-means clustering (used to initialise the AutoClass substitute and
+    as a baseline clusterer in its own right). *)
+
+type result = {
+  centroids : float array array;  (** [k] centroids. *)
+  assign : int array;  (** Cluster index per input point. *)
+  inertia : float;  (** Sum of squared distances to assigned centroids. *)
+  iterations : int;  (** Lloyd iterations actually run. *)
+}
+
+val plusplus_init :
+  Mirror_util.Prng.t -> k:int -> float array array -> float array array
+(** k-means++ seeding (Arthur & Vassilvitskii).  Requires at least one
+    point; [k] is clamped to the number of points. *)
+
+val run :
+  Mirror_util.Prng.t ->
+  k:int ->
+  ?max_iter:int ->
+  float array array ->
+  result
+(** Lloyd's algorithm from a k-means++ seed.  [max_iter] defaults to
+    50.  Empty clusters are re-seeded on the farthest point.
+    @raise Invalid_argument on an empty input or non-positive [k]. *)

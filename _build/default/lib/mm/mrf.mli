@@ -1,0 +1,15 @@
+(** Autoregressive Markov-random-field texture features (MeasTex
+    reference algorithm 3).
+
+    Fits a causal autoregressive model
+    [I(x,y) ~ a1 I(x-1,y) + a2 I(x,y-1) + a3 I(x-1,y-1) + a4 I(x+1,y-1) + c]
+    over the region's luminance by least squares.  The feature vector is
+    the four AR coefficients plus the residual standard deviation. *)
+
+val dims : int
+(** 5. *)
+
+val extract : Image.t -> Segment.region -> float array
+(** [a1; a2; a3; a4; residual_stddev].  Degenerate regions (too small
+    or numerically singular) return the zero vector with the region's
+    grey stddev in the last slot. *)

@@ -1,0 +1,108 @@
+let quantize v = int_of_float ((Float.min 1.0 (Float.max 0.0 v) *. 255.0) +. 0.5)
+
+let encode img =
+  let w = img.Image.width and h = img.Image.height in
+  let buf = Buffer.create ((w * h * 3) + 32) in
+  Buffer.add_string buf (Printf.sprintf "P6\n%d %d\n255\n" w h);
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let r, g, b = Image.get img ~x ~y in
+      Buffer.add_char buf (Char.chr (quantize r));
+      Buffer.add_char buf (Char.chr (quantize g));
+      Buffer.add_char buf (Char.chr (quantize b))
+    done
+  done;
+  Buffer.contents buf
+
+(* Tokenised header reading: magic, width, height, maxval, with
+   '#'-comments allowed between tokens. *)
+type cursor = { data : string; mutable pos : int }
+
+let rec skip_space c =
+  if c.pos < String.length c.data then
+    match c.data.[c.pos] with
+    | ' ' | '\t' | '\n' | '\r' ->
+      c.pos <- c.pos + 1;
+      skip_space c
+    | '#' ->
+      while c.pos < String.length c.data && c.data.[c.pos] <> '\n' do
+        c.pos <- c.pos + 1
+      done;
+      skip_space c
+    | _ -> ()
+
+let token c =
+  skip_space c;
+  let start = c.pos in
+  while
+    c.pos < String.length c.data
+    &&
+    match c.data.[c.pos] with ' ' | '\t' | '\n' | '\r' -> false | _ -> true
+  do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then None else Some (String.sub c.data start (c.pos - start))
+
+let decode data =
+  let c = { data; pos = 0 } in
+  match token c with
+  | Some (("P6" | "P3") as magic) -> (
+    let int_token what =
+      match Option.bind (token c) int_of_string_opt with
+      | Some v when v > 0 -> Ok v
+      | _ -> Error ("ppm: bad " ^ what)
+    in
+    let ( let* ) = Result.bind in
+    let* w = int_token "width" in
+    let* h = int_token "height" in
+    let* maxval = int_token "maxval" in
+    if maxval > 255 then Error "ppm: only 8-bit channels supported"
+    else if magic = "P6" then begin
+      (* single whitespace byte after maxval, then raw samples *)
+      c.pos <- c.pos + 1;
+      if String.length data - c.pos < w * h * 3 then Error "ppm: truncated pixel data"
+      else begin
+        let at i = Float.of_int (Char.code data.[c.pos + i]) /. Float.of_int maxval in
+        Ok
+          (Image.init ~width:w ~height:h (fun ~x ~y ->
+               let base = 3 * ((y * w) + x) in
+               (at base, at (base + 1), at (base + 2))))
+      end
+    end
+    else begin
+      (* P3: ascii samples *)
+      let n = w * h * 3 in
+      let samples = Array.make n 0.0 in
+      let rec fill i =
+        if i = n then Ok ()
+        else
+          match Option.bind (token c) int_of_string_opt with
+          | Some v ->
+            samples.(i) <- Float.of_int v /. Float.of_int maxval;
+            fill (i + 1)
+          | None -> Error "ppm: truncated ascii pixel data"
+      in
+      let* () = fill 0 in
+      Ok
+        (Image.init ~width:w ~height:h (fun ~x ~y ->
+             let base = 3 * ((y * w) + x) in
+             (samples.(base), samples.(base + 1), samples.(base + 2))))
+    end)
+  | _ -> Error "ppm: not a P6/P3 file"
+
+let save img path =
+  match open_out_bin path with
+  | exception Sys_error e -> Error e
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (encode img));
+    Ok ()
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> decode (really_input_string ic (in_channel_length ic)))

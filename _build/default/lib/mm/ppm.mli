@@ -1,0 +1,18 @@
+(** PPM (portable pixmap) image serialisation.
+
+    The media server of the paper is a web server holding the actual
+    footage; this module gives it a concrete wire format: binary P6
+    with 8-bit channels.  Round-tripping quantises each channel to
+    1/255. *)
+
+val encode : Image.t -> string
+(** Binary P6 bytes. *)
+
+val decode : string -> (Image.t, string) result
+(** Parse P6 bytes (plain P3 is also accepted). *)
+
+val save : Image.t -> string -> (unit, string) result
+(** Write to a file. *)
+
+val load : string -> (Image.t, string) result
+(** Read from a file. *)

@@ -1,0 +1,110 @@
+type region = { x : int; y : int; w : int; h : int }
+
+type params = {
+  var_threshold : float;
+  min_size : int;
+  merge_threshold : float;
+}
+
+let default_params = { var_threshold = 0.02; min_size = 8; merge_threshold = 0.08 }
+
+let region_pixels r = r.w * r.h
+
+let channel_stats img r =
+  let n = Float.of_int (region_pixels r) in
+  let sr = ref 0.0 and sg = ref 0.0 and sb = ref 0.0 in
+  let qr = ref 0.0 and qg = ref 0.0 and qb = ref 0.0 in
+  for y = r.y to r.y + r.h - 1 do
+    for x = r.x to r.x + r.w - 1 do
+      let pr, pg, pb = Image.get img ~x ~y in
+      sr := !sr +. pr;
+      sg := !sg +. pg;
+      sb := !sb +. pb;
+      qr := !qr +. (pr *. pr);
+      qg := !qg +. (pg *. pg);
+      qb := !qb +. (pb *. pb)
+    done
+  done;
+  let mean s = s /. n in
+  let var s q = Float.max 0.0 ((q /. n) -. (mean s *. mean s)) in
+  ((mean !sr, mean !sg, mean !sb), var !sr !qr +. var !sg !qg +. var !sb !qb)
+
+let mean_color img r = fst (channel_stats img r)
+let color_variance img r = snd (channel_stats img r)
+
+let split ?(params = default_params) img =
+  let out = ref [] in
+  let rec go r =
+    let splittable = r.w >= 2 * params.min_size || r.h >= 2 * params.min_size in
+    if splittable && color_variance img r > params.var_threshold then begin
+      let halves_x = if r.w >= 2 * params.min_size then 2 else 1 in
+      let halves_y = if r.h >= 2 * params.min_size then 2 else 1 in
+      let w2 = r.w / halves_x and h2 = r.h / halves_y in
+      for i = 0 to halves_x - 1 do
+        for j = 0 to halves_y - 1 do
+          let x = r.x + (i * w2) and y = r.y + (j * h2) in
+          let w = if i = halves_x - 1 then r.x + r.w - x else w2 in
+          let h = if j = halves_y - 1 then r.y + r.h - y else h2 in
+          go { x; y; w; h }
+        done
+      done
+    end
+    else out := r :: !out
+  in
+  go { x = 0; y = 0; w = img.Image.width; h = img.Image.height };
+  List.rev !out
+
+let adjacent a b =
+  let overlap a0 alen b0 blen = a0 < b0 + blen && b0 < a0 + alen in
+  (* share a vertical edge *)
+  ((a.x + a.w = b.x || b.x + b.w = a.x) && overlap a.y a.h b.y b.h)
+  || (* share a horizontal edge *)
+  ((a.y + a.h = b.y || b.y + b.h = a.y) && overlap a.x a.w b.x b.w)
+
+let color_dist (r1, g1, b1) (r2, g2, b2) =
+  sqrt (((r1 -. r2) ** 2.0) +. ((g1 -. g2) ** 2.0) +. ((b1 -. b2) ** 2.0))
+
+(* Union-find over region indices. *)
+let find parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  let root = go i in
+  let rec compress i =
+    if parent.(i) <> root then begin
+      let next = parent.(i) in
+      parent.(i) <- root;
+      compress next
+    end
+  in
+  compress i;
+  root
+
+let segment ?(params = default_params) img =
+  let regions = Array.of_list (split ~params img) in
+  let n = Array.length regions in
+  let means = Array.map (fun r -> mean_color img r) regions in
+  let parent = Array.init n (fun i -> i) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if
+        adjacent regions.(i) regions.(j)
+        && color_dist means.(i) means.(j) < params.merge_threshold
+      then begin
+        let ri = find parent i and rj = find parent j in
+        if ri <> rj then parent.(rj) <- ri
+      end
+    done
+  done;
+  let groups = Hashtbl.create n in
+  for i = 0 to n - 1 do
+    let root = find parent i in
+    let existing = try Hashtbl.find groups root with Not_found -> [] in
+    Hashtbl.replace groups root (regions.(i) :: existing)
+  done;
+  (* Deterministic order: by smallest region index in the group. *)
+  let roots = List.init n (fun i -> i) |> List.filter (fun i -> find parent i = i) in
+  List.map (fun root -> List.rev (Hashtbl.find groups root)) roots
+
+let segment_flat ?(params = default_params) img = List.concat (segment ~params img)
+
+let crop img r =
+  Image.init ~width:r.w ~height:r.h (fun ~x ~y -> Image.get img ~x:(r.x + x) ~y:(r.y + y))

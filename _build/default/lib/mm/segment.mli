@@ -1,0 +1,45 @@
+(** Image segmentation daemon logic.
+
+    "One of the daemons segments the images" — this module is that
+    daemon's algorithm: a quadtree split on colour variance followed by
+    a greedy merge of adjacent regions with similar mean colour.  The
+    output regions tile the image exactly (tested as an invariant). *)
+
+type region = { x : int; y : int; w : int; h : int }
+(** Axis-aligned pixel rectangle; [w] and [h] are at least 1. *)
+
+type params = {
+  var_threshold : float;  (** Split while summed channel variance exceeds this. *)
+  min_size : int;  (** Do not split below this edge length. *)
+  merge_threshold : float;  (** Merge adjacent regions whose mean-colour distance is below this. *)
+}
+
+val default_params : params
+(** var_threshold = 0.02, min_size = 8, merge_threshold = 0.08. *)
+
+val split : ?params:params -> Image.t -> region list
+(** Quadtree phase only. *)
+
+val segment : ?params:params -> Image.t -> region list list
+(** Full segmentation: quadtree then merge; each inner list is one
+    segment (a set of rectangles).  Segments are disjoint and cover the
+    image. *)
+
+val segment_flat : ?params:params -> Image.t -> region list
+(** {!segment} with each merged segment replaced by its bounding
+    rectangles' list flattened — convenient when a consumer only needs
+    rectangular patches (each rectangle tagged by its segment is lost;
+    use {!segment} when segment identity matters). *)
+
+val region_pixels : region -> int
+(** Area in pixels. *)
+
+val mean_color : Image.t -> region -> float * float * float
+(** Channel means over a region. *)
+
+val color_variance : Image.t -> region -> float
+(** Sum of the three channel variances over a region. *)
+
+val crop : Image.t -> region -> Image.t
+(** Copy a region into a fresh image (used to feed extractors that
+    want a rectangular patch). *)

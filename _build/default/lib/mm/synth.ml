@@ -1,0 +1,180 @@
+module Prng = Mirror_util.Prng
+
+type texture_class = Stripes | Checker | Blobs | Gradient | Speckle | Waves
+
+let all_classes = [ Stripes; Checker; Blobs; Gradient; Speckle; Waves ]
+
+let class_name = function
+  | Stripes -> "stripes"
+  | Checker -> "checker"
+  | Blobs -> "blobs"
+  | Gradient -> "gradient"
+  | Speckle -> "speckle"
+  | Waves -> "waves"
+
+let class_words = function
+  | Stripes -> [ "stripes"; "striped"; "lines"; "banded" ]
+  | Checker -> [ "checker"; "checkered"; "grid"; "squares" ]
+  | Blobs -> [ "blobs"; "spots"; "dots"; "spotted" ]
+  | Gradient -> [ "gradient"; "smooth"; "sky"; "fade" ]
+  | Speckle -> [ "speckle"; "grainy"; "sand"; "noisy" ]
+  | Waves -> [ "waves"; "wavy"; "water"; "ripples" ]
+
+(* (name, base colour, accent colour) *)
+let palettes =
+  [|
+    ("red", (0.55, 0.05, 0.05), (0.95, 0.35, 0.25));
+    ("green", (0.05, 0.45, 0.10), (0.40, 0.90, 0.35));
+    ("blue", (0.05, 0.10, 0.55), (0.30, 0.55, 0.95));
+    ("yellow", (0.75, 0.65, 0.05), (1.00, 0.95, 0.40));
+    ("purple", (0.40, 0.05, 0.55), (0.75, 0.40, 0.90));
+    ("orange", (0.80, 0.40, 0.05), (1.00, 0.70, 0.30));
+    ("gray", (0.25, 0.25, 0.25), (0.75, 0.75, 0.75));
+    ("brown", (0.35, 0.22, 0.10), (0.65, 0.50, 0.30));
+  |]
+
+let palette_count = Array.length palettes
+
+let palette_name i =
+  if i < 0 || i >= palette_count then invalid_arg "Synth.palette_name: out of range";
+  let name, _, _ = palettes.(i) in
+  name
+
+type region_truth = {
+  x : int;
+  y : int;
+  w : int;
+  h : int;
+  cls : texture_class;
+  palette : int;
+}
+
+type scene = {
+  image : Image.t;
+  truth : region_truth list;
+  caption : string list option;
+}
+
+let pi = 4.0 *. atan 1.0
+
+(* Per-class intensity pattern in [0,1]; parameters drawn once per call. *)
+let pattern g cls =
+  match cls with
+  | Stripes ->
+    let theta = Prng.float g pi in
+    let wavelength = 3.0 +. Prng.float g 6.0 in
+    let cx = cos theta and sy = sin theta in
+    fun x y ->
+      0.5 +. (0.5 *. sin (2.0 *. pi *. ((Float.of_int x *. cx) +. (Float.of_int y *. sy)) /. wavelength))
+  | Checker ->
+    let cell = 3 + Prng.int g 5 in
+    fun x y -> if ((x / cell) + (y / cell)) mod 2 = 0 then 0.0 else 1.0
+  | Blobs ->
+    let k = 4 + Prng.int g 5 in
+    let centers =
+      Array.init k (fun _ -> (Prng.float g 1.0, Prng.float g 1.0, 0.03 +. Prng.float g 0.08))
+    in
+    fun x y ->
+      let fx = Float.of_int x /. 64.0 and fy = Float.of_int y /. 64.0 in
+      let v =
+        Array.fold_left
+          (fun acc (cx, cy, s) ->
+            let d2 = ((fx -. cx) ** 2.0) +. ((fy -. cy) ** 2.0) in
+            acc +. exp (-.d2 /. (2.0 *. s *. s)))
+          0.0 centers
+      in
+      Float.min 1.0 v
+  | Gradient ->
+    let a = Prng.float g 1.0 and b = Prng.float g 1.0 in
+    let norm = Float.max 1e-6 (a +. b) in
+    fun x y -> ((a *. Float.of_int x /. 64.0) +. (b *. Float.of_int y /. 64.0)) /. norm
+  | Speckle -> fun _ _ -> 0.0 (* replaced by per-pixel noise below *)
+  | Waves ->
+    let wavelength = 4.0 +. Prng.float g 6.0 in
+    let amp = 1.0 +. Prng.float g 3.0 in
+    fun x y ->
+      0.5
+      +. 0.5
+         *. sin ((Float.of_int x +. (amp *. sin (Float.of_int y /. wavelength))) *. 2.0 *. pi /. wavelength)
+
+let lerp (r1, g1, b1) (r2, g2, b2) t =
+  (r1 +. ((r2 -. r1) *. t), g1 +. ((g2 -. g1) *. t), b1 +. ((b2 -. b1) *. t))
+
+let render_into g img ~x0 ~y0 ~w ~h cls palette =
+  let _, base, accent = palettes.(palette) in
+  let pat = pattern g cls in
+  let noise_amp = if cls = Speckle then 0.9 else 0.08 in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let t = pat x y in
+      let t = t +. (noise_amp *. (Prng.float g 1.0 -. 0.5)) in
+      let t = Float.min 1.0 (Float.max 0.0 t) in
+      Image.set img ~x:(x0 + x) ~y:(y0 + y) (lerp base accent t)
+    done
+  done
+
+let render_texture g ~width ~height cls palette =
+  let img = Image.create ~width ~height in
+  render_into g img ~x0:0 ~y0:0 ~w:width ~h:height cls palette;
+  img
+
+let caption_words g truth =
+  let words = ref [] in
+  List.iter
+    (fun r ->
+      (* canonical class word always; one synonym sometimes *)
+      let cw = class_words r.cls in
+      words := List.hd cw :: !words;
+      if Prng.float g 1.0 < 0.5 then words := List.nth cw (1 + Prng.int g (List.length cw - 1)) :: !words;
+      words := palette_name r.palette :: !words)
+    truth;
+  (* noise words *)
+  let noise = [| "image"; "picture"; "photo"; "the"; "a"; "texture" |] in
+  let k = Prng.int g 3 in
+  for _ = 1 to k do
+    words := Prng.choose g noise :: !words
+  done;
+  List.rev !words
+
+let scene g ?(width = 64) ?(height = 64) ?(regions = 2) ?(annotated = true) () =
+  if regions < 1 then invalid_arg "Synth.scene: regions must be >= 1";
+  let img = Image.create ~width ~height in
+  let vertical = Prng.bool g in
+  let rects =
+    if vertical then
+      List.init regions (fun i ->
+          let x0 = i * width / regions in
+          let x1 = (i + 1) * width / regions in
+          (x0, 0, x1 - x0, height))
+    else
+      List.init regions (fun i ->
+          let y0 = i * height / regions in
+          let y1 = (i + 1) * height / regions in
+          (0, y0, width, y1 - y0))
+  in
+  let classes = Array.of_list all_classes in
+  let truth =
+    List.map
+      (fun (x, y, w, h) ->
+        let cls = Prng.choose g classes in
+        let palette = Prng.int g palette_count in
+        render_into g img ~x0:x ~y0:y ~w ~h cls palette;
+        { x; y; w; h; cls; palette })
+      rects
+  in
+  let caption = if annotated then Some (caption_words g truth) else None in
+  { image = img; truth; caption }
+
+let corpus g ~n ?(width = 64) ?(height = 64) ?(annotated_fraction = 0.7) () =
+  Array.init n (fun _ ->
+      let annotated = Prng.float g 1.0 < annotated_fraction in
+      let regions = 1 + Prng.int g 2 in
+      scene g ~width ~height ~regions ~annotated ())
+
+let relevant s ~query_words =
+  let lower = List.map String.lowercase_ascii query_words in
+  List.exists
+    (fun r ->
+      List.exists (fun w -> List.mem w lower) (class_words r.cls)
+      || List.mem (palette_name r.palette) lower)
+    s.truth

@@ -1,0 +1,78 @@
+(** Synthetic image corpus with ground truth.
+
+    The paper's demo crawled web images, some with manual annotations.
+    Offline we generate images procedurally: each image is composed of
+    regions drawn from a small set of texture classes rendered in named
+    colour palettes, and the (optional) caption is derived from the
+    classes and palettes present, plus noise words.  Ground truth
+    (which class/palette each region has) is kept alongside, which is
+    what lets the experiment harness score retrieval quality. *)
+
+type texture_class = Stripes | Checker | Blobs | Gradient | Speckle | Waves
+
+val all_classes : texture_class list
+(** Every texture class, in a fixed order. *)
+
+val class_name : texture_class -> string
+(** Stable lower-case name ("stripes", …). *)
+
+val class_words : texture_class -> string list
+(** Annotation vocabulary evoked by the class; the first word is the
+    canonical one. *)
+
+val palette_count : int
+(** Number of built-in colour palettes. *)
+
+val palette_name : int -> string
+(** Name of palette [i] ("red", "blue", …), also used as a caption
+    word. @raise Invalid_argument when out of range. *)
+
+type region_truth = {
+  x : int;
+  y : int;
+  w : int;
+  h : int;
+  cls : texture_class;
+  palette : int;
+}
+(** One ground-truth region of a scene. *)
+
+type scene = {
+  image : Image.t;
+  truth : region_truth list;
+  caption : string list option;  (** [None] for unannotated images. *)
+}
+
+val render_texture :
+  Mirror_util.Prng.t -> width:int -> height:int -> texture_class -> int -> Image.t
+(** Render a single-class image in the given palette. *)
+
+val scene :
+  Mirror_util.Prng.t ->
+  ?width:int ->
+  ?height:int ->
+  ?regions:int ->
+  ?annotated:bool ->
+  unit ->
+  scene
+(** One random scene of [regions] (default 2) vertical/horizontal
+    panels, each with its own class and palette.  When [annotated]
+    (default true) a caption is generated from the region truths with
+    mild word noise. *)
+
+val corpus :
+  Mirror_util.Prng.t ->
+  n:int ->
+  ?width:int ->
+  ?height:int ->
+  ?annotated_fraction:float ->
+  unit ->
+  scene array
+(** [n] scenes; roughly [annotated_fraction] (default 0.7) of them
+    carry captions — the paper's "some of the images in the library are
+    annotated". *)
+
+val relevant : scene -> query_words:string list -> bool
+(** Ground-truth relevance: does any region's class or palette
+    vocabulary intersect the query words?  Used by the quality
+    experiments. *)

@@ -1,0 +1,33 @@
+let term ~space cluster = Printf.sprintf "%s_%d" space cluster
+
+let parse_term s =
+  match String.rindex_opt s '_' with
+  | None -> None
+  | Some i -> (
+    let space = String.sub s 0 i in
+    let num = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt num with
+    | Some c when c >= 0 && space <> "" -> Some (space, c)
+    | _ -> None)
+
+let soft_words model ~space vectors =
+  let totals = Array.make model.Autoclass.k 0.0 in
+  Array.iter
+    (fun v ->
+      let p = Autoclass.posterior model v in
+      Array.iteri (fun c w -> totals.(c) <- totals.(c) +. w) p)
+    vectors;
+  Array.to_list totals
+  |> List.mapi (fun c w -> (term ~space c, w))
+  |> List.filter (fun (_, w) -> w > 1e-6)
+
+let hard_words model ~space vectors =
+  let totals = Array.make model.Autoclass.k 0 in
+  Array.iter
+    (fun v ->
+      let c = Autoclass.classify model v in
+      totals.(c) <- totals.(c) + 1)
+    vectors;
+  Array.to_list totals
+  |> List.mapi (fun c n -> (term ~space c, Float.of_int n))
+  |> List.filter (fun (_, w) -> w > 0.0)

@@ -1,0 +1,24 @@
+(** From clusters to "visual words".
+
+    "We further use the identified clusters as if they are words in
+    text retrieval; they become the basic blocks of 'meaning' for
+    multimedia information retrieval."  This module names the clusters
+    of each feature space (e.g. ["gabor_21"]) and converts a bag of
+    segment feature vectors into a term-frequency bag over those
+    names — the image-side CONTREP content. *)
+
+val term : space:string -> int -> string
+(** ["<space>_<cluster>"], e.g. [term ~space:"gabor" 21 = "gabor_21"]. *)
+
+val parse_term : string -> (string * int) option
+(** Inverse of {!term} ([None] for non-visual words). *)
+
+val soft_words :
+  Autoclass.model -> space:string -> float array array -> (string * float) list
+(** Term frequencies as summed posteriors per cluster over the given
+    vectors (smooth evidence, AutoClass-style).  Clusters with total
+    posterior below 1e-6 are omitted. *)
+
+val hard_words :
+  Autoclass.model -> space:string -> float array array -> (string * float) list
+(** Term frequencies by hard classification counts. *)

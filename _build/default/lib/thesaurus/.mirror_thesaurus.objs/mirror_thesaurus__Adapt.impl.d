@@ -1,0 +1,1 @@
+lib/thesaurus/adapt.ml: Float Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/thesaurus/assoc.ml: Hashtbl List Mirror_ir

@@ -1,0 +1,1 @@
+lib/thesaurus/assoc.mli:

@@ -1,0 +1,1 @@
+lib/thesaurus/concepts.ml: Array Assoc Hashtbl List Mirror_ir Option String

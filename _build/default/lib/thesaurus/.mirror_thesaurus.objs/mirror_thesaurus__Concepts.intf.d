@@ -1,0 +1,1 @@
+lib/thesaurus/concepts.mli: Assoc Mirror_ir

@@ -1,0 +1,1 @@
+lib/thesaurus/emim.ml: Assoc Float Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/thesaurus/emim.mli: Assoc

@@ -1,0 +1,41 @@
+type t = {
+  gain : float;
+  floor : float;
+  ceiling : float;
+  weights : (string * string, float) Hashtbl.t;
+}
+
+let create ?(gain = 1.25) ?(floor = 0.1) ?(ceiling = 10.0) () =
+  if gain <= 1.0 then invalid_arg "Adapt.create: gain must exceed 1";
+  { gain; floor; ceiling; weights = Hashtbl.create 64 }
+
+let pair_weight t ~term ~concept =
+  Option.value ~default:1.0 (Hashtbl.find_opt t.weights (term, concept))
+
+let reinforce t ~terms ~concepts ~good =
+  let f = if good then t.gain else 1.0 /. t.gain in
+  List.iter
+    (fun term ->
+      List.iter
+        (fun concept ->
+          let w = pair_weight t ~term ~concept *. f in
+          let w = Float.min t.ceiling (Float.max t.floor w) in
+          Hashtbl.replace t.weights (term, concept) w)
+        concepts)
+    terms
+
+let adjust t ~terms ranked =
+  let boost concept =
+    match terms with
+    | [] -> 1.0
+    | _ ->
+      let logs = List.map (fun term -> log (pair_weight t ~term ~concept)) terms in
+      exp (List.fold_left ( +. ) 0.0 logs /. Float.of_int (List.length logs))
+  in
+  ranked
+  |> List.map (fun (c, s) -> (c, s *. boost c))
+  |> List.sort (fun (c1, a) (c2, b) ->
+         let r = Float.compare b a in
+         if r <> 0 then r else String.compare c1 c2)
+
+let pairs_adapted t = Hashtbl.length t.weights

@@ -1,0 +1,31 @@
+(** Cross-session thesaurus adaptation from relevance feedback.
+
+    The paper closes with: "we are investigating machine learning
+    techniques to adapt the thesaurus and the content representation,
+    using the relevance feedback across query sessions".  This module
+    implements that extension: a persistent multiplicative overlay on
+    the (query term, concept) association strengths, reinforced when
+    feedback confirms a concept and decayed when it refutes one. *)
+
+type t
+
+val create : ?gain:float -> ?floor:float -> ?ceiling:float -> unit -> t
+(** Fresh overlay.  [gain] (default 1.25) is the multiplicative update;
+    weights are clamped to [[floor, ceiling]] (defaults 0.1 and 10). *)
+
+val pair_weight : t -> term:string -> concept:string -> float
+(** Current multiplier for a pair (1.0 when never adapted). *)
+
+val reinforce : t -> terms:string list -> concepts:string list -> good:bool -> unit
+(** Strengthen ([good = true]) or weaken every (term, concept) pair in
+    the cross product — called once per feedback judgement with the
+    session's query terms and the concepts that drove the judged
+    result. *)
+
+val adjust : t -> terms:string list -> (string * float) list -> (string * float) list
+(** Re-rank an association list: each concept's score is multiplied by
+    the geometric mean of its learned pair weights against the query
+    terms; the result is re-sorted best first. *)
+
+val pairs_adapted : t -> int
+(** Number of (term, concept) pairs carrying a non-default weight. *)

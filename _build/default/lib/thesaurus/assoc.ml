@@ -1,0 +1,26 @@
+type evidence = {
+  doc : int;
+  text : (string * float) list;
+  visual : (string * float) list;
+}
+
+let of_caption ~doc ~caption ~visual =
+  { doc; text = Mirror_ir.Tokenize.tf_bag caption; visual }
+
+let vocabulary select evs =
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun ev ->
+      List.iter
+        (fun (w, _) ->
+          if not (Hashtbl.mem seen w) then begin
+            Hashtbl.add seen w ();
+            order := w :: !order
+          end)
+        (select ev))
+    evs;
+  List.rev !order
+
+let text_vocabulary evs = vocabulary (fun ev -> ev.text) evs
+let visual_vocabulary evs = vocabulary (fun ev -> ev.visual) evs

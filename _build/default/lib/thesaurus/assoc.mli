@@ -1,0 +1,22 @@
+(** Shared evidence representation for thesaurus construction.
+
+    The thesaurus "associat[es] words in the textual annotations to the
+    clusters in the image content representation".  Its input is, per
+    document, the text term bag and the visual-word (cluster) bag. *)
+
+type evidence = {
+  doc : int;  (** Document (image) oid. *)
+  text : (string * float) list;  (** Annotation terms with tf. *)
+  visual : (string * float) list;  (** Visual words (clusters) with tf. *)
+}
+
+val of_caption :
+  doc:int -> caption:string -> visual:(string * float) list -> evidence
+(** Tokenise/stem/stop a raw caption into the text bag. *)
+
+val text_vocabulary : evidence list -> string list
+(** Distinct text terms over the evidence, in first-occurrence order. *)
+
+val visual_vocabulary : evidence list -> string list
+(** Distinct visual words over the evidence, in first-occurrence
+    order. *)

@@ -1,0 +1,58 @@
+module Index = Mirror_ir.Index
+module Search = Mirror_ir.Search
+module Querynet = Mirror_ir.Querynet
+
+type t = {
+  index : Index.t;  (** pseudo-document per concept; doc id = concept id *)
+  names : string array;  (** concept id -> visual word *)
+}
+
+let build evidence =
+  (* Accumulate, per visual word, the tf-weighted text terms of the
+     documents it occurs in. *)
+  let pseudo : (string, (string, float) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun ev ->
+      if ev.Assoc.text <> [] && ev.Assoc.visual <> [] then
+        List.iter
+          (fun (concept, ctf) ->
+            let bag =
+              match Hashtbl.find_opt pseudo concept with
+              | Some b -> b
+              | None ->
+                let b = Hashtbl.create 16 in
+                Hashtbl.add pseudo concept b;
+                order := concept :: !order;
+                b
+            in
+            List.iter
+              (fun (term, ttf) ->
+                let prev = Option.value ~default:0.0 (Hashtbl.find_opt bag term) in
+                Hashtbl.replace bag term (prev +. (ctf *. ttf)))
+              ev.Assoc.text)
+          ev.Assoc.visual)
+    evidence;
+  let names = Array.of_list (List.rev !order) in
+  let index = Index.create "thesaurus" in
+  Array.iteri
+    (fun cid concept ->
+      let bag = Hashtbl.find pseudo concept in
+      let terms = Hashtbl.fold (fun term tf acc -> (term, tf) :: acc) bag [] in
+      (* Deterministic order for reproducibility. *)
+      let terms = List.sort (fun (a, _) (b, _) -> String.compare a b) terms in
+      Index.add_doc index ~doc:cid terms)
+    names;
+  { index; names }
+
+let concept_count t = Array.length t.names
+let concepts t = Array.to_list t.names
+
+let associate t ?(limit = 10) query =
+  Search.run_indexed t.index ~limit query
+  |> List.map (fun h -> (t.names.(h.Search.doc), h.Search.score))
+
+let formulate t ?(limit = 10) query =
+  match associate t ~limit query with
+  | [] -> Querynet.Sum []
+  | ranked -> Querynet.Wsum (List.map (fun (c, w) -> (w, Querynet.Term (c, 1.0))) ranked)

@@ -1,0 +1,61 @@
+type t = {
+  n : int;
+  term_docs : (string, int) Hashtbl.t;  (* docs containing the term *)
+  concept_docs : (string, int) Hashtbl.t;
+  joint : (string * string, int) Hashtbl.t;  (* docs containing both *)
+  concept_list : string list;
+}
+
+let build evidence =
+  let evidence = List.filter (fun ev -> ev.Assoc.text <> [] && ev.Assoc.visual <> []) evidence in
+  let term_docs = Hashtbl.create 256 in
+  let concept_docs = Hashtbl.create 64 in
+  let joint = Hashtbl.create 1024 in
+  let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)) in
+  List.iter
+    (fun ev ->
+      let terms = List.sort_uniq String.compare (List.map fst ev.Assoc.text) in
+      let cs = List.sort_uniq String.compare (List.map fst ev.Assoc.visual) in
+      List.iter (bump term_docs) terms;
+      List.iter (bump concept_docs) cs;
+      List.iter (fun w -> List.iter (fun c -> bump joint (w, c)) cs) terms)
+    evidence;
+  { n = List.length evidence; term_docs; concept_docs; joint; concept_list = Assoc.visual_vocabulary evidence }
+
+let ndocs t = t.n
+
+(* EMIM over the 2x2 presence table with add-nothing estimates; cells
+   with zero probability contribute zero. *)
+let score t ~term ~concept =
+  if t.n = 0 then 0.0
+  else begin
+    let nw = Option.value ~default:0 (Hashtbl.find_opt t.term_docs term) in
+    let nc = Option.value ~default:0 (Hashtbl.find_opt t.concept_docs concept) in
+    if nw = 0 || nc = 0 then 0.0
+    else begin
+      let n11 = Option.value ~default:0 (Hashtbl.find_opt t.joint (term, concept)) in
+      let n10 = nw - n11 and n01 = nc - n11 in
+      let n00 = t.n - nw - nc + n11 in
+      let nf = Float.of_int t.n in
+      let cell nij ni nj =
+        if nij <= 0 then 0.0
+        else
+          let pij = Float.of_int nij /. nf in
+          let pi = Float.of_int ni /. nf and pj = Float.of_int nj /. nf in
+          pij *. log (pij /. (pi *. pj))
+      in
+      cell n11 nw nc
+      +. cell n10 nw (t.n - nc)
+      +. cell n01 (t.n - nw) nc
+      +. cell n00 (t.n - nw) (t.n - nc)
+    end
+  end
+
+let top_concepts t ?(limit = 10) term =
+  t.concept_list
+  |> List.map (fun c -> (c, score t ~term ~concept:c))
+  |> List.filter (fun (_, s) -> s > 0.0)
+  |> List.sort (fun (c1, a) (c2, b) ->
+         let r = Float.compare b a in
+         if r <> 0 then r else String.compare c1 c2)
+  |> List.filteri (fun i _ -> i < limit)

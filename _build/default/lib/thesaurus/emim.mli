@@ -1,0 +1,21 @@
+(** Expected-mutual-information association (the classic co-occurrence
+    alternative to the pseudo-document thesaurus; van Rijsbergen 1979,
+    as used by Jing & Croft).  Scores a (text term, concept) pair by
+    the mutual information of their document-level presence
+    indicators. *)
+
+type t
+
+val build : Assoc.evidence list -> t
+(** Tabulate document-level co-occurrence counts. *)
+
+val ndocs : t -> int
+(** Documents contributing evidence (those with both text and visual
+    content). *)
+
+val score : t -> term:string -> concept:string -> float
+(** EMIM of the pair; 0 when either side never occurs. *)
+
+val top_concepts : t -> ?limit:int -> string -> (string * float) list
+(** Concepts most associated with a term, best first (positive scores
+    only).  [limit] defaults to 10. *)

@@ -1,0 +1,1 @@
+lib/util/stringx.ml: List String

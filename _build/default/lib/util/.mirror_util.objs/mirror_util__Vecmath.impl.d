@@ -1,0 +1,1 @@
+lib/util/vecmath.ml: Array Float List Printf

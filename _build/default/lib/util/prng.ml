@@ -1,0 +1,96 @@
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014).  State is a single 64-bit counter advanced
+   by the golden-gamma; output is a finalizing hash of the counter. *)
+
+type t = { mutable state : int64; mutable spare : float option }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = Int64.of_int seed; spare = None }
+
+let copy g = { state = g.state; spare = g.spare }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let s = bits64 g in
+  { state = mix64 s; spare = None }
+
+(* Top 62 bits as a non-negative OCaml int. *)
+let bits g = Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec draw () =
+    let r = bits g in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then draw () else v
+  in
+  draw ()
+
+let float g bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let gaussian g =
+  match g.spare with
+  | Some v ->
+    g.spare <- None;
+    v
+  | None ->
+    let rec polar () =
+      let u = (2.0 *. float g 1.0) -. 1.0 and v = (2.0 *. float g 1.0) -. 1.0 in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1.0 || s = 0.0 then polar ()
+      else begin
+        let m = sqrt (-2.0 *. log s /. s) in
+        g.spare <- Some (v *. m);
+        u *. m
+      end
+    in
+    polar ()
+
+let gaussian_mv g ~mean ~sigma =
+  if Array.length mean <> Array.length sigma then
+    invalid_arg "Prng.gaussian_mv: dimension mismatch";
+  Array.mapi (fun i mu -> mu +. (sigma.(i) *. gaussian g)) mean
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int g (Array.length a))
+
+let sample_weighted g w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if total <= 0.0 then invalid_arg "Prng.sample_weighted: weights sum to zero";
+  let x = float g total in
+  let n = Array.length w in
+  let rec scan i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. w.(i) in
+      if x < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let perm g n =
+  let a = Array.init n (fun i -> i) in
+  shuffle g a;
+  a

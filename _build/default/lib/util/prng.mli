@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the system (synthetic data generation,
+    k-means++ seeding, EM restarts, workload generators) draws from this
+    module so that tests, examples and benchmarks are reproducible from a
+    single integer seed.  The generator is splitmix64, which is fast,
+    well-distributed and trivially splittable. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator; equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split g] derives an independent generator from [g], advancing [g].
+    Used to give each daemon / worker its own stream. *)
+
+val copy : t -> t
+(** [copy g] duplicates the current state without advancing [g]. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int g bound] draws uniformly from [0, bound).  [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float g bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box-Muller). *)
+
+val gaussian_mv : t -> mean:float array -> sigma:float array -> float array
+(** Diagonal-covariance multivariate normal sample; [sigma] holds the
+    per-dimension standard deviations. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_weighted : t -> float array -> int
+(** [sample_weighted g w] draws index [i] with probability proportional
+    to [w.(i)].  Weights must be non-negative with a positive sum. *)
+
+val perm : t -> int -> int array
+(** [perm g n] is a uniform permutation of [0..n-1]. *)

@@ -1,0 +1,72 @@
+let require_nonempty a name =
+  if Array.length a = 0 then invalid_arg ("Stat." ^ name ^ ": empty array")
+
+let mean a =
+  require_nonempty a "mean";
+  Array.fold_left ( +. ) 0.0 a /. Float.of_int (Array.length a)
+
+let variance a =
+  require_nonempty a "variance";
+  let m = mean a in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a
+  /. Float.of_int (Array.length a)
+
+let stddev a = sqrt (variance a)
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort Float.compare b;
+  b
+
+let median a =
+  require_nonempty a "median";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+
+let percentile a p =
+  require_nonempty a "percentile";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stat.percentile: p out of range";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  let rank = int_of_float (ceil (p /. 100.0 *. Float.of_int n)) in
+  b.(max 0 (min (n - 1) (rank - 1)))
+
+let covariance a b =
+  require_nonempty a "covariance";
+  if Array.length a <> Array.length b then invalid_arg "Stat.covariance: length mismatch";
+  let ma = mean a and mb = mean b in
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. ((a.(i) -. ma) *. (b.(i) -. mb))
+  done;
+  !acc /. Float.of_int (Array.length a)
+
+let pearson a b =
+  let sa = stddev a and sb = stddev b in
+  if sa = 0.0 || sb = 0.0 then 0.0 else covariance a b /. (sa *. sb)
+
+let entropy w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if total <= 0.0 then 0.0
+  else
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then acc
+        else
+          let p = x /. total in
+          acc -. (p *. log p))
+      0.0 w
+
+let histogram ~bins ~lo ~hi a =
+  if bins <= 0 then invalid_arg "Stat.histogram: bins must be positive";
+  if hi <= lo then invalid_arg "Stat.histogram: empty range";
+  let h = Array.make bins 0 in
+  let width = (hi -. lo) /. Float.of_int bins in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = max 0 (min (bins - 1) b) in
+      h.(b) <- h.(b) + 1)
+    a;
+  h

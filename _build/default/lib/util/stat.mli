@@ -1,0 +1,32 @@
+(** Small descriptive-statistics helpers used by feature extractors,
+    the clustering quality metrics and the experiment harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean of a non-empty array. *)
+
+val variance : float array -> float
+(** Population variance (divide by n) of a non-empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val median : float array -> float
+(** Median (average of the two middle values for even length); does not
+    mutate its argument. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [0,100], nearest-rank on a sorted copy. *)
+
+val covariance : float array -> float array -> float
+(** Population covariance of two equal-length arrays. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation; 0 when either side is constant. *)
+
+val entropy : float array -> float
+(** Shannon entropy (nats) of a histogram of non-negative weights; the
+    histogram is normalised internally and zero bins are skipped. *)
+
+val histogram : bins:int -> lo:float -> hi:float -> float array -> int array
+(** Fixed-width histogram; values outside [lo,hi) are clamped into the
+    first/last bin. *)

@@ -1,0 +1,67 @@
+type align = Left | Right
+
+type t = {
+  title : string option;
+  cols : (string * align) array;
+  mutable rows : string array list; (* reversed *)
+}
+
+let create ?title cols =
+  if cols = [] then invalid_arg "Tablefmt.create: no columns";
+  { title; cols = Array.of_list cols; rows = [] }
+
+let add_row t cells =
+  let row = Array.of_list cells in
+  if Array.length row <> Array.length t.cols then
+    invalid_arg
+      (Printf.sprintf "Tablefmt.add_row: %d cells for %d columns" (Array.length row)
+         (Array.length t.cols));
+  t.rows <- row :: t.rows
+
+let add_rowf t fmt =
+  Printf.ksprintf
+    (fun s ->
+      let row = Array.make (Array.length t.cols) "" in
+      row.(0) <- s;
+      t.rows <- row :: t.rows)
+    fmt
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.cols in
+  let width = Array.make ncols 0 in
+  Array.iteri (fun i (h, _) -> width.(i) <- String.length h) t.cols;
+  List.iter
+    (fun row -> Array.iteri (fun i c -> width.(i) <- max width.(i) (String.length c)) row)
+    rows;
+  let pad i s =
+    match snd t.cols.(i) with
+    | Left -> Stringx.pad_right width.(i) s
+    | Right -> Stringx.pad_left width.(i) s
+  in
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  let header = Array.mapi (fun i (h, _) -> pad i h) t.cols in
+  Buffer.add_string buf (String.concat "  " (Array.to_list header));
+  Buffer.add_char buf '\n';
+  let rule = Array.mapi (fun i _ -> String.make width.(i) '-') t.cols in
+  Buffer.add_string buf (String.concat "  " (Array.to_list rule));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      let cells = Array.mapi (fun i c -> pad i c) row in
+      Buffer.add_string buf (String.concat "  " (Array.to_list cells));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_float ?(prec = 3) x = Printf.sprintf "%.*f" prec x
+let cell_int n = string_of_int n

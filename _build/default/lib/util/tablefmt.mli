@@ -1,0 +1,31 @@
+(** Aligned plain-text tables for the experiment harness.  Every table or
+    series the benchmark binary prints goes through this module so the
+    output format (and hence EXPERIMENTS.md) stays uniform. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> (string * align) list -> t
+(** [create cols] starts a table with the given column headers and
+    alignments. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; the row must have as many cells as there are columns. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** [add_rowf t fmt …] formats one string and adds it as a single-cell
+    row spanning the first column — used for footnotes. *)
+
+val render : t -> string
+(** Render with a header rule and per-column padding. *)
+
+val print : t -> unit
+(** [render] followed by [print_string] and a trailing newline. *)
+
+val cell_float : ?prec:int -> float -> string
+(** Format a float with fixed precision (default 3). *)
+
+val cell_int : int -> string
+(** Format an int. *)

@@ -1,0 +1,122 @@
+let check_dim a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vecmath.%s: dimension mismatch (%d vs %d)" name (Array.length a) (Array.length b))
+
+let dot a b =
+  check_dim a b "dot";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let dist2 a b =
+  check_dim a b "dist2";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let add a b =
+  check_dim a b "add";
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_dim a b "sub";
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale k a = Array.map (fun x -> k *. x) a
+
+let axpy k x y =
+  check_dim x y "axpy";
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (k *. x.(i))
+  done
+
+let mean = function
+  | [] -> invalid_arg "Vecmath.mean: empty list"
+  | v :: _ as vs ->
+    let acc = Array.make (Array.length v) 0.0 in
+    let n = ref 0 in
+    List.iter
+      (fun u ->
+        incr n;
+        axpy 1.0 u acc)
+      vs;
+    scale (1.0 /. Float.of_int !n) acc
+
+let normalize_l1 a =
+  let s = Array.fold_left ( +. ) 0.0 a in
+  if s = 0.0 then Array.copy a else scale (1.0 /. s) a
+
+let normalize_l2 a =
+  let n = norm2 a in
+  if n = 0.0 then Array.copy a else scale (1.0 /. n) a
+
+let cosine a b =
+  let na = norm2 a and nb = norm2 b in
+  if na = 0.0 || nb = 0.0 then 0.0 else dot a b /. (na *. nb)
+
+let log_sum_exp a =
+  if Array.length a = 0 then invalid_arg "Vecmath.log_sum_exp: empty array";
+  let m = Array.fold_left Float.max neg_infinity a in
+  if m = neg_infinity then neg_infinity
+  else m +. log (Array.fold_left (fun acc x -> acc +. exp (x -. m)) 0.0 a)
+
+let arg_best better a =
+  if Array.length a = 0 then invalid_arg "Vecmath.arg_best: empty array";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if better a.(i) a.(!best) then best := i
+  done;
+  !best
+
+let argmax a = arg_best ( > ) a
+let argmin a = arg_best ( < ) a
+
+let solve a b =
+  let n = Array.length b in
+  if Array.length a <> n || Array.exists (fun row -> Array.length row <> n) a then
+    invalid_arg "Vecmath.solve: non-square system";
+  let m = Array.map Array.copy a in
+  let x = Array.copy b in
+  let ok = ref true in
+  (for col = 0 to n - 1 do
+     (* Partial pivoting. *)
+     let pivot = ref col in
+     for row = col + 1 to n - 1 do
+       if Float.abs m.(row).(col) > Float.abs m.(!pivot).(col) then pivot := row
+     done;
+     if Float.abs m.(!pivot).(col) < 1e-12 then ok := false
+     else begin
+       if !pivot <> col then begin
+         let tmp = m.(col) in
+         m.(col) <- m.(!pivot);
+         m.(!pivot) <- tmp;
+         let tb = x.(col) in
+         x.(col) <- x.(!pivot);
+         x.(!pivot) <- tb
+       end;
+       for row = col + 1 to n - 1 do
+         let f = m.(row).(col) /. m.(col).(col) in
+         for k = col to n - 1 do
+           m.(row).(k) <- m.(row).(k) -. (f *. m.(col).(k))
+         done;
+         x.(row) <- x.(row) -. (f *. x.(col))
+       done
+     end
+   done);
+  if not !ok then None
+  else begin
+    for row = n - 1 downto 0 do
+      for k = row + 1 to n - 1 do
+        x.(row) <- x.(row) -. (m.(row).(k) *. x.(k))
+      done;
+      x.(row) <- x.(row) /. m.(row).(row)
+    done;
+    Some x
+  end

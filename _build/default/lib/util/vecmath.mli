@@ -1,0 +1,50 @@
+(** Dense float-vector arithmetic shared by the feature extraction and
+    clustering code.  All operations are total on equal-length vectors and
+    raise [Invalid_argument] on dimension mismatch. *)
+
+val dot : float array -> float array -> float
+(** Inner product. *)
+
+val norm2 : float array -> float
+(** Euclidean norm. *)
+
+val dist2 : float array -> float array -> float
+(** Squared Euclidean distance. *)
+
+val add : float array -> float array -> float array
+(** Element-wise sum (fresh array). *)
+
+val sub : float array -> float array -> float array
+(** Element-wise difference (fresh array). *)
+
+val scale : float -> float array -> float array
+(** Scalar multiple (fresh array). *)
+
+val axpy : float -> float array -> float array -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val mean : float array list -> float array
+(** Component-wise mean of a non-empty list of equal-length vectors. *)
+
+val normalize_l1 : float array -> float array
+(** Scale so components sum to 1; the zero vector is returned unchanged. *)
+
+val normalize_l2 : float array -> float array
+(** Scale to unit Euclidean norm; the zero vector is returned unchanged. *)
+
+val cosine : float array -> float array -> float
+(** Cosine similarity; 0 when either vector is zero. *)
+
+val log_sum_exp : float array -> float
+(** Numerically-stable [log (sum_i (exp a_i))]. *)
+
+val argmax : float array -> int
+(** Index of the largest component of a non-empty array (first on ties). *)
+
+val argmin : float array -> int
+(** Index of the smallest component of a non-empty array (first on ties). *)
+
+val solve : float array array -> float array -> float array option
+(** [solve a b] solves the linear system [a x = b] by Gaussian
+    elimination with partial pivoting; [None] when [a] is (numerically)
+    singular.  [a] and [b] are not modified. *)

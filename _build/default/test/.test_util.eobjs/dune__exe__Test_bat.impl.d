@@ -1,0 +1,1 @@
+test/test_bat.ml: Alcotest Filename Float Hashtbl List Mirror_bat Option Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Filename Float Fun List Mirror_bat Mirror_core Mirror_daemon Mirror_ir Mirror_mm Mirror_util Option Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_daemon.ml: Alcotest Array List Mirror_daemon Mirror_mm Mirror_thesaurus Mirror_util Option Printf String

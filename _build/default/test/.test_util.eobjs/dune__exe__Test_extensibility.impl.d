@@ -1,0 +1,1 @@
+test/test_extensibility.ml: Alcotest Hashtbl List Mirror_bat Mirror_core

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Gen List Mirror_bat Mirror_ir Option Printf QCheck QCheck_alcotest String

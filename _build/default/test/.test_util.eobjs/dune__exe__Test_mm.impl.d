@@ -1,0 +1,1 @@
+test/test_mm.ml: Alcotest Array Filename Float List Mirror_mm Mirror_util Printf QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_thesaurus.ml: Alcotest List Mirror_ir Mirror_thesaurus Printf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen Int64 List Mirror_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,305 @@
+(* Tests for the distributed architecture (mirror_daemon). *)
+
+module Prng = Mirror_util.Prng
+module Synth = Mirror_mm.Synth
+module Bus = Mirror_daemon.Bus
+module Media = Mirror_daemon.Media
+module Dictionary = Mirror_daemon.Dictionary
+module Store = Mirror_daemon.Store
+module Daemon = Mirror_daemon.Daemon
+module Standard = Mirror_daemon.Standard
+module Faults = Mirror_daemon.Faults
+module Orchestrator = Mirror_daemon.Orchestrator
+
+(* {1 Bus} *)
+
+let test_bus_pubsub () =
+  let b = Bus.create () in
+  Bus.subscribe b ~topic:"t" ~name:"d1";
+  Bus.subscribe b ~topic:"t" ~name:"d2";
+  Bus.publish b { Bus.topic = "t"; subject = 5; payload = [ ("k", "v") ] };
+  Alcotest.(check int) "fan out" 2 (Bus.pending b);
+  (match Bus.fetch b ~name:"d1" with
+  | Some m ->
+    Alcotest.(check int) "subject" 5 m.Bus.subject;
+    Alcotest.(check (option string)) "attr" (Some "v") (Bus.attr m "k")
+  | None -> Alcotest.fail "expected message");
+  Alcotest.(check bool) "d1 drained" true (Bus.fetch b ~name:"d1" = None);
+  Alcotest.(check bool) "d2 still queued" true (Bus.fetch b ~name:"d2" <> None)
+
+let test_bus_drop_counter () =
+  let b = Bus.create () in
+  Bus.publish b { Bus.topic = "nobody"; subject = 0; payload = [] };
+  Alcotest.(check int) "dropped" 1 (Bus.dropped b);
+  Alcotest.(check int) "published" 1 (Bus.published b)
+
+let test_bus_fifo () =
+  let b = Bus.create () in
+  Bus.subscribe b ~topic:"t" ~name:"d";
+  for i = 1 to 3 do
+    Bus.publish b { Bus.topic = "t"; subject = i; payload = [] }
+  done;
+  let order = List.init 3 (fun _ -> (Option.get (Bus.fetch b ~name:"d")).Bus.subject) in
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] order
+
+let test_bus_requeue () =
+  let b = Bus.create () in
+  Bus.subscribe b ~topic:"t" ~name:"d";
+  Bus.publish b { Bus.topic = "t"; subject = 1; payload = [] };
+  let m = Option.get (Bus.fetch b ~name:"d") in
+  Bus.requeue b ~name:"d" m;
+  Alcotest.(check int) "pending again" 1 (Bus.pending b);
+  Alcotest.(check int) "requeue is not a publication" 1 (Bus.published b)
+
+(* {1 Dictionary} *)
+
+let test_dictionary () =
+  let d = Dictionary.create () in
+  Dictionary.register d ~name:"Lib" ~schema:"v1" ~owner:"app";
+  Alcotest.(check (option string)) "initial" (Some "v1") (Dictionary.schema_of d "Lib");
+  Dictionary.evolve d ~name:"Lib" ~schema:"v2" ~by:"daemon";
+  Alcotest.(check (option string)) "evolved" (Some "v2") (Dictionary.schema_of d "Lib");
+  Alcotest.(check (list (pair string string))) "history"
+    [ ("v1", "app"); ("v2", "daemon") ]
+    (Dictionary.history d "Lib");
+  Alcotest.(check (list string)) "extents" [ "Lib" ] (Dictionary.extents d);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Dictionary.register: extent \"Lib\" already exists")
+    (fun () -> Dictionary.register d ~name:"Lib" ~schema:"x" ~owner:"y")
+
+(* {1 Store} *)
+
+let test_store_visual_merge () =
+  let s = Store.create () in
+  Store.register_doc s ~doc:0 ~url:"u0";
+  Store.add_visual_words s ~doc:0 [ ("a", 1.0); ("b", 2.0) ];
+  Store.add_visual_words s ~doc:0 [ ("a", 0.5) ];
+  Alcotest.(check (list (pair string (float 1e-9)))) "merged"
+    [ ("a", 1.5); ("b", 2.0) ]
+    (Store.visual_words s ~doc:0)
+
+let test_store_evidence () =
+  let s = Store.create () in
+  Store.register_doc s ~doc:0 ~url:"u0";
+  Store.register_doc s ~doc:1 ~url:"u1";
+  Store.put_text s ~doc:0 [ ("zebra", 1.0) ];
+  Store.add_visual_words s ~doc:0 [ ("g_0", 1.0) ];
+  let evs = Store.evidence s in
+  Alcotest.(check int) "all docs present" 2 (List.length evs);
+  let ev0 = List.hd evs in
+  Alcotest.(check bool) "doc0 has both" true
+    (ev0.Mirror_thesaurus.Assoc.text <> [] && ev0.Mirror_thesaurus.Assoc.visual <> [])
+
+(* {1 Media server} *)
+
+let test_media_server () =
+  let media = Media.create () in
+  let img = Mirror_mm.Image.create ~width:4 ~height:4 in
+  Media.put media ~url:"http://x/1" img;
+  Media.put media ~url:"http://x/0" img;
+  Alcotest.(check int) "count" 2 (Media.count media);
+  Alcotest.(check (list string)) "urls sorted" [ "http://x/0"; "http://x/1" ] (Media.urls media);
+  Alcotest.(check bool) "get" true (Media.get media "http://x/1" <> None);
+  Alcotest.(check bool) "missing" true (Media.get media "http://x/2" = None);
+  (* rebinding replaces *)
+  Media.put media ~url:"http://x/1" img;
+  Alcotest.(check int) "rebind keeps count" 2 (Media.count media)
+
+let test_dictionary_unknown_evolve () =
+  let d = Dictionary.create () in
+  Alcotest.check_raises "unknown extent" Not_found (fun () ->
+      Dictionary.evolve d ~name:"Nope" ~schema:"x" ~by:"y")
+
+(* A daemon that re-publishes to its own topic would livelock; the
+   orchestrator's round guard must stop it. *)
+let test_orchestrator_livelock_guard () =
+  let chatter =
+    Daemon.make ~name:"chatter" ~topics:[ "noise" ] (fun _ m ->
+        [ { Bus.topic = "noise"; subject = m.Bus.subject; payload = [] } ])
+  in
+  let orch = Orchestrator.create ~daemons:[ chatter ] () in
+  Bus.publish (Orchestrator.ctx orch).Daemon.bus { Bus.topic = "noise"; subject = 0; payload = [] };
+  let report = Orchestrator.run ~max_rounds:5 orch in
+  Alcotest.(check int) "stopped at the guard" 5 report.Orchestrator.rounds
+
+(* {1 Full pipeline (figure 1)} *)
+
+let build_pipeline ?(n = 6) ?daemons () =
+  let orch = Orchestrator.create ?daemons () in
+  let g = Prng.create 42 in
+  let scenes = Synth.corpus g ~n ~width:32 ~height:32 ~annotated_fraction:0.8 () in
+  Array.iteri
+    (fun i s ->
+      let url = Printf.sprintf "http://img.example/%d.png" i in
+      let annotation = Option.map (String.concat " ") s.Synth.caption in
+      Orchestrator.ingest_image orch ~doc:i ~url ?annotation s.Synth.image)
+    scenes;
+  Orchestrator.complete_collection orch;
+  (orch, scenes)
+
+let test_pipeline_quiesces () =
+  let orch, _ = build_pipeline () in
+  let report = Orchestrator.run orch in
+  Alcotest.(check bool) "finished" true (report.Orchestrator.rounds < 1000);
+  Alcotest.(check int) "nothing dead-lettered" 0 (List.length report.Orchestrator.dead_letters);
+  Alcotest.(check int) "bus drained" 0 (Bus.pending (Orchestrator.ctx orch).Daemon.bus)
+
+let test_pipeline_products () =
+  let orch, scenes = build_pipeline () in
+  ignore (Orchestrator.run orch);
+  let store = (Orchestrator.ctx orch).Daemon.store in
+  (* every document segmented and feature-extracted in all six spaces *)
+  Array.iteri
+    (fun doc _ ->
+      Alcotest.(check bool) (Printf.sprintf "segments doc %d" doc) true
+        (Store.segments store ~doc <> None);
+      List.iter
+        (fun space ->
+          Alcotest.(check bool)
+            (Printf.sprintf "features %s doc %d" space doc)
+            true
+            (Store.features store ~doc ~space <> None))
+        [ "rgb"; "hsv"; "gabor"; "glcm"; "mrf"; "fractal" ];
+      Alcotest.(check bool) (Printf.sprintf "visual words doc %d" doc) true
+        (Store.visual_words store ~doc <> []))
+    scenes;
+  (* all six spaces clustered *)
+  Alcotest.(check (list string)) "clustered spaces"
+    [ "fractal"; "gabor"; "glcm"; "hsv"; "mrf"; "rgb" ]
+    (Store.clustered_spaces store);
+  (* thesaurus built *)
+  Alcotest.(check bool) "thesaurus" true (Store.thesaurus store <> None)
+
+let test_pipeline_schema_evolution () =
+  let orch, _ = build_pipeline () in
+  ignore (Orchestrator.run orch);
+  let dict = (Orchestrator.ctx orch).Daemon.dict in
+  let history = Dictionary.history dict "ImageLibrary" in
+  Alcotest.(check int) "two schema versions" 2 (List.length history);
+  Alcotest.(check string) "evolved by clusterer" "autoclass" (snd (List.nth history 1))
+
+let test_pipeline_annotations_indexed () =
+  let orch, scenes = build_pipeline () in
+  ignore (Orchestrator.run orch);
+  let store = (Orchestrator.ctx orch).Daemon.store in
+  Array.iteri
+    (fun doc s ->
+      match s.Synth.caption with
+      | Some _ ->
+        Alcotest.(check bool) (Printf.sprintf "text doc %d" doc) true
+          (Store.text store ~doc <> None)
+      | None ->
+        Alcotest.(check bool) (Printf.sprintf "no text doc %d" doc) true
+          (Store.text store ~doc = None))
+    scenes
+
+let test_pipeline_flaky_daemon_retries () =
+  let g = Prng.create 7 in
+  let daemons =
+    List.map
+      (fun (d : Daemon.t) ->
+        if d.Daemon.name = "segmenter" then Faults.flaky g ~rate:0.4 d else d)
+      (Standard.all ())
+  in
+  let orch, _ = build_pipeline ~daemons () in
+  let report = Orchestrator.run ~max_retries:10 orch in
+  let seg = List.find (fun s -> s.Orchestrator.name = "segmenter") report.Orchestrator.stats in
+  Alcotest.(check bool) "some failures injected" true (seg.Orchestrator.failures > 0);
+  Alcotest.(check int) "all images still segmented" 6 seg.Orchestrator.handled;
+  Alcotest.(check int) "no dead letters with retries" 0
+    (List.length report.Orchestrator.dead_letters)
+
+let test_pipeline_broken_daemon_dead_letters () =
+  let daemons =
+    List.map
+      (fun (d : Daemon.t) ->
+        if d.Daemon.name = "annotation-indexer" then Faults.broken d else d)
+      (Standard.all ())
+  in
+  let orch, scenes = build_pipeline ~daemons () in
+  let report = Orchestrator.run ~max_retries:1 orch in
+  let annotated =
+    Array.to_list scenes |> List.filter (fun s -> s.Synth.caption <> None) |> List.length
+  in
+  Alcotest.(check int) "every annotation dead-lettered" annotated
+    (List.length report.Orchestrator.dead_letters);
+  List.iter
+    (fun (name, _) -> Alcotest.(check string) "right daemon" "annotation-indexer" name)
+    report.Orchestrator.dead_letters;
+  (* the rest of the pipeline still completed *)
+  let store = (Orchestrator.ctx orch).Daemon.store in
+  Alcotest.(check bool) "clustering still ran" true (Store.clustered_spaces store <> [])
+
+let test_missing_media_dead_letters () =
+  let orch = Orchestrator.create () in
+  let ctx = Orchestrator.ctx orch in
+  (* announce a document whose footage the media server never received *)
+  Store.register_doc ctx.Daemon.store ~doc:0 ~url:"http://gone";
+  Bus.publish ctx.Daemon.bus
+    { Bus.topic = "image.new"; subject = 0; payload = [ ("url", "http://gone") ] };
+  let report = Orchestrator.run ~max_retries:1 orch in
+  Alcotest.(check bool) "segmenter dead-letters the message" true
+    (List.exists (fun (name, _) -> name = "segmenter") report.Orchestrator.dead_letters)
+
+let test_query_formulation_round_trip () =
+  let orch, _ = build_pipeline () in
+  ignore (Orchestrator.run orch);
+  (* interactive use: the client asks over the bus, the daemon answers *)
+  Orchestrator.formulate orch "stripes";
+  ignore (Orchestrator.run orch);
+  match Orchestrator.formulated orch with
+  | Some ((_ :: _) as concepts) ->
+    List.iter
+      (fun (c, w) ->
+        Alcotest.(check bool) ("visual word: " ^ c) true
+          (Mirror_mm.Vocabmap.parse_term c <> None);
+        Alcotest.(check bool) "positive belief" true (w > 0.0))
+      concepts
+  | Some [] -> Alcotest.fail "no concepts returned"
+  | None -> Alcotest.fail "no reply delivered"
+
+let test_pipeline_stats_shape () =
+  let orch, _ = build_pipeline () in
+  let report = Orchestrator.run orch in
+  Alcotest.(check int) "one stats row per daemon" 11 (List.length report.Orchestrator.stats);
+  let seg = List.find (fun s -> s.Orchestrator.name = "segmenter") report.Orchestrator.stats in
+  Alcotest.(check int) "segmenter saw all images" 6 seg.Orchestrator.handled;
+  let cl = List.find (fun s -> s.Orchestrator.name = "autoclass") report.Orchestrator.stats in
+  Alcotest.(check int) "clusterer ran once" 1 cl.Orchestrator.handled;
+  (* one clustering.done per space + contrep.ready *)
+  Alcotest.(check int) "clusterer produced 7 messages" 7 cl.Orchestrator.produced
+
+let () =
+  Alcotest.run "mirror_daemon"
+    [
+      ( "bus",
+        [
+          Alcotest.test_case "publish/subscribe" `Quick test_bus_pubsub;
+          Alcotest.test_case "drop counter" `Quick test_bus_drop_counter;
+          Alcotest.test_case "fifo order" `Quick test_bus_fifo;
+          Alcotest.test_case "requeue" `Quick test_bus_requeue;
+        ] );
+      ("dictionary", [ Alcotest.test_case "register/evolve/history" `Quick test_dictionary ]);
+      ( "store",
+        [
+          Alcotest.test_case "visual word merge" `Quick test_store_visual_merge;
+          Alcotest.test_case "evidence" `Quick test_store_evidence;
+        ] );
+      ( "media",
+        [
+          Alcotest.test_case "put/get/urls" `Quick test_media_server;
+          Alcotest.test_case "evolve unknown extent" `Quick test_dictionary_unknown_evolve;
+          Alcotest.test_case "livelock guard" `Quick test_orchestrator_livelock_guard;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "quiesces" `Quick test_pipeline_quiesces;
+          Alcotest.test_case "products complete" `Quick test_pipeline_products;
+          Alcotest.test_case "schema evolution" `Quick test_pipeline_schema_evolution;
+          Alcotest.test_case "annotations indexed" `Quick test_pipeline_annotations_indexed;
+          Alcotest.test_case "flaky daemon retries" `Quick test_pipeline_flaky_daemon_retries;
+          Alcotest.test_case "broken daemon dead-letters" `Quick test_pipeline_broken_daemon_dead_letters;
+          Alcotest.test_case "stats shape" `Quick test_pipeline_stats_shape;
+          Alcotest.test_case "missing media dead-letters" `Quick test_missing_media_dead_letters;
+          Alcotest.test_case "interactive query formulation" `Quick test_query_formulation_round_trip;
+        ] );
+    ]

@@ -1,0 +1,441 @@
+(* Tests for the inference-network IR engine (mirror_ir). *)
+
+module Tokenize = Mirror_ir.Tokenize
+module Stopwords = Mirror_ir.Stopwords
+module Porter = Mirror_ir.Porter
+module Vocab = Mirror_ir.Vocab
+module Space = Mirror_ir.Space
+module Belief = Mirror_ir.Belief
+module Querynet = Mirror_ir.Querynet
+module Index = Mirror_ir.Index
+module Search = Mirror_ir.Search
+module Bat = Mirror_bat.Bat
+module Atom = Mirror_bat.Atom
+
+(* {1 Porter} *)
+
+let porter_vectors =
+  [
+    ("caresses", "caress"); ("ponies", "poni"); ("ties", "ti"); ("cats", "cat");
+    ("agreed", "agre"); ("plastered", "plaster"); ("motoring", "motor");
+    ("hopping", "hop"); ("falling", "fall"); ("hissing", "hiss"); ("filing", "file");
+    ("happy", "happi"); ("sky", "sky"); ("relational", "relat");
+    ("conditional", "condit"); ("digitizer", "digit"); ("operator", "oper");
+    ("triplicate", "triplic"); ("formalize", "formal"); ("hopeful", "hope");
+    ("goodness", "good"); ("adjustable", "adjust"); ("replacement", "replac");
+    ("adoption", "adopt"); ("effective", "effect"); ("cease", "ceas");
+    ("feed", "feed"); ("bled", "bled"); ("sing", "sing"); ("controlling", "control");
+    ("relativity", "rel"); ("probability", "probabl"); ("multimedia", "multimedia");
+    ("databases", "databas"); ("retrieval", "retriev"); ("architecture", "architectur");
+    ("annotations", "annot"); ("clustering", "cluster"); ("segmentation", "segment");
+    ("thesaurus", "thesauru"); ("inference", "infer"); ("probabilistic", "probabilist");
+  ]
+
+let test_porter_vectors () =
+  List.iter
+    (fun (w, expect) -> Alcotest.(check string) ("stem " ^ w) expect (Porter.stem w))
+    porter_vectors
+
+let test_porter_short_words () =
+  Alcotest.(check string) "1-char" "a" (Porter.stem "a");
+  Alcotest.(check string) "2-char" "is" (Porter.stem "is")
+
+let test_porter_lowercases () = Alcotest.(check string) "upper" "cat" (Porter.stem "CATS")
+
+let prop_porter_sane =
+  QCheck.Test.make ~name:"stem is non-empty, lowercase, no longer than input" ~count:300
+    QCheck.(string_gen_of_size Gen.(int_range 1 12) Gen.(char_range 'a' 'z'))
+    (fun w ->
+      let s = Porter.stem w in
+      String.length s > 0
+      && String.length s <= String.length w
+      && String.lowercase_ascii s = s)
+
+(* {1 Tokenize / stopwords} *)
+
+let test_tokenize_words () =
+  Alcotest.(check (list string)) "words" [ "striped"; "cats"; "42" ]
+    (Tokenize.words "Striped, cats: 42!")
+
+let test_tokenize_terms () =
+  Alcotest.(check (list string)) "stop + stem" [ "stripe"; "cat" ]
+    (Tokenize.terms "the striped cats")
+
+let test_tokenize_no_stem () =
+  Alcotest.(check (list string)) "raw" [ "striped"; "cats" ]
+    (Tokenize.terms ~stem:false "the striped cats")
+
+let test_tf_bag () =
+  Alcotest.(check (list (pair string (float 1e-9)))) "bag"
+    [ ("cat", 2.0); ("dog", 1.0) ]
+    (Tokenize.tf_bag "cats cat dog the")
+
+let test_stopwords () =
+  Alcotest.(check bool) "the" true (Stopwords.is_stopword "The");
+  Alcotest.(check bool) "cat" false (Stopwords.is_stopword "cat")
+
+(* {1 Vocab} *)
+
+let test_vocab () =
+  let v = Vocab.create () in
+  let a = Vocab.intern v "alpha" in
+  let b = Vocab.intern v "beta" in
+  Alcotest.(check int) "dense ids" 0 a;
+  Alcotest.(check int) "next id" 1 b;
+  Alcotest.(check int) "intern is idempotent" a (Vocab.intern v "alpha");
+  Alcotest.(check (option int)) "find" (Some 1) (Vocab.find v "beta");
+  Alcotest.(check (option int)) "find missing" None (Vocab.find v "gamma");
+  Alcotest.(check string) "word" "beta" (Vocab.word v 1);
+  Alcotest.(check int) "size" 2 (Vocab.size v)
+
+let test_vocab_growth () =
+  let v = Vocab.create () in
+  for i = 0 to 999 do
+    ignore (Vocab.intern v (Printf.sprintf "w%d" i))
+  done;
+  Alcotest.(check int) "1000 terms" 1000 (Vocab.size v);
+  Alcotest.(check string) "w500" "w500" (Vocab.word v 500)
+
+(* {1 Belief} *)
+
+let test_belief_bounds () =
+  let b = Belief.belief ~tf:3.0 ~df:2 ~ndocs:100 ~doclen:10.0 ~avg_doclen:10.0 in
+  Alcotest.(check bool) "in (0.4, 1)" true (b > 0.4 && b < 1.0)
+
+let test_belief_absent_term () =
+  Alcotest.(check (float 1e-9)) "tf=0 gives default" Belief.default_belief
+    (Belief.belief ~tf:0.0 ~df:5 ~ndocs:100 ~doclen:10.0 ~avg_doclen:10.0);
+  Alcotest.(check (float 1e-9)) "df=0 gives default" Belief.default_belief
+    (Belief.belief ~tf:3.0 ~df:0 ~ndocs:100 ~doclen:10.0 ~avg_doclen:10.0);
+  Alcotest.(check (float 1e-9)) "empty collection gives default" Belief.default_belief
+    (Belief.belief ~tf:3.0 ~df:0 ~ndocs:0 ~doclen:0.0 ~avg_doclen:0.0)
+
+let test_belief_monotone_tf () =
+  let b tf = Belief.belief ~tf ~df:5 ~ndocs:100 ~doclen:10.0 ~avg_doclen:10.0 in
+  Alcotest.(check bool) "more tf, more belief" true (b 5.0 > b 1.0)
+
+let test_belief_rare_terms_win () =
+  let b df = Belief.belief ~tf:2.0 ~df ~ndocs:100 ~doclen:10.0 ~avg_doclen:10.0 in
+  Alcotest.(check bool) "rarer term scores higher" true (b 1 > b 50)
+
+let test_belief_long_docs_damped () =
+  let b doclen = Belief.belief ~tf:2.0 ~df:5 ~ndocs:100 ~doclen ~avg_doclen:10.0 in
+  Alcotest.(check bool) "longer doc, lower belief" true (b 5.0 > b 50.0)
+
+let test_combine_rules () =
+  Alcotest.(check (float 1e-9)) "sum is mean" 0.5 (Belief.Combine.sum [ 0.4; 0.6 ]);
+  Alcotest.(check (float 1e-9)) "empty sum is default" Belief.default_belief
+    (Belief.Combine.sum []);
+  Alcotest.(check (float 1e-9)) "and is product" 0.24 (Belief.Combine.and_ [ 0.4; 0.6 ]);
+  Alcotest.(check (float 1e-9)) "or" 0.76 (Belief.Combine.or_ [ 0.4; 0.6 ]);
+  Alcotest.(check (float 1e-9)) "not" 0.3 (Belief.Combine.not_ 0.7);
+  Alcotest.(check (float 1e-9)) "max" 0.6 (Belief.Combine.max [ 0.4; 0.6 ]);
+  Alcotest.(check (float 1e-9)) "wsum"
+    ((0.4 +. (2.0 *. 0.7)) /. 3.0)
+    (Belief.Combine.wsum [ (1.0, 0.4); (2.0, 0.7) ])
+
+let prop_belief_bounded =
+  QCheck.Test.make ~name:"belief always in [0.4, 1)" ~count:500
+    QCheck.(
+      quad (float_range 0.0 50.0) (int_range 0 100) (int_range 0 100) (float_range 0.0 100.0))
+    (fun (tf, df, ndocs, doclen) ->
+      let b = Belief.belief ~tf ~df ~ndocs ~doclen ~avg_doclen:10.0 in
+      b >= Belief.default_belief -. 1e-9 && b < 1.0)
+
+(* {1 Querynet} *)
+
+let test_querynet_flat () =
+  let q = Querynet.flat [ "a"; "b" ] in
+  Alcotest.(check (list (pair string (float 1e-9)))) "terms" [ ("a", 1.0); ("b", 1.0) ]
+    (Querynet.terms q)
+
+let test_querynet_eval () =
+  let oracle = function "a" -> 0.8 | "b" -> 0.4 | _ -> 0.0 in
+  Alcotest.(check (float 1e-9)) "sum" 0.6 (Querynet.eval oracle (Querynet.flat [ "a"; "b" ]));
+  Alcotest.(check (float 1e-9)) "and" 0.32
+    (Querynet.eval oracle (Querynet.And [ Querynet.Term ("a", 1.0); Querynet.Term ("b", 1.0) ]));
+  Alcotest.(check (float 1e-9)) "weighted sum" ((0.8 +. (3.0 *. 0.4)) /. 4.0)
+    (Querynet.eval oracle (Querynet.Sum [ Querynet.Term ("a", 1.0); Querynet.Term ("b", 3.0) ]))
+
+let test_querynet_parse () =
+  (match Querynet.of_string "cat dog" with
+  | Ok (Querynet.Sum [ Querynet.Term ("cat", 1.0); Querynet.Term ("dog", 1.0) ]) -> ()
+  | Ok other -> Alcotest.failf "unexpected parse: %s" (Querynet.to_string other)
+  | Error e -> Alcotest.fail e);
+  (match Querynet.of_string "#sum( cat dog^2.5 #and( a b ) #not( c ) )" with
+  | Ok
+      (Querynet.Sum
+        [
+          Querynet.Term ("cat", 1.0);
+          Querynet.Term ("dog", 2.5);
+          Querynet.And [ Querynet.Term ("a", 1.0); Querynet.Term ("b", 1.0) ];
+          Querynet.Not (Querynet.Term ("c", 1.0));
+        ]) ->
+    ()
+  | Ok other -> Alcotest.failf "unexpected parse: %s" (Querynet.to_string other)
+  | Error e -> Alcotest.fail e)
+
+let test_querynet_parse_errors () =
+  let is_error s = match Querynet.of_string s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "empty" true (is_error "");
+  Alcotest.(check bool) "unknown op" true (is_error "#frob( a )");
+  Alcotest.(check bool) "missing paren" true (is_error "#sum( a");
+  Alcotest.(check bool) "not arity" true (is_error "#not( a b )")
+
+let test_querynet_round_trip () =
+  let s = "#sum( cat dog^2.5 #and( a b ) #not( c ) #max( d e ) )" in
+  match Querynet.of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok q -> (
+    match Querynet.of_string (Querynet.to_string q) with
+    | Error e -> Alcotest.fail e
+    | Ok q2 -> Alcotest.(check bool) "round trip" true (q = q2))
+
+(* {1 Space} *)
+
+let test_space_stats () =
+  let sp = Space.create "s" in
+  let ids = Space.add_doc sp ~doc:0 [ ("cat", 2.0); ("dog", 1.0) ] in
+  let _ = Space.add_doc sp ~doc:1 [ ("cat", 1.0) ] in
+  Alcotest.(check int) "ndocs" 2 (Space.ndocs sp);
+  Alcotest.(check int) "df cat" 2 (Space.df sp (List.nth ids 0));
+  Alcotest.(check int) "df dog" 1 (Space.df sp (List.nth ids 1));
+  Alcotest.(check (float 1e-9)) "doclen 0" 3.0 (Space.doc_len sp 0);
+  Alcotest.(check (float 1e-9)) "avg len" 2.0 (Space.avg_doc_len sp);
+  Alcotest.(check bool) "mem" true (Space.mem_doc sp 0);
+  Alcotest.(check bool) "not mem" false (Space.mem_doc sp 9)
+
+let test_space_duplicate_doc () =
+  let sp = Space.create "s" in
+  ignore (Space.add_doc sp ~doc:0 [ ("x", 1.0) ]);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Space.add_doc: document 0 already registered in \"s\"") (fun () ->
+      ignore (Space.add_doc sp ~doc:0 [ ("y", 1.0) ]))
+
+let test_space_df_counts_docs_not_occurrences () =
+  let sp = Space.create "s" in
+  let ids = Space.add_doc sp ~doc:0 [ ("cat", 5.0); ("cat2", 1.0) ] in
+  ignore ids;
+  let id = Option.get (Vocab.find (Space.vocab sp) "cat") in
+  Alcotest.(check int) "df 1 despite tf 5" 1 (Space.df sp id)
+
+(* {1 Index + Search} *)
+
+let small_index () =
+  let idx = Index.create "lib" in
+  Index.add_doc idx ~doc:0 [ ("cat", 2.0); ("stripe", 1.0) ];
+  Index.add_doc idx ~doc:1 [ ("dog", 1.0); ("stripe", 1.0) ];
+  Index.add_doc idx ~doc:2 [ ("fish", 3.0) ];
+  idx
+
+let test_index_postings () =
+  let idx = small_index () in
+  Alcotest.(check (list (pair int (float 1e-9)))) "stripe postings"
+    [ (0, 1.0); (1, 1.0) ]
+    (Index.postings idx "stripe");
+  Alcotest.(check (list (pair int (float 1e-9)))) "unknown term" [] (Index.postings idx "zz");
+  Alcotest.(check (float 1e-9)) "doc_tf" 2.0 (Index.doc_tf idx ~doc:0 ~term:"cat");
+  Alcotest.(check (float 1e-9)) "doc_tf absent" 0.0 (Index.doc_tf idx ~doc:1 ~term:"cat");
+  Alcotest.(check int) "ndocs" 3 (Index.ndocs idx);
+  Alcotest.(check (list int)) "docs in order" [ 0; 1; 2 ] (Index.docs idx)
+
+let test_search_ranks_match_first () =
+  let idx = small_index () in
+  let hits = Search.run idx (Querynet.flat [ "cat" ]) in
+  Alcotest.(check int) "cat doc first" 0 (List.hd hits).Search.doc;
+  Alcotest.(check int) "all docs scored" 3 (List.length hits);
+  let top = (List.hd hits).Search.score in
+  let rest = List.tl hits |> List.map (fun h -> h.Search.score) in
+  List.iter (fun s -> Alcotest.(check bool) "descending" true (s <= top)) rest
+
+let test_search_limit () =
+  let idx = small_index () in
+  Alcotest.(check int) "limit" 2 (List.length (Search.run idx ~limit:2 (Querynet.flat [ "stripe" ])))
+
+let test_search_default_for_nonmatch () =
+  let idx = small_index () in
+  let hits = Search.run idx (Querynet.flat [ "cat" ]) in
+  let doc2 = List.find (fun h -> h.Search.doc = 2) hits in
+  Alcotest.(check (float 1e-9)) "non-matching doc gets default" Belief.default_belief
+    doc2.Search.score
+
+let test_search_multi_term_beats_single () =
+  let idx = small_index () in
+  let hits = Search.run idx (Querynet.flat [ "cat"; "stripe" ]) in
+  Alcotest.(check int) "doc 0 has both terms" 0 (List.hd hits).Search.doc;
+  let d0 = List.hd hits and d1 = List.nth hits 1 in
+  Alcotest.(check int) "doc 1 has one term" 1 d1.Search.doc;
+  Alcotest.(check bool) "strictly better" true (d0.Search.score > d1.Search.score)
+
+let test_run_indexed_equals_run () =
+  let idx = small_index () in
+  List.iter
+    (fun net ->
+      let a = Search.run idx net in
+      let b = Search.run_indexed idx net in
+      Alcotest.(check int) "same length" (List.length a) (List.length b);
+      List.iter2
+        (fun x y ->
+          Alcotest.(check int) "same doc" x.Search.doc y.Search.doc;
+          Alcotest.(check (float 1e-12)) "same score" x.Search.score y.Search.score)
+        a b)
+    [
+      Querynet.flat [ "cat" ];
+      Querynet.flat [ "stripe"; "fish" ];
+      Querynet.And [ Querynet.Term ("cat", 1.0); Querynet.Term ("stripe", 1.0) ];
+      Querynet.Not (Querynet.Term ("dog", 1.0));
+      Querynet.flat [ "unknownterm" ];
+    ]
+
+let prop_run_indexed_equals_run =
+  QCheck.Test.make ~name:"indexed retrieval = exhaustive retrieval" ~count:100
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 8)
+           (small_list (QCheck.oneofa [| "a"; "b"; "c"; "d" |])))
+        (small_list (QCheck.oneofa [| "a"; "b"; "z" |])))
+    (fun (docs, qterms) ->
+      let idx = Index.create "p" in
+      List.iteri
+        (fun i words ->
+          Index.add_doc idx ~doc:i (Tokenize.bag_of_words words))
+        docs;
+      let net = Querynet.flat qterms in
+      Search.run idx net = Search.run_indexed idx net)
+
+(* {1 Physical getbl operator} *)
+
+let test_getbl_pairs () =
+  let idx = small_index () in
+  let sp = Index.space idx in
+  let occ_ctx, occ_term, occ_tf, len = Index.to_bats idx ~base:1000 in
+  let dom =
+    Bat.of_pairs Atom.TOid Atom.TOid
+      [ (Atom.Oid 0, Atom.Oid 0); (Atom.Oid 1, Atom.Oid 1); (Atom.Oid 2, Atom.Oid 2) ]
+  in
+  (* a two-term query attached to every context *)
+  let qlink =
+    Bat.of_pairs Atom.TOid Atom.TOid
+      (List.concat_map
+         (fun c -> [ (Atom.Oid (10 + (2 * c)), Atom.Oid c); (Atom.Oid (11 + (2 * c)), Atom.Oid c) ])
+         [ 0; 1; 2 ])
+  in
+  let qval =
+    Bat.of_pairs Atom.TOid Atom.TStr
+      (List.concat_map
+         (fun c -> [ (Atom.Oid (10 + (2 * c)), Atom.Str "cat"); (Atom.Oid (11 + (2 * c)), Atom.Str "zz") ])
+         [ 0; 1; 2 ])
+  in
+  let r = Search.getbl_pairs ~space:sp ~occ_ctx ~occ_term ~occ_tf ~len ~dom ~qlink ~qval in
+  (* |dom| x |query| rows, ctx-major *)
+  Alcotest.(check int) "rows" 6 (Bat.count r);
+  Alcotest.(check int) "first ctx" 0 (Atom.as_oid (Bat.head_at r 0));
+  (* doc 0 matches cat: belief > default; unknown term "zz" gives default *)
+  let b_cat = Atom.as_float (Bat.tail_at r 0) in
+  let b_zz = Atom.as_float (Bat.tail_at r 1) in
+  Alcotest.(check bool) "cat belief above default" true (b_cat > Belief.default_belief);
+  Alcotest.(check (float 1e-9)) "unknown term default" Belief.default_belief b_zz;
+  (* doc 2 has neither: both defaults *)
+  let b20 = Atom.as_float (Bat.tail_at r 4) and b21 = Atom.as_float (Bat.tail_at r 5) in
+  Alcotest.(check (float 1e-9)) "doc2 default" Belief.default_belief b20;
+  Alcotest.(check (float 1e-9)) "doc2 default 2" Belief.default_belief b21
+
+let test_getbl_agrees_with_oracle () =
+  let idx = small_index () in
+  let sp = Index.space idx in
+  let occ_ctx, occ_term, occ_tf, len = Index.to_bats idx ~base:1000 in
+  let dom =
+    Bat.of_pairs Atom.TOid Atom.TOid
+      [ (Atom.Oid 0, Atom.Oid 0); (Atom.Oid 1, Atom.Oid 1); (Atom.Oid 2, Atom.Oid 2) ]
+  in
+  let qlink =
+    Bat.of_pairs Atom.TOid Atom.TOid
+      (List.map (fun c -> (Atom.Oid (10 + c), Atom.Oid c)) [ 0; 1; 2 ])
+  in
+  let qval =
+    Bat.of_pairs Atom.TOid Atom.TStr
+      (List.map (fun c -> (Atom.Oid (10 + c), Atom.Str "stripe")) [ 0; 1; 2 ])
+  in
+  let r = Search.getbl_pairs ~space:sp ~occ_ctx ~occ_term ~occ_tf ~len ~dom ~qlink ~qval in
+  List.iteri
+    (fun i doc ->
+      let expected = Search.belief_oracle idx ~doc "stripe" in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "doc %d matches oracle" doc)
+        expected
+        (Atom.as_float (Bat.tail_at r i)))
+    [ 0; 1; 2 ]
+
+let test_getbl_empty_query () =
+  let idx = small_index () in
+  let sp = Index.space idx in
+  let occ_ctx, occ_term, occ_tf, len = Index.to_bats idx ~base:0 in
+  let dom = Bat.of_pairs Atom.TOid Atom.TOid [ (Atom.Oid 0, Atom.Oid 0) ] in
+  let qlink = Bat.empty Atom.TOid Atom.TOid in
+  let qval = Bat.empty Atom.TOid Atom.TStr in
+  let r = Search.getbl_pairs ~space:sp ~occ_ctx ~occ_term ~occ_tf ~len ~dom ~qlink ~qval in
+  Alcotest.(check int) "no rows" 0 (Bat.count r)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "mirror_ir"
+    [
+      ( "porter",
+        [
+          Alcotest.test_case "reference vectors" `Quick test_porter_vectors;
+          Alcotest.test_case "short words unchanged" `Quick test_porter_short_words;
+          Alcotest.test_case "lowercases" `Quick test_porter_lowercases;
+        ] );
+      ( "tokenize",
+        [
+          Alcotest.test_case "words" `Quick test_tokenize_words;
+          Alcotest.test_case "terms (stop + stem)" `Quick test_tokenize_terms;
+          Alcotest.test_case "terms without stemming" `Quick test_tokenize_no_stem;
+          Alcotest.test_case "tf bag" `Quick test_tf_bag;
+          Alcotest.test_case "stopwords" `Quick test_stopwords;
+        ] );
+      ( "vocab",
+        [
+          Alcotest.test_case "basics" `Quick test_vocab;
+          Alcotest.test_case "growth" `Quick test_vocab_growth;
+        ] );
+      ( "belief",
+        [
+          Alcotest.test_case "bounds" `Quick test_belief_bounds;
+          Alcotest.test_case "absent term defaults" `Quick test_belief_absent_term;
+          Alcotest.test_case "monotone in tf" `Quick test_belief_monotone_tf;
+          Alcotest.test_case "rare terms win" `Quick test_belief_rare_terms_win;
+          Alcotest.test_case "long docs damped" `Quick test_belief_long_docs_damped;
+          Alcotest.test_case "combination rules" `Quick test_combine_rules;
+        ] );
+      ( "querynet",
+        [
+          Alcotest.test_case "flat" `Quick test_querynet_flat;
+          Alcotest.test_case "eval" `Quick test_querynet_eval;
+          Alcotest.test_case "parse" `Quick test_querynet_parse;
+          Alcotest.test_case "parse errors" `Quick test_querynet_parse_errors;
+          Alcotest.test_case "print/parse round-trip" `Quick test_querynet_round_trip;
+        ] );
+      ( "space",
+        [
+          Alcotest.test_case "statistics" `Quick test_space_stats;
+          Alcotest.test_case "duplicate doc rejected" `Quick test_space_duplicate_doc;
+          Alcotest.test_case "df semantics" `Quick test_space_df_counts_docs_not_occurrences;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "postings" `Quick test_index_postings;
+          Alcotest.test_case "match ranks first" `Quick test_search_ranks_match_first;
+          Alcotest.test_case "limit" `Quick test_search_limit;
+          Alcotest.test_case "non-match gets default" `Quick test_search_default_for_nonmatch;
+          Alcotest.test_case "two terms beat one" `Quick test_search_multi_term_beats_single;
+          Alcotest.test_case "indexed = exhaustive" `Quick test_run_indexed_equals_run;
+        ] );
+      ( "getbl",
+        [
+          Alcotest.test_case "pair layout and defaults" `Quick test_getbl_pairs;
+          Alcotest.test_case "agrees with oracle" `Quick test_getbl_agrees_with_oracle;
+          Alcotest.test_case "empty query" `Quick test_getbl_empty_query;
+        ] );
+      ("properties", qc [ prop_porter_sane; prop_belief_bounded; prop_run_indexed_equals_run ]);
+    ]

@@ -1,0 +1,333 @@
+(* Tests for the mirror_util library. *)
+
+module Prng = Mirror_util.Prng
+module Vecmath = Mirror_util.Vecmath
+module Stat = Mirror_util.Stat
+module Stringx = Mirror_util.Stringx
+module Tablefmt = Mirror_util.Tablefmt
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_float name expected actual =
+  Alcotest.(check (float 1e-9)) name expected actual
+
+(* {1 Prng} *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.bits64 a) (Prng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_prng_int_bounds () =
+  let g = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 13 in
+    Alcotest.(check bool) "in bounds" true (v >= 0 && v < 13)
+  done
+
+let test_prng_int_rejects_nonpositive () =
+  let g = Prng.create 0 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_prng_float_bounds () =
+  let g = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g 2.5 in
+    Alcotest.(check bool) "in bounds" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_uniformity () =
+  let g = Prng.create 3 in
+  let buckets = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let b = Prng.int g 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d roughly uniform (%d)" i c)
+        true
+        (c > (n / 10) - 500 && c < (n / 10) + 500))
+    buckets
+
+let test_prng_gaussian_moments () =
+  let g = Prng.create 5 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Prng.gaussian g) in
+  let mean = Stat.mean xs and sd = Stat.stddev xs in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.02);
+  Alcotest.(check bool) "stddev near 1" true (Float.abs (sd -. 1.0) < 0.02)
+
+let test_prng_split_independent () =
+  let g = Prng.create 9 in
+  let h = Prng.split g in
+  let a = Prng.bits64 g and b = Prng.bits64 h in
+  Alcotest.(check bool) "split streams differ" false (Int64.equal a b)
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create 12 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_sample_weighted () =
+  let g = Prng.create 21 in
+  let w = [| 0.0; 1.0; 3.0 |] in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 10_000 do
+    let i = Prng.sample_weighted g w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight never drawn" 0 counts.(0);
+  Alcotest.(check bool) "3x ratio approx" true
+    (Float.of_int counts.(2) /. Float.of_int counts.(1) > 2.5
+    && Float.of_int counts.(2) /. Float.of_int counts.(1) < 3.5)
+
+let test_prng_perm () =
+  let g = Prng.create 33 in
+  let p = Prng.perm g 10 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "perm is permutation" (Array.init 10 (fun i -> i)) sorted
+
+(* {1 Vecmath} *)
+
+let test_dot () = check_float "dot" 32.0 (Vecmath.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |])
+
+let test_dot_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Vecmath.dot: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vecmath.dot [| 1.; 2. |] [| 1.; 2.; 3. |]))
+
+let test_norm_dist () =
+  check_float "norm2" 5.0 (Vecmath.norm2 [| 3.; 4. |]);
+  check_float "dist2" 25.0 (Vecmath.dist2 [| 0.; 0. |] [| 3.; 4. |])
+
+let test_add_sub_scale () =
+  Alcotest.(check (array (float 1e-9))) "add" [| 5.; 7. |] (Vecmath.add [| 1.; 2. |] [| 4.; 5. |]);
+  Alcotest.(check (array (float 1e-9))) "sub" [| -3.; -3. |] (Vecmath.sub [| 1.; 2. |] [| 4.; 5. |]);
+  Alcotest.(check (array (float 1e-9))) "scale" [| 2.; 4. |] (Vecmath.scale 2.0 [| 1.; 2. |])
+
+let test_mean_vectors () =
+  Alcotest.(check (array (float 1e-9)))
+    "mean" [| 2.; 3. |]
+    (Vecmath.mean [ [| 1.; 2. |]; [| 3.; 4. |] ])
+
+let test_normalize () =
+  Alcotest.(check (array (float 1e-9))) "l1" [| 0.25; 0.75 |] (Vecmath.normalize_l1 [| 1.; 3. |]);
+  check_float "l2 norm is 1" 1.0 (Vecmath.norm2 (Vecmath.normalize_l2 [| 3.; 4. |]));
+  Alcotest.(check (array (float 1e-9))) "zero unchanged" [| 0.; 0. |] (Vecmath.normalize_l1 [| 0.; 0. |])
+
+let test_cosine () =
+  check_float "parallel" 1.0 (Vecmath.cosine [| 1.; 1. |] [| 2.; 2. |]);
+  check_float "orthogonal" 0.0 (Vecmath.cosine [| 1.; 0. |] [| 0.; 1. |]);
+  check_float "zero vector" 0.0 (Vecmath.cosine [| 0.; 0. |] [| 1.; 1. |])
+
+let test_log_sum_exp () =
+  let v = Vecmath.log_sum_exp [| 0.0; 0.0 |] in
+  check_float "lse(0,0)=ln2" (log 2.0) v;
+  (* Stability: huge values must not overflow. *)
+  let v = Vecmath.log_sum_exp [| 1000.0; 1000.0 |] in
+  check_float "lse(1000,1000)" (1000.0 +. log 2.0) v
+
+let test_argminmax () =
+  Alcotest.(check int) "argmax" 2 (Vecmath.argmax [| 1.; 0.; 9.; 3. |]);
+  Alcotest.(check int) "argmin" 1 (Vecmath.argmin [| 1.; 0.; 9.; 3. |]);
+  Alcotest.(check int) "first tie wins" 0 (Vecmath.argmax [| 5.; 5. |])
+
+let test_solve () =
+  (* 2x + y = 5 ; x - y = 1  ->  x = 2, y = 1 *)
+  (match Vecmath.solve [| [| 2.; 1. |]; [| 1.; -1. |] |] [| 5.; 1. |] with
+  | Some x ->
+    Alcotest.(check (float 1e-9)) "x" 2.0 x.(0);
+    Alcotest.(check (float 1e-9)) "y" 1.0 x.(1)
+  | None -> Alcotest.fail "solvable system reported singular");
+  (* singular *)
+  (match Vecmath.solve [| [| 1.; 2. |]; [| 2.; 4. |] |] [| 1.; 2. |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "singular system solved");
+  (* pivoting required (zero on the diagonal) *)
+  match Vecmath.solve [| [| 0.; 1. |]; [| 1.; 0. |] |] [| 3.; 7. |] with
+  | Some x ->
+    Alcotest.(check (float 1e-9)) "pivot x" 7.0 x.(0);
+    Alcotest.(check (float 1e-9)) "pivot y" 3.0 x.(1)
+  | None -> Alcotest.fail "pivoting failed"
+
+let prop_solve_inverts =
+  QCheck.Test.make ~name:"solve recovers the solution of A x = b" ~count:100
+    QCheck.(
+      pair
+        (array_of_size (Gen.return 9) (float_range (-5.) 5.))
+        (array_of_size (Gen.return 3) (float_range (-5.) 5.)))
+    (fun (flat, x) ->
+      let a = Array.init 3 (fun i -> Array.sub flat (3 * i) 3) in
+      (* b := A x, then solving must return (approximately) x *)
+      let b = Array.init 3 (fun i -> Vecmath.dot a.(i) x) in
+      match Vecmath.solve a b with
+      | None -> QCheck.assume_fail () (* singular draws are skipped *)
+      | Some got ->
+        Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-6) got x)
+
+(* {1 Stat} *)
+
+let test_stat_basic () =
+  check_float "mean" 2.5 (Stat.mean [| 1.; 2.; 3.; 4. |]);
+  check_float "variance" 1.25 (Stat.variance [| 1.; 2.; 3.; 4. |]);
+  check_float "median even" 2.5 (Stat.median [| 4.; 1.; 3.; 2. |]);
+  check_float "median odd" 2.0 (Stat.median [| 3.; 1.; 2. |])
+
+let test_stat_percentile () =
+  let a = Array.init 100 (fun i -> Float.of_int (i + 1)) in
+  check_float "p50" 50.0 (Stat.percentile a 50.0);
+  check_float "p100" 100.0 (Stat.percentile a 100.0)
+
+let test_stat_pearson () =
+  let x = [| 1.; 2.; 3.; 4. |] in
+  check_float "self-correlation" 1.0 (Stat.pearson x x);
+  check_float "anti-correlation" (-1.0) (Stat.pearson x [| 4.; 3.; 2.; 1. |]);
+  check_float "constant gives 0" 0.0 (Stat.pearson x [| 2.; 2.; 2.; 2. |])
+
+let test_stat_entropy () =
+  check_float "uniform 2 bins" (log 2.0) (Stat.entropy [| 1.0; 1.0 |]);
+  check_float "point mass" 0.0 (Stat.entropy [| 5.0; 0.0 |]);
+  check_float "empty" 0.0 (Stat.entropy [| 0.0; 0.0 |])
+
+let test_stat_histogram () =
+  let h = Stat.histogram ~bins:4 ~lo:0.0 ~hi:4.0 [| 0.5; 1.5; 1.6; 3.9; -1.0; 99.0 |] in
+  Alcotest.(check (array int)) "bins" [| 2; 2; 0; 2 |] h
+
+(* {1 Stringx} *)
+
+let test_split_on () =
+  Alcotest.(check (list string)) "words" [ "a"; "bc"; "d" ]
+    (Stringx.split_on (fun c -> c = ' ') " a bc  d ");
+  Alcotest.(check (list string)) "empty" [] (Stringx.split_on (fun c -> c = ' ') "   ")
+
+let test_affixes () =
+  Alcotest.(check bool) "prefix" true (Stringx.starts_with ~prefix:"ab" "abc");
+  Alcotest.(check bool) "not prefix" false (Stringx.starts_with ~prefix:"bc" "abc");
+  Alcotest.(check bool) "suffix" true (Stringx.ends_with ~suffix:"bc" "abc");
+  Alcotest.(check bool) "not suffix" false (Stringx.ends_with ~suffix:"ab" "abc")
+
+let test_pad () =
+  Alcotest.(check string) "right" "ab  " (Stringx.pad_right 4 "ab");
+  Alcotest.(check string) "left" "  ab" (Stringx.pad_left 4 "ab");
+  Alcotest.(check string) "no-op" "abcde" (Stringx.pad_left 3 "abcde")
+
+let test_char_classes () =
+  Alcotest.(check bool) "alpha" true (Stringx.is_alpha 'z');
+  Alcotest.(check bool) "not alpha" false (Stringx.is_alpha '3');
+  Alcotest.(check bool) "digit" true (Stringx.is_digit '7');
+  Alcotest.(check bool) "alnum" true (Stringx.is_alnum 'A')
+
+(* {1 Tablefmt} *)
+
+let test_table_render () =
+  let t = Tablefmt.create [ ("name", Tablefmt.Left); ("n", Tablefmt.Right) ] in
+  Tablefmt.add_row t [ "alpha"; "1" ];
+  Tablefmt.add_row t [ "b"; "100" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "header present" true (Stringx.starts_with ~prefix:"name" s);
+  Alcotest.(check bool) "right aligned" true
+    (String.length s > 0 && String.split_on_char '\n' s |> List.exists (fun l -> l = "alpha    1"))
+
+let test_table_arity_check () =
+  let t = Tablefmt.create [ ("a", Tablefmt.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Tablefmt.add_row: 2 cells for 1 columns")
+    (fun () -> Tablefmt.add_row t [ "x"; "y" ])
+
+(* {1 QCheck properties} *)
+
+let prop_lse_ge_max =
+  QCheck.Test.make ~name:"log_sum_exp >= max element" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 10) (float_range (-50.) 50.))
+    (fun a -> Vecmath.log_sum_exp a >= Array.fold_left Float.max neg_infinity a -. 1e-9)
+
+let prop_normalize_l1_sums_to_one =
+  QCheck.Test.make ~name:"normalize_l1 sums to 1 (positive input)" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 10) (float_range 0.1 10.))
+    (fun a -> feq ~eps:1e-6 1.0 (Array.fold_left ( +. ) 0.0 (Vecmath.normalize_l1 a)))
+
+let prop_perm_bijective =
+  QCheck.Test.make ~name:"perm is bijective" ~count:100
+    QCheck.(pair small_int (int_range 1 64))
+    (fun (seed, n) ->
+      let p = Prng.perm (Prng.create seed) n in
+      let seen = Array.make n false in
+      Array.iter (fun i -> seen.(i) <- true) p;
+      Array.for_all (fun b -> b) seen)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "mirror_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic streams" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int rejects non-positive bound" `Quick test_prng_int_rejects_nonpositive;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "weighted sampling" `Quick test_prng_sample_weighted;
+          Alcotest.test_case "perm" `Quick test_prng_perm;
+        ] );
+      ( "vecmath",
+        [
+          Alcotest.test_case "dot" `Quick test_dot;
+          Alcotest.test_case "dot dimension check" `Quick test_dot_mismatch;
+          Alcotest.test_case "norm and dist" `Quick test_norm_dist;
+          Alcotest.test_case "add/sub/scale" `Quick test_add_sub_scale;
+          Alcotest.test_case "mean of vectors" `Quick test_mean_vectors;
+          Alcotest.test_case "normalisation" `Quick test_normalize;
+          Alcotest.test_case "cosine" `Quick test_cosine;
+          Alcotest.test_case "log_sum_exp" `Quick test_log_sum_exp;
+          Alcotest.test_case "argmax/argmin" `Quick test_argminmax;
+          Alcotest.test_case "linear solve" `Quick test_solve;
+        ] );
+      ( "stat",
+        [
+          Alcotest.test_case "mean/variance/median" `Quick test_stat_basic;
+          Alcotest.test_case "percentile" `Quick test_stat_percentile;
+          Alcotest.test_case "pearson" `Quick test_stat_pearson;
+          Alcotest.test_case "entropy" `Quick test_stat_entropy;
+          Alcotest.test_case "histogram" `Quick test_stat_histogram;
+        ] );
+      ( "stringx",
+        [
+          Alcotest.test_case "split_on" `Quick test_split_on;
+          Alcotest.test_case "prefix/suffix" `Quick test_affixes;
+          Alcotest.test_case "padding" `Quick test_pad;
+          Alcotest.test_case "char classes" `Quick test_char_classes;
+        ] );
+      ( "tablefmt",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity check" `Quick test_table_arity_check;
+        ] );
+      ( "properties",
+        qc
+          [
+            prop_lse_ge_max;
+            prop_normalize_l1_sums_to_one;
+            prop_perm_bijective;
+            prop_solve_inverts;
+          ] );
+    ]
