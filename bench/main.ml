@@ -101,6 +101,41 @@ let make_docs ~n =
 let query_terms = [ "w5"; "w12" ]
 let bindings = [ ("query", Expr.lit_str_set query_terms) ]
 
+(* {1 Static vetting of the benchmark workloads}
+
+   Before timing anything, push every query string the experiments use
+   through the MIL plan verifier and the differential checker
+   ({!Mirror_core.Plancheck.vet}) — a malformed workload should fail
+   loudly up front, not benchmark garbage. *)
+
+let docs_workload =
+  [
+    "map[sum(THIS)]( map[getBL(THIS.annotation, query, stats)]( Docs ))";
+    "map[sum(getBL(THIS.annotation, query, stats))](Docs)";
+    "sum(map[THIS.year](select[THIS.year < 1996](Docs)))";
+    "max(map[THIS.year * 3 - 2](Docs))";
+    "count(flatten(map[terms(THIS.annotation)](Docs)))";
+    "count(semijoin[THIS1.year = THIS2.year + 11](Docs, Docs))";
+  ]
+
+let vet_workloads () =
+  let m = make_docs ~n:16 in
+  let st = Mirror.storage m in
+  let failures =
+    List.filter_map
+      (fun src ->
+        match Mirror_core.Plancheck.vet st (ok (Parser.parse_expr ~bindings src)) with
+        | Ok () -> None
+        | Error e -> Some (Printf.sprintf "  %s\n    %s" src e))
+      docs_workload
+  in
+  if failures <> [] then begin
+    Printf.printf "workload vetting FAILED:\n%s\n" (String.concat "\n" failures);
+    exit 1
+  end;
+  Printf.printf "workloads vetted: %d queries pass the static analyzer\n"
+    (List.length docs_workload)
+
 (* {1 F1: the figure-1 pipeline} *)
 
 let experiment_f1 () =
@@ -721,6 +756,7 @@ let experiment_q2_e6 () =
 
 let () =
   Printf.printf "Mirror MMDBMS experiment harness%s\n" (if quick then " (quick mode)" else "");
+  vet_workloads ();
   experiment_f1 ();
   experiment_q1 ();
   experiment_e1 ();

@@ -1,14 +1,18 @@
-(* The Mirror DBMS interactive shell.
+(* The Mirror DBMS command-line interface.
 
    Usage:
      dune exec bin/mirror_cli.exe                 -- interactive session
      dune exec bin/mirror_cli.exe -- -e "PROGRAM" -- evaluate and exit
      dune exec bin/mirror_cli.exe -- --demo 16    -- preload the §5 demo library
+     dune exec bin/mirror_cli.exe -- lint         -- static-check the corpus
+     dune exec bin/mirror_cli.exe -- lint "QUERY" -- static-check a query
+     dune exec bin/mirror_cli.exe -- explain --check "QUERY"
 
    Inside the shell:
      define NAME as TYPE;      schema definition
      EXPR;                     run a Moa query
      .explain EXPR             show the compiled MIL plan bundle
+     .lint EXPR                static-check a query against this database
      .extents                  list extents
      .catalog                  list catalog BATs
      .search TEXT              demo-library dual-coding search
@@ -19,6 +23,15 @@ module Value = Mirror_core.Value
 module Eval = Mirror_core.Eval
 module Parser = Mirror_core.Parser
 module Storage = Mirror_core.Storage
+module Optimize = Mirror_core.Optimize
+module Flatten = Mirror_core.Flatten
+module Plancheck = Mirror_core.Plancheck
+module Corpus = Mirror_core.Corpus
+module Shape = Mirror_core.Shape
+module Milcheck = Mirror_bat.Milcheck
+module Milprop = Mirror_bat.Milprop
+module Milopt = Mirror_bat.Milopt
+module Mil = Mirror_bat.Mil
 module Catalog = Mirror_bat.Catalog
 module Bat = Mirror_bat.Bat
 module Synth = Mirror_mm.Synth
@@ -32,6 +45,7 @@ let help_text =
   \  insert into N EXPR;    append one row\n\
   \  delete from N where P; remove matching rows\n\
   \  .explain EXPR          show the flattened MIL plan\n\
+  \  .lint EXPR             static-check a query (verifier + lint pass)\n\
   \  .profile EXPR          run with per-operator timing\n\
   \  .extents               list defined extents with types and sizes\n\
   \  .catalog               list the physical BATs\n\
@@ -90,6 +104,98 @@ let print_result = function
   | Mirror.Deleted (name, n) -> Printf.printf "deleted %d row(s) from %s\n" n name
   | Mirror.Evaluated v -> if not (try_table v) then Printf.printf "%s\n" (Value.to_string v)
 
+(* {1 Static analysis (lint / explain --check)} *)
+
+(* verifier + differential + lint pass over one query's bundle;
+   returns 0 when no error-severity problem was found *)
+let lint_expr st src expr =
+  match Plancheck.vet st expr with
+  | Error e ->
+    Printf.printf "FAIL  %s\n  %s\n" src e;
+    1
+  | Ok () -> (
+    match Flatten.compile st (Optimize.rewrite expr) with
+    | exception Flatten.Unsupported e ->
+      Printf.printf "FAIL  %s\n  flatten: %s\n" src e;
+      1
+    | shape ->
+      let shape = Shape.map Milopt.rewrite shape in
+      let env = Plancheck.env_of_storage st in
+      let diags = Plancheck.lint_shape env shape in
+      let errors = List.filter (fun d -> d.Milcheck.severity = Milcheck.Error) diags in
+      Printf.printf "%s  %s\n" (if errors = [] then "ok  " else "FAIL") src;
+      List.iter (fun d -> Printf.printf "  %s\n" (Milcheck.diag_to_string d)) diags;
+      if errors = [] then 0 else 1)
+
+let lint_query st src =
+  match Parser.parse_expr src with
+  | Error e ->
+    Printf.printf "FAIL  %s\n  parse: %s\n" src e;
+    1
+  | Ok expr -> lint_expr st src expr
+
+let storage_for db =
+  Mirror_core.Bootstrap.ensure ();
+  match db with
+  | None -> Corpus.storage ()
+  | Some dir -> (
+    match Mirror_core.Persist.load ~dir with
+    | Ok st -> st
+    | Error e -> failwith (Printf.sprintf "cannot load database %s: %s" dir e))
+
+let lint_main db queries =
+  match storage_for db with
+  | exception Failure e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | st ->
+    let srcs = if queries = [] then Corpus.queries else queries in
+    let failures = List.fold_left (fun acc src -> acc + lint_query st src) 0 srcs in
+    Printf.printf "%d quer%s checked, %d problem%s\n" (List.length srcs)
+      (if List.length srcs = 1 then "y" else "ies")
+      failures
+      (if failures = 1 then "" else "s");
+    if failures = 0 then 0 else 1
+
+let explain_main check db src =
+  match storage_for db with
+  | exception Failure e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | st -> (
+    match Parser.parse_expr src with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok expr -> (
+      match Eval.explain st expr with
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+      | Ok plan ->
+        print_string plan;
+        if not check then 0
+        else (
+          match Plancheck.vet st expr with
+          | Error e ->
+            Printf.printf "check: FAIL %s\n" e;
+            1
+          | Ok () -> (
+            match Flatten.compile st (Optimize.rewrite expr) with
+            | exception Flatten.Unsupported e ->
+              Printf.printf "check: FAIL flatten: %s\n" e;
+              1
+            | shape ->
+              let shape = Shape.map Milopt.rewrite shape in
+              let env = Plancheck.env_of_storage st in
+              List.iteri
+                (fun i p ->
+                  let prop, _ = Milcheck.infer env p in
+                  Printf.printf "-- bat %d infers %s\n" (i + 1) (Milprop.to_string prop))
+                (Plancheck.shape_plans shape);
+              print_endline "check: ok";
+              0))))
+
 let handle_line mref line =
   let m = !mref in
   let line = String.trim line in
@@ -139,6 +245,10 @@ let handle_line mref line =
         (fun (op, t, n) -> Printf.printf "%-28s %9.3f ms  x%d\n" op (1000.0 *. t) n)
         rows
     | Error e -> Printf.printf "error: %s\n" e
+  end
+  else if Mirror_util.Stringx.starts_with ~prefix:".lint " line then begin
+    let src = String.trim (String.sub line 6 (String.length line - 6)) in
+    ignore (lint_query (Mirror.storage m) src)
   end
   else if Mirror_util.Stringx.starts_with ~prefix:".explain " line then begin
     let src = String.sub line 9 (String.length line - 9) in
@@ -216,9 +326,34 @@ let seed_arg =
   let doc = "Random seed for the demo corpus." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let db_arg =
+  let doc = "Analyse against the database persisted in $(docv) (defaults to the built-in corpus extent)." in
+  Arg.(value & opt (some string) None & info [ "db" ] ~docv:"DIR" ~doc)
+
+let lint_queries_arg =
+  let doc = "Queries to check; with none given, the whole built-in corpus is swept." in
+  Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+
+let explain_query_arg =
+  let doc = "The query to explain." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let check_arg =
+  let doc = "Also verify the bundle, run the differential checker and print each BAT's inferred property envelope." in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let lint_cmd =
+  let doc = "statically check Moa queries (plan verifier + lint pass)" in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const lint_main $ db_arg $ lint_queries_arg)
+
+let explain_cmd =
+  let doc = "show the compiled MIL plan bundle of a query" in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const explain_main $ check_arg $ db_arg $ explain_query_arg)
+
 let cmd =
   let doc = "the Mirror multimedia DBMS shell" in
   let info = Cmd.info "mirror" ~doc in
-  Cmd.v info Term.(const main $ eval_arg $ demo_arg $ seed_arg)
+  Cmd.group ~default:Term.(const main $ eval_arg $ demo_arg $ seed_arg) info
+    [ lint_cmd; explain_cmd ]
 
 let () = exit (Cmd.eval' cmd)

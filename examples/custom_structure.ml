@@ -187,6 +187,7 @@ module VEC = struct
     bundle [ Mil.Get (path ^ "#in"); Mil.Get (path ^ "#dim"); Mil.Get (path ^ "#val") ]
 
   let foreign_ops = []
+  let foreign_sigs = []
   let bind_value ~path:_ ~recurse:_ ~ty_args:_ v = v
 end
 

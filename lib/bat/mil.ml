@@ -33,6 +33,8 @@ type t =
   | TopN of t * int * bool
   | Foreign of { name : string; args : t list; meta : string list }
 
+exception Unbound of string
+
 type foreign_fn = name:string -> args:Bat.t list -> meta:string list -> Bat.t
 
 type stats = {
@@ -140,7 +142,10 @@ let rec eval s plan =
 
 and eval_raw s plan =
   match plan with
-  | Get name -> Catalog.get s.catalog name
+  | Get name -> (
+    match Catalog.find s.catalog name with
+    | Some b -> b
+    | None -> raise (Unbound name))
   | Lit { hty; tty; pairs } -> Bat.of_pairs hty tty pairs
   | Reverse p -> Bat.reverse (eval s p)
   | Mirror p -> Bat.mirror (eval s p)

@@ -52,6 +52,10 @@ type t =
   | Foreign of { name : string; args : t list; meta : string list }
       (** Extension-registered physical operator. *)
 
+exception Unbound of string
+(** Raised by the executor when a [Get] refers to a catalog name that
+    is not bound, carrying the offending name. *)
+
 type foreign_fn = name:string -> args:Bat.t list -> meta:string list -> Bat.t
 (** Dispatch for {!constructor-Foreign} nodes.  Implementations must be pure
     (same inputs, same output) because results are memoised. *)
@@ -77,7 +81,7 @@ val session : ?cse:bool -> ?profile:bool -> ?foreign:foreign_fn -> Catalog.t -> 
 
 val exec : session -> t -> Bat.t
 (** Evaluate a plan.
-    @raise Not_found when a [Get] name is unbound.
+    @raise Unbound when a [Get] name is unbound.
     @raise Failure when a [Foreign] operator is unknown. *)
 
 val stats : session -> stats
@@ -89,6 +93,17 @@ val profile : session -> (string * float * int) list
 
 val size : t -> int
 (** Number of operator nodes (tree size, before sharing). *)
+
+val op_name : t -> string
+(** Short operator name ("join", "foreign:getbl", …) as used in
+    profiles and diagnostics. *)
+
+val cmp_name : Bat.cmp -> string
+val binop_name : Bat.binop -> string
+val unop_name : Bat.unop -> string
+val aggr_name : Bat.aggr -> string
+(** Operator spellings shared by {!pp} and the {!Milcheck}
+    diagnostics. *)
 
 val pp : Format.formatter -> t -> unit
 (** Indented plan rendering. *)

@@ -1,0 +1,642 @@
+module P = Milprop
+
+type severity = Error | Warning | Hint
+
+type diag = { severity : severity; path : string; op : string; message : string }
+
+type env = {
+  get : string -> P.t option;
+  foreign : string -> P.foreign_sig option;
+}
+
+let env_of_catalog ?(foreign = fun _ -> None) catalog =
+  { get = (fun name -> Option.map P.of_bat (Catalog.find catalog name)); foreign }
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Hint -> "hint"
+
+let pp_diag ppf d =
+  Format.fprintf ppf "%s at %s (%s): %s" (severity_name d.severity) d.path d.op d.message
+
+let diag_to_string d = Format.asprintf "%a" pp_diag d
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+(* {1 Inference} *)
+
+type ctx = {
+  env : env;
+  memo : (Mil.t, P.t) Hashtbl.t;
+  mutable diags : diag list;  (* reverse emission order *)
+}
+
+let emit ctx severity path plan fmt =
+  Printf.ksprintf
+    (fun message ->
+      ctx.diags <- { severity; path; op = Mil.op_name plan; message } :: ctx.diags)
+    fmt
+
+let numeric = function Atom.TInt | Atom.TFlt -> true | _ -> false
+
+(* (key, dense, sorted) of an atom list, mirroring {!Milprop.of_bat}
+   for literal plans. *)
+let atom_facts ty atoms =
+  let key = ref true and sorted = ref true and dense = ref (ty = Atom.TOid) in
+  let tbl = Hashtbl.create 16 in
+  let prev = ref None in
+  List.iter
+    (fun a ->
+      (match !prev with
+      | Some p ->
+        if Atom.compare p a > 0 then sorted := false;
+        (match (p, a) with
+        | Atom.Oid x, Atom.Oid y when y = x + 1 -> ()
+        | _ -> dense := false)
+      | None -> ());
+      if Hashtbl.mem tbl a then key := false else Hashtbl.add tbl a ();
+      prev := Some a)
+    atoms;
+  (!key, !dense, !sorted)
+
+(* Result type of an element-wise binary operator over (possibly
+   unknown) operand types, emitting diagnostics for combinations the
+   kernel rejects at runtime. *)
+let binop_ty ~err ~warn op lty rty =
+  let bad l r =
+    err
+      (Printf.sprintf "operator %s cannot combine %s and %s tails" (Mil.binop_name op)
+         (Atom.ty_name l) (Atom.ty_name r))
+  in
+  match op with
+  | Bat.CmpOp _ -> Some Atom.TBool
+  | Bat.And | Bat.Or ->
+    (match lty with Some t when t <> Atom.TBool -> bad t (Option.value ~default:t rty) | _ -> ());
+    (match rty with
+    | Some t when t <> Atom.TBool && (match lty with Some l -> l = Atom.TBool | None -> true) ->
+      bad (Option.value ~default:t lty) t
+    | _ -> ());
+    Some Atom.TBool
+  | Bat.Pow -> (
+    match (lty, rty) with
+    | Some l, Some r when not (numeric l && numeric r) -> bad l r; None
+    | _ -> Some Atom.TFlt)
+  | Bat.Add -> (
+    match (lty, rty) with
+    | Some Atom.TInt, Some Atom.TInt -> Some Atom.TInt
+    | Some Atom.TStr, Some Atom.TStr -> Some Atom.TStr
+    | Some l, Some r when numeric l && numeric r -> Some Atom.TFlt
+    | Some l, Some r -> bad l r; None
+    | _ -> None)
+  | Bat.Sub | Bat.Mul | Bat.Div -> (
+    match (lty, rty) with
+    | Some Atom.TInt, Some Atom.TInt -> Some Atom.TInt
+    | Some l, Some r when numeric l && numeric r -> Some Atom.TFlt
+    | Some l, Some r -> bad l r; None
+    | _ -> None)
+  | Bat.MinOp | Bat.MaxOp -> (
+    match (lty, rty) with
+    | Some l, Some r when l = r -> Some l
+    | Some l, Some r ->
+      warn
+        (Printf.sprintf
+           "operator %s over mixed %s/%s tails returns whichever operand compares smaller \
+            — the result column type is not statically determined"
+           (Mil.binop_name op) (Atom.ty_name l) (Atom.ty_name r));
+      None
+    | _ -> None)
+
+let unop_ty ~err op ty =
+  (match (op, ty) with
+  | Bat.Not, Some t when t <> Atom.TBool ->
+    err (Printf.sprintf "operator not requires a bool tail, got %s" (Atom.ty_name t))
+  | (Bat.Neg | Bat.Abs | Bat.Log | Bat.Exp | Bat.Sqrt | Bat.ToFlt), Some t when not (numeric t)
+    ->
+    err
+      (Printf.sprintf "operator %s requires a numeric tail, got %s" (Mil.unop_name op)
+         (Atom.ty_name t))
+  | _ -> ());
+  match op with
+  | Bat.Not -> Some Atom.TBool
+  | Bat.Neg | Bat.Abs -> ty
+  | Bat.Log | Bat.Exp | Bat.Sqrt | Bat.ToFlt -> Some Atom.TFlt
+
+let aggr_ty ~err op ty =
+  (match (op, ty) with
+  | (Bat.Sum | Bat.Prod | Bat.Avg), Some t when not (numeric t) ->
+    if not (op = Bat.Sum && t = Atom.TStr) then
+      err
+        (Printf.sprintf "aggregate %s requires numeric tails, got %s" (Mil.aggr_name op)
+           (Atom.ty_name t))
+  | _ -> ());
+  match op with
+  | Bat.Count -> Some Atom.TInt
+  | Bat.Avg -> Some Atom.TFlt
+  | Bat.Sum | Bat.Prod | Bat.Min | Bat.Max -> ty
+
+(* A subset of the input rows, input order preserved: key and
+   sortedness flags survive, density does not (unless contiguous). *)
+let subset ?(contiguous = false) p card =
+  {
+    p with
+    P.card;
+    dense_head = p.P.dense_head && contiguous;
+    dense_tail = p.P.dense_tail && contiguous;
+  }
+
+let reset_tail p tty =
+  { p with P.tty; tail_key = false; dense_tail = false; sorted_tail = false }
+
+let hi_at_most p n = match p.P.card.P.hi with Some h -> h <= n | None -> false
+
+let rec infer_at ctx path plan =
+  match Hashtbl.find_opt ctx.memo plan with
+  | Some p -> p
+  | None ->
+    let p = P.normalize (infer_raw ctx path plan) in
+    Hashtbl.add ctx.memo plan p;
+    p
+
+and infer_raw ctx path plan =
+  let err fmt = emit ctx Error path plan fmt in
+  let warn fmt = emit ctx Warning path plan fmt in
+  let err_s s = err "%s" s and warn_s s = warn "%s" s in
+  let binop_ty op l r = binop_ty ~err:err_s ~warn:warn_s op l r in
+  let child slot q = infer_at ctx (path ^ slot ^ "/" ^ Mil.op_name q) q in
+  let only q = child "" q in
+  match plan with
+  | Mil.Get name -> (
+    match ctx.env.get name with
+    | Some p -> p
+    | None ->
+      err "unbound catalog name %S" name;
+      P.unknown)
+  | Mil.Lit { hty; tty; pairs } ->
+    List.iteri
+      (fun i (h, t) ->
+        if Atom.type_of h <> hty then
+          err "literal row %d: head %s is not of declared type %s" i (Atom.to_string h)
+            (Atom.ty_name hty);
+        if Atom.type_of t <> tty then
+          err "literal row %d: tail %s is not of declared type %s" i (Atom.to_string t)
+            (Atom.ty_name tty))
+      pairs;
+    let hkey, hdense, hsorted = atom_facts hty (List.map fst pairs) in
+    let tkey, tdense, tsorted = atom_facts tty (List.map snd pairs) in
+    {
+      P.hty = Some hty;
+      tty = Some tty;
+      head_key = hkey;
+      tail_key = tkey;
+      dense_head = hdense;
+      dense_tail = tdense;
+      sorted_head = hsorted;
+      sorted_tail = tsorted;
+      card = P.exactly (List.length pairs);
+    }
+  | Mil.Reverse p -> P.swap (only p)
+  | Mil.Mirror p ->
+    let c = only p in
+    {
+      c with
+      tty = c.hty;
+      tail_key = c.head_key;
+      dense_tail = c.dense_head;
+      sorted_tail = c.sorted_head;
+    }
+  | Mil.Mark (p, _) ->
+    let c = only p in
+    { c with tty = Some Atom.TOid; tail_key = true; dense_tail = true; sorted_tail = true }
+  | Mil.NumberHead (p, _) ->
+    let c = only p in
+    {
+      P.hty = Some Atom.TOid;
+      tty = c.hty;
+      head_key = true;
+      dense_head = true;
+      sorted_head = true;
+      tail_key = c.head_key;
+      dense_tail = c.dense_head;
+      sorted_tail = c.sorted_head;
+      card = c.card;
+    }
+  | Mil.NumberTail (p, _) ->
+    let c = only p in
+    {
+      P.hty = Some Atom.TOid;
+      tty = c.tty;
+      head_key = true;
+      dense_head = true;
+      sorted_head = true;
+      tail_key = c.tail_key;
+      dense_tail = c.dense_tail;
+      sorted_tail = c.sorted_tail;
+      card = c.card;
+    }
+  | Mil.Project (p, a) ->
+    let c = only p in
+    {
+      c with
+      tty = Some (Atom.type_of a);
+      tail_key = hi_at_most c 1;
+      dense_tail = false;
+      sorted_tail = true;
+    }
+  | Mil.Calc1 (op, p) ->
+    let c = only p in
+    reset_tail c (unop_ty ~err:err_s op c.tty)
+  | Mil.CalcConst (op, p, a) ->
+    let c = only p in
+    (match (op, a) with
+    | Bat.Div, Atom.Int 0 -> err "division by integer constant zero always raises"
+    | Bat.Div, Atom.Flt 0.0 -> warn "division by float constant zero yields infinities"
+    | _ -> ());
+    reset_tail c (binop_ty op c.tty (Some (Atom.type_of a)))
+  | Mil.ConstCalc (op, a, p) ->
+    let c = only p in
+    reset_tail c (binop_ty op (Some (Atom.type_of a)) c.tty)
+  | Mil.Calc2 (op, l, r) ->
+    let cl = child ":l" l and cr = child ":r" r in
+    (match (cl.hty, cr.hty) with
+    | Some a, Some b when a <> b ->
+      err "misaligned head types %s vs %s — rows can never pair up" (Atom.ty_name a)
+        (Atom.ty_name b)
+    | _ -> ());
+    {
+      (reset_tail cl (binop_ty op cl.tty cr.tty)) with
+      card = P.card_upto cl.card;
+      dense_head = false;
+    }
+  | Mil.SelectCmp (p, c, a) ->
+    let cp = only p in
+    let aty = Atom.type_of a in
+    let mismatched = match cp.tty with Some t -> t <> aty | None -> false in
+    if mismatched then
+      warn "selection compares %s tails against a %s constant — statically trivial"
+        (match cp.tty with Some t -> Atom.ty_name t | None -> "?")
+        (Atom.ty_name aty);
+    let card =
+      if mismatched && c = Bat.Eq then P.exactly 0 else P.card_upto cp.card
+    in
+    let s = subset cp card in
+    if c = Bat.Eq && not mismatched then { s with sorted_tail = true } else s
+  | Mil.SelectRange (p, lo, hi) ->
+    let cp = only p in
+    (match cp.tty with
+    | Some t when t <> Atom.type_of lo || t <> Atom.type_of hi ->
+      warn "range bounds %s..%s do not match the %s tail" (Atom.to_string lo)
+        (Atom.to_string hi) (Atom.ty_name t)
+    | _ -> ());
+    let empty = Atom.compare lo hi > 0 in
+    if empty then warn "range lower bound exceeds upper bound — selection is empty";
+    subset cp (if empty then P.exactly 0 else P.card_upto cp.card)
+  | Mil.SelectBool p ->
+    let cp = only p in
+    (match cp.tty with
+    | Some t when t <> Atom.TBool ->
+      err "select_bool requires a bool tail, got %s" (Atom.ty_name t)
+    | _ -> ());
+    { (subset cp (P.card_upto cp.card)) with sorted_tail = true }
+  | Mil.Join (l, r) ->
+    let cl = child ":l" l and cr = child ":r" r in
+    (match (cl.tty, cr.hty) with
+    | Some a, Some b when a <> b ->
+      err "join tail type %s does not match head type %s" (Atom.ty_name a) (Atom.ty_name b)
+    | _ -> ());
+    let card =
+      if cr.head_key then P.card_upto cl.card else P.card_mul cl.card cr.card
+    in
+    {
+      P.unknown with
+      hty = cl.hty;
+      tty = cr.tty;
+      head_key = cl.head_key && cr.head_key;
+      sorted_head = cl.sorted_head;
+      card;
+    }
+  | Mil.LeftOuterJoin (l, r, d) ->
+    let cl = child ":l" l and cr = child ":r" r in
+    (match (cl.tty, cr.hty) with
+    | Some a, Some b when a <> b ->
+      warn "outer-join tail type %s does not match head type %s — every row defaults"
+        (Atom.ty_name a) (Atom.ty_name b)
+    | _ -> ());
+    (match cr.tty with
+    | Some t when t <> Atom.type_of d ->
+      err "default %s does not match the right tail type %s" (Atom.to_string d)
+        (Atom.ty_name t)
+    | _ -> ());
+    let one_per_row = cr.head_key || cr.card.P.hi = Some 0 in
+    let tty = Some (Atom.type_of d) in
+    if one_per_row then { cl with tty; tail_key = false; dense_tail = false; sorted_tail = false }
+    else
+      {
+        P.unknown with
+        hty = cl.hty;
+        tty;
+        head_key = false;
+        sorted_head = cl.sorted_head;
+        card = { P.lo = cl.card.P.lo; hi = (P.card_mul cl.card cr.card).P.hi };
+      }
+  | Mil.Semijoin (l, r) ->
+    let cl = child ":l" l and cr = child ":r" r in
+    let mismatched =
+      match (cl.hty, cr.hty) with Some a, Some b -> a <> b | _ -> false
+    in
+    if mismatched then
+      warn "semijoin head types differ — no row can survive";
+    let empty = mismatched || cr.card.P.hi = Some 0 in
+    subset cl (if empty then P.exactly 0 else P.card_upto cl.card)
+  | Mil.Antijoin (l, r) ->
+    let cl = child ":l" l and cr = child ":r" r in
+    (match (cl.hty, cr.hty) with
+    | Some a, Some b when a <> b ->
+      warn "antijoin head types differ — every row survives"
+    | _ -> ());
+    if cr.card.P.hi = Some 0 then cl else subset cl (P.card_upto cl.card)
+  | Mil.Kunion (l, r) ->
+    let cl = child ":l" l and cr = child ":r" r in
+    union_types ~err:err_s cl cr;
+    {
+      P.unknown with
+      hty = pick cl.hty cr.hty;
+      tty = pick cl.tty cr.tty;
+      head_key = cl.head_key && cr.head_key;
+      card = { P.lo = cl.card.P.lo; hi = (P.card_add cl.card cr.card).P.hi };
+    }
+  | Mil.PairUnion (l, r) ->
+    let cl = child ":l" l and cr = child ":r" r in
+    union_types ~err:err_s cl cr;
+    {
+      P.unknown with
+      hty = pick cl.hty cr.hty;
+      tty = pick cl.tty cr.tty;
+      card =
+        {
+          P.lo = (if cl.card.P.lo > 0 || cr.card.P.lo > 0 then 1 else 0);
+          hi = (P.card_add cl.card cr.card).P.hi;
+        };
+    }
+  | Mil.PairDiff (l, r) ->
+    let cl = child ":l" l and cr = child ":r" r in
+    (match (pair_mismatch cl cr : bool) with
+    | true -> warn "pair types differ — the difference keeps every row"
+    | false -> ());
+    subset cl (P.card_upto cl.card)
+  | Mil.PairInter (l, r) ->
+    let cl = child ":l" l and cr = child ":r" r in
+    let mismatched = pair_mismatch cl cr in
+    if mismatched then warn "pair types differ — the intersection is empty";
+    let empty = mismatched || cr.card.P.hi = Some 0 in
+    subset cl (if empty then P.exactly 0 else P.card_upto cl.card)
+  | Mil.Append (l, r) ->
+    let cl = child ":l" l and cr = child ":r" r in
+    union_types ~err:err_s cl cr;
+    {
+      P.unknown with
+      hty = pick cl.hty cr.hty;
+      tty = pick cl.tty cr.tty;
+      card = P.card_add cl.card cr.card;
+    }
+  | Mil.Unique p ->
+    let c = only p in
+    subset c
+      { P.lo = (if c.card.P.lo > 0 then 1 else 0); hi = c.card.P.hi }
+  | Mil.UniqueHead p ->
+    let c = only p in
+    {
+      (subset c { P.lo = (if c.card.P.lo > 0 then 1 else 0); hi = c.card.P.hi }) with
+      head_key = true;
+    }
+  | Mil.GroupAggr (op, p) ->
+    let c = only p in
+    let tty = aggr_ty ~err:err_s op c.tty in
+    {
+      P.unknown with
+      hty = c.hty;
+      tty;
+      head_key = true;
+      dense_head = c.dense_head;
+      sorted_head = c.sorted_head;
+      card = { P.lo = (if c.card.P.lo > 0 then 1 else 0); hi = c.card.P.hi };
+    }
+  | Mil.AggrAll (op, p) ->
+    let c = only p in
+    let tty = aggr_ty ~err:err_s op c.tty in
+    if
+      c.card.P.lo = 0
+      && (op = Bat.Min || op = Bat.Max || op = Bat.Avg
+         || (op = Bat.Sum && c.tty = Some Atom.TStr))
+    then
+      warn "aggregate %s over a possibly-empty input raises at runtime" (Mil.aggr_name op);
+    {
+      P.hty = Some Atom.TOid;
+      tty;
+      head_key = true;
+      tail_key = true;
+      dense_head = true;
+      dense_tail = false;
+      sorted_head = true;
+      sorted_tail = true;
+      card = P.exactly 1;
+    }
+  | Mil.GroupRank { link; key; desc = _ } ->
+    let cl = child ":link" link and ck = child ":key" key in
+    (match (cl.hty, ck.hty) with
+    | Some a, Some b when a <> b ->
+      warn "group_rank link heads (%s) never match key heads (%s) — all elements rank last"
+        (Atom.ty_name a) (Atom.ty_name b)
+    | _ -> ());
+    {
+      P.unknown with
+      hty = cl.hty;
+      tty = Some Atom.TInt;
+      head_key = cl.head_key;
+      card = cl.card;
+    }
+  | Mil.SortTail (p, desc) ->
+    let c = only p in
+    {
+      c with
+      dense_head = false;
+      sorted_head = false;
+      dense_tail = c.dense_tail && not desc;
+      sorted_tail = not desc;
+    }
+  | Mil.Slice (p, pos, len) ->
+    let c = only p in
+    let pos = max 0 pos and len = max 0 len in
+    let card =
+      {
+        P.lo = max 0 (min len (c.card.P.lo - pos));
+        hi =
+          Some
+            (match c.card.P.hi with
+            | Some h -> max 0 (min len (h - pos))
+            | None -> len);
+      }
+    in
+    subset ~contiguous:true c card
+  | Mil.TopN (p, n, desc) ->
+    let c = only p in
+    let n = max 0 n in
+    {
+      (subset c (P.card_min_hi c.card n)) with
+      dense_tail = c.dense_tail && not desc;
+      sorted_tail = not desc;
+      sorted_head = false;
+    }
+  | Mil.Foreign { name; args; meta } -> (
+    List.iteri (fun i a -> ignore (child (Printf.sprintf ":%d" i) a)) args;
+    match ctx.env.foreign name with
+    | None ->
+      err "physical operator %S has no registered signature" name;
+      P.unknown
+    | Some s ->
+      if List.length args <> s.P.fs_arity then
+        err "%S expects %d plan arguments, got %d" name s.P.fs_arity (List.length args);
+      if List.length meta < s.P.fs_meta_min then
+        err "%S expects at least %d meta strings, got %d" name s.P.fs_meta_min
+          (List.length meta);
+      s.P.fs_result)
+
+and pick a b = match a with Some _ -> a | None -> b
+
+and union_types ~err (l : P.t) (r : P.t) =
+  (match (l.P.hty, r.P.hty) with
+  | Some a, Some b when a <> b ->
+    err
+      (Printf.sprintf "head types %s and %s cannot be combined" (Atom.ty_name a)
+         (Atom.ty_name b))
+  | _ -> ());
+  match (l.P.tty, r.P.tty) with
+  | Some a, Some b when a <> b ->
+    err
+      (Printf.sprintf "tail types %s and %s cannot be combined" (Atom.ty_name a)
+         (Atom.ty_name b))
+  | _ -> ()
+
+and pair_mismatch (l : P.t) (r : P.t) =
+  (match (l.P.hty, r.P.hty) with Some a, Some b -> a <> b | _ -> false)
+  || match (l.P.tty, r.P.tty) with Some a, Some b -> a <> b | _ -> false
+
+let fresh_ctx env = { env; memo = Hashtbl.create 64; diags = [] }
+
+let infer env plan =
+  let ctx = fresh_ctx env in
+  let p = infer_at ctx (Mil.op_name plan) plan in
+  (p, List.rev ctx.diags)
+
+let verify env plan =
+  let p, ds = infer env plan in
+  match errors ds with [] -> Ok p | errs -> Error errs
+
+(* {1 Lint} *)
+
+let lint env plan =
+  let ctx = fresh_ctx env in
+  ignore (infer_at ctx (Mil.op_name plan) plan);
+  let inference = List.rev ctx.diags in
+  let smells = ref [] in
+  let seen = Hashtbl.create 64 in
+  let add severity path node fmt =
+    Printf.ksprintf
+      (fun message ->
+        smells := { severity; path; op = Mil.op_name node; message } :: !smells)
+      fmt
+  in
+  let rec walk path parent_empty node =
+    if not (Hashtbl.mem seen node) then begin
+      Hashtbl.add seen node ();
+      let prop = try Hashtbl.find ctx.memo node with Not_found -> P.unknown in
+      let empty = P.is_empty prop in
+      if empty && not parent_empty then
+        add Warning path node "statically empty — the subplan is dead";
+      let hint fmt = add Hint path node fmt in
+      (match node with
+      | Mil.Reverse (Mil.Reverse _) -> hint "reverse of reverse cancels out"
+      | Mil.Mirror (Mil.Mirror _) | Mil.Reverse (Mil.Mirror _)
+      | Mil.Mirror (Mil.Reverse (Mil.Mirror _)) ->
+        hint "mirror chain collapses to a single mirror"
+      | Mil.Unique (Mil.Unique _) -> hint "unique of unique is redundant"
+      | Mil.Semijoin (p, q) when p = q -> hint "self-semijoin is the identity"
+      | Mil.Kunion (p, q) when p = q -> hint "self-kunion is the identity"
+      | Mil.Append (_, Mil.Lit { pairs = []; _ }) | Mil.Append (Mil.Lit { pairs = []; _ }, _)
+        ->
+        hint "appending an empty literal is the identity"
+      | Mil.Slice (Mil.SortTail _, 0, n) ->
+        hint "slice[0,%d] of sort_tail should fuse to top%d" n n
+      | Mil.SelectCmp (Mil.Project (_, a), c, b) ->
+        if Bat.apply_cmp c a b then
+          hint "selection over a constant projection is always true — drop it"
+        else
+          add Warning path node
+            "selection over a constant projection is always false — the subplan is dead"
+      | Mil.SelectBool (Mil.Project (_, Atom.Bool v)) ->
+        if v then hint "boolean selection over a true constant is always true — drop it"
+        else
+          add Warning path node
+            "boolean selection over a false constant is always false — the subplan is dead"
+      | Mil.SelectRange (Mil.Project (_, a), lo, hi) ->
+        if Atom.compare lo a <= 0 && Atom.compare a hi <= 0 then
+          hint "range selection over a constant projection is always true — drop it"
+        else
+          add Warning path node
+            "range selection over a constant projection is always false — the subplan is dead"
+      | _ -> ());
+      let down slot q = walk (path ^ slot ^ "/" ^ Mil.op_name q) empty q in
+      match node with
+      | Mil.Get _ | Mil.Lit _ -> ()
+      | Mil.Reverse p | Mil.Mirror p
+      | Mil.Mark (p, _)
+      | Mil.NumberHead (p, _)
+      | Mil.NumberTail (p, _)
+      | Mil.Project (p, _)
+      | Mil.Calc1 (_, p)
+      | Mil.CalcConst (_, p, _)
+      | Mil.ConstCalc (_, _, p)
+      | Mil.SelectCmp (p, _, _)
+      | Mil.SelectRange (p, _, _)
+      | Mil.SelectBool p
+      | Mil.Unique p | Mil.UniqueHead p
+      | Mil.GroupAggr (_, p)
+      | Mil.AggrAll (_, p)
+      | Mil.SortTail (p, _)
+      | Mil.Slice (p, _, _)
+      | Mil.TopN (p, _, _) ->
+        down "" p
+      | Mil.Calc2 (_, l, r)
+      | Mil.Join (l, r)
+      | Mil.LeftOuterJoin (l, r, _)
+      | Mil.Semijoin (l, r)
+      | Mil.Antijoin (l, r)
+      | Mil.Kunion (l, r)
+      | Mil.PairUnion (l, r)
+      | Mil.PairDiff (l, r)
+      | Mil.PairInter (l, r)
+      | Mil.Append (l, r) ->
+        down ":l" l;
+        down ":r" r
+      | Mil.GroupRank { link; key; _ } ->
+        down ":link" link;
+        down ":key" key
+      | Mil.Foreign { args; _ } ->
+        List.iteri (fun i a -> down (Printf.sprintf ":%d" i) a) args
+    end
+  in
+  walk (Mil.op_name plan) false plan;
+  inference @ List.rev !smells
+
+(* {1 Checked execution} *)
+
+let exec_checked env session plan =
+  let b = Mil.exec session plan in
+  let inferred, ds = infer env plan in
+  (match errors ds with
+  | [] -> ()
+  | e :: _ -> failwith (Printf.sprintf "Milcheck: ill-formed plan executed: %s" (diag_to_string e)));
+  (match P.envelope_ok ~inferred ~actual:(P.of_bat b) with
+  | Ok () -> ()
+  | Error msg ->
+    failwith
+      (Printf.sprintf "Milcheck: result of %s escapes the inferred envelope %s: %s"
+         (Mil.op_name plan) (P.to_string inferred) msg));
+  b

@@ -1,0 +1,85 @@
+(** Static analysis of MIL plans.
+
+    An abstract interpretation over {!Mil.t} in the domain of
+    {!Milprop.t} envelopes: for every subplan the analyzer infers head
+    and tail atom types, key/density/sortedness flags and cardinality
+    bounds, and emits typed diagnostics for constructions that the BAT
+    kernel would reject at runtime (type-mismatched [Calc2]/[Join]
+    operands, misaligned head types, non-bool selections, unknown or
+    mis-used [Foreign] operators, …) or that are statically suspicious
+    (divisions by a constant zero, aggregates that raise on empty
+    input, statically empty subplans).
+
+    Three consumers are built on the same inference:
+    {ul
+    {- {!verify} — the plan verifier: errors reject the plan;}
+    {- {!exec_checked} — a checked executor that runs {!Mil.exec} and
+       compares each result BAT against the inferred envelope;}
+    {- {!lint} — the smell pass: everything {!infer} reports, plus
+       pattern smells the peephole optimiser should have removed.}}
+
+    Bundle-level (shape-aware) wrappers and the differential checker
+    live upstairs in [Plancheck] (mirror_core), which also knows how to
+    build an {!env} from a storage manager and the extension
+    registry. *)
+
+type severity = Error | Warning | Hint
+
+type diag = {
+  severity : severity;
+  path : string;
+      (** Plan-path locus from the root, e.g. ["join:l/reverse/get"].
+          Structurally shared subplans are reported at their first
+          visit. *)
+  op : string;  (** {!Mil.op_name} of the offending node. *)
+  message : string;
+}
+
+type env = {
+  get : string -> Milprop.t option;
+      (** Properties of a catalog name; [None] marks it unbound (an
+          error). *)
+  foreign : string -> Milprop.foreign_sig option;
+      (** Registry signature of a [Foreign] operator; [None] marks it
+          unknown (an error). *)
+}
+(** The analyzer's view of the world outside the plan. *)
+
+val env_of_catalog :
+  ?foreign:(string -> Milprop.foreign_sig option) -> Catalog.t -> env
+(** Environment whose [get] scans the catalog BAT for its exact
+    properties ({!Milprop.of_bat}); [foreign] defaults to knowing no
+    operators. *)
+
+val infer : env -> Mil.t -> Milprop.t * diag list
+(** Root envelope plus all diagnostics, in emission order.  Inference
+    memoises structurally equal subplans, mirroring the executor's CSE,
+    so analysis is linear in the number of distinct subplans. *)
+
+val verify : env -> Mil.t -> (Milprop.t, diag list) result
+(** [Ok] with the root envelope when inference produced no [Error]
+    diagnostics; [Error] with just the errors otherwise. *)
+
+val lint : env -> Mil.t -> diag list
+(** All inference diagnostics plus pattern smells: reverse/mirror
+    chains, redundant [unique]s, self-semijoins, appends of empty
+    literals, [Slice]-of-[SortTail] not fused to [TopN], selections
+    over constant [Project] tails, and statically dead (provably
+    empty) subplans. *)
+
+val exec_checked : env -> Mil.session -> Mil.t -> Bat.t
+(** Evaluate the plan and assert the result lies inside the inferred
+    envelope — the executor debug mode.
+    @raise Failure when the plan has verification errors or the result
+    escapes its envelope (an analyzer or kernel bug: inference is meant
+    to be sound). *)
+
+val errors : diag list -> diag list
+(** Just the [Error]-severity diagnostics. *)
+
+val severity_name : severity -> string
+
+val pp_diag : Format.formatter -> diag -> unit
+(** ["error at join:l/get (get): unbound catalog name …"]. *)
+
+val diag_to_string : diag -> string

@@ -65,15 +65,15 @@ let rec pass fired plan =
   in
   rules fired p
 
+(* Every rule strictly decreases the node count, so iterating to a
+   fixpoint terminates — no pass cap needed (a cap would let deep
+   chains escape un-normalised and break idempotence). *)
 let rewrite_count plan =
   let fired = ref 0 in
-  let rec fix p n =
-    if n = 0 then p
-    else
-      let p' = pass fired p in
-      if p' = p then p else fix p' (n - 1)
+  let rec fix p =
+    let p' = pass fired p in
+    if p' = p then p else fix p'
   in
-  let out = fix plan 10 in
-  (out, !fired)
+  (fix plan, !fired)
 
 let rewrite plan = fst (rewrite_count plan)

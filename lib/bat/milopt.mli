@@ -15,7 +15,10 @@
     - constant literal calculations fold into literals *)
 
 val rewrite : Mil.t -> Mil.t
-(** The simplified plan (semantically identical). *)
+(** The simplified plan (semantically identical).  The result is a
+    stable fixpoint: [rewrite (rewrite p) = rewrite p] — every rule
+    strictly shrinks the plan, so iteration runs uncapped until no rule
+    fires. *)
 
 val rewrite_count : Mil.t -> Mil.t * int
 (** Also report how many rule applications fired. *)

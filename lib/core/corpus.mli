@@ -1,0 +1,19 @@
+(** The shared static-analysis corpus: a small standard database plus
+    a battery of Moa queries covering every pipeline feature.
+
+    Used by [mirror_cli lint] (no-argument mode), the analyzer test
+    suite and the [@lint] build gate, so "the analyzer accepts every
+    corpus plan" means the same thing everywhere. *)
+
+val schema : Types.t
+(** [SET< TUPLE< a:int, b:int, s:SET<int>, c:CONTREP<str> > >]. *)
+
+val rows : Value.t list
+(** Deterministic sample rows for the [R] extent. *)
+
+val storage : unit -> Storage.t
+(** Fresh storage with extensions bootstrapped and [R] defined and
+    loaded. *)
+
+val queries : string list
+(** The query battery (parseable by {!Parser.parse_expr}). *)

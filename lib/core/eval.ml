@@ -83,37 +83,51 @@ let plan_nodes shape =
   Shape.iter (fun p -> n := !n + Mil.size p) shape;
   !n
 
-let query ?(cse = true) ?(optimize = true) ?(specialize = true) storage expr =
+let query ?(cse = true) ?(optimize = true) ?(specialize = true) ?(check = false) storage expr =
   match Typecheck.infer (Storage.typecheck_env storage) expr with
   | Error e -> Error e
   | Ok result_type -> (
+    let raw_expr = expr in
     let expr = if optimize then Optimize.rewrite expr else expr in
-    match Flatten.compile ~specialize storage expr with
+    match Flatten.compile ~specialize ~check storage expr with
     | exception Flatten.Unsupported msg -> Error msg
-    | shape ->
+    | exception Flatten.Ill_formed msg -> Error ("ill-formed plan: " ^ msg)
+    | shape -> (
       (* physical peephole rewriting; deterministic, so shared subplans
          stay shared for the executor's memo table *)
       let shape = if optimize then Shape.map Mirror_bat.Milopt.rewrite shape else shape in
-      let session =
-        Mil.session ~cse
-          ~foreign:(Extension.foreign_dispatch (Storage.eval_env storage))
-          (Storage.catalog storage)
+      let differential =
+        if check then Plancheck.differential ~specialize storage raw_expr else Ok ()
       in
-      (match reify ~lookup:(Mil.exec session) shape with
-      | value ->
-        let stats = Mil.stats session in
-        Ok
-          {
-            value;
-            result_type;
-            plan_bats = Shape.count_bats shape;
-            plan_nodes = plan_nodes shape;
-            evaluated = stats.Mil.evaluated;
-            memo_hits = stats.Mil.memo_hits;
-          }
-      | exception Failure msg -> Error msg
-      | exception Invalid_argument msg -> Error msg
-      | exception Not_found -> Error "plan referenced an unbound catalog name"))
+      match differential with
+      | Error msg -> Error ("differential check: " ^ msg)
+      | Ok () -> (
+        let session =
+          Mil.session ~cse
+            ~foreign:(Extension.foreign_dispatch (Storage.eval_env storage))
+            (Storage.catalog storage)
+        in
+        let lookup =
+          if check then
+            Mirror_bat.Milcheck.exec_checked (Plancheck.env_of_storage storage) session
+          else Mil.exec session
+        in
+        match reify ~lookup shape with
+        | value ->
+          let stats = Mil.stats session in
+          Ok
+            {
+              value;
+              result_type;
+              plan_bats = Shape.count_bats shape;
+              plan_nodes = plan_nodes shape;
+              evaluated = stats.Mil.evaluated;
+              memo_hits = stats.Mil.memo_hits;
+            }
+        | exception Failure msg -> Error msg
+        | exception Invalid_argument msg -> Error msg
+        | exception Mil.Unbound name ->
+          Error (Printf.sprintf "plan referenced the unbound catalog name %S" name))))
 
 let query_value storage expr = Result.map (fun r -> r.value) (query storage expr)
 
@@ -134,7 +148,8 @@ let profile storage expr =
       | _ -> Ok (Mil.profile session)
       | exception Failure msg -> Error msg
       | exception Invalid_argument msg -> Error msg
-      | exception Not_found -> Error "plan referenced an unbound catalog name"))
+      | exception Mil.Unbound name ->
+        Error (Printf.sprintf "plan referenced the unbound catalog name %S" name)))
 
 let explain ?(optimize = true) storage expr =
   match Typecheck.infer (Storage.typecheck_env storage) expr with

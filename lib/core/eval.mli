@@ -16,10 +16,20 @@ type report = {
 }
 
 val query :
-  ?cse:bool -> ?optimize:bool -> ?specialize:bool -> Storage.t -> Expr.t -> (report, string) result
+  ?cse:bool ->
+  ?optimize:bool ->
+  ?specialize:bool ->
+  ?check:bool ->
+  Storage.t ->
+  Expr.t ->
+  (report, string) result
 (** Run a closed expression.  [cse], [optimize] and [specialize] (all
     default true) exist for the ablation experiments; see
-    {!Flatten.compile} for [specialize]. *)
+    {!Flatten.compile} for [specialize].  [check] (default false) is
+    the debug mode: the bundle is verified by {!Mirror_bat.Milcheck},
+    the {!Plancheck.differential} checker vets both optimiser stages,
+    and every executed plan's result BAT is compared against its
+    inferred property envelope. *)
 
 val query_value : Storage.t -> Expr.t -> (Value.t, string) result
 (** Just the value. *)

@@ -355,6 +355,33 @@ module E = struct
   let foreign_ops =
     [ ("contrep_getbl", getbl_foreign); ("contrep_getblnet", getblnet_foreign) ]
 
+  (* Both operators yield (ctx oid, belief) rows.  getbl emits one row
+     per context × query term, so heads repeat; getblnet folds the
+     whole query into one belief per context, so heads are keys. *)
+  let foreign_sigs =
+    let belief_result ~head_key =
+      {
+        Mirror_bat.Milprop.unknown with
+        Mirror_bat.Milprop.hty = Some Atom.TOid;
+        tty = Some Atom.TFlt;
+        head_key;
+      }
+    in
+    [
+      ( "contrep_getbl",
+        {
+          Mirror_bat.Milprop.fs_arity = 7;
+          fs_meta_min = 1;
+          fs_result = belief_result ~head_key:false;
+        } );
+      ( "contrep_getblnet",
+        {
+          Mirror_bat.Milprop.fs_arity = 5;
+          fs_meta_min = 2;
+          fs_result = belief_result ~head_key:true;
+        } );
+    ]
+
   let bind_value ~path ~recurse:_ ~ty_args:_ v =
     match v with
     | Value.Xv { ext = "CONTREP"; items; _ } ->

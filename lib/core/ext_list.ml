@@ -200,6 +200,7 @@ module E = struct
       }
 
   let foreign_ops = []
+  let foreign_sigs = []
 
   let bind_value ~path ~recurse ~ty_args v =
     match (ty_args, v) with

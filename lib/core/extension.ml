@@ -77,6 +77,8 @@ module type S = sig
   val foreign_ops :
     (string * (eval_env -> args:Mirror_bat.Bat.t list -> meta:string list -> Mirror_bat.Bat.t)) list
 
+  val foreign_sigs : (string * Mirror_bat.Milprop.foreign_sig) list
+
   val bind_value :
     path:string ->
     recurse:(path:string -> ty:Types.t -> Value.t -> Value.t) ->
@@ -115,6 +117,12 @@ let find_op op = Hashtbl.find_opt by_op op
 
 let registered () =
   List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_name [])
+
+let foreign_signature name =
+  Hashtbl.fold
+    (fun _ (module E : S) acc ->
+      match acc with Some _ -> acc | None -> List.assoc_opt name E.foreign_sigs)
+    by_name None
 
 let foreign_dispatch env ~name ~args ~meta =
   let handler =

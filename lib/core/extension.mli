@@ -119,6 +119,13 @@ module type S = sig
   (** Physical operators this extension contributes to the kernel
       (dispatched from {!Mil.Foreign} nodes). *)
 
+  val foreign_sigs : (string * Mirror_bat.Milprop.foreign_sig) list
+  (** Static signatures for the same operators — plan-argument arity,
+      minimum meta-string count and the result's property envelope —
+      consulted by the {!Mirror_bat.Milcheck} plan verifier.  Every
+      name in {!foreign_ops} should be covered; an operator without a
+      signature is rejected by verification. *)
+
   val bind_value :
     path:string ->
     recurse:(path:string -> ty:Types.t -> Value.t -> Value.t) ->
@@ -151,3 +158,8 @@ val registered : unit -> string list
 val foreign_dispatch : eval_env -> Mirror_bat.Mil.foreign_fn
 (** The kernel-level dispatch function combining every registered
     extension's physical operators. *)
+
+val foreign_signature : string -> Mirror_bat.Milprop.foreign_sig option
+(** The registry-declared static signature of a physical operator,
+    searched across every registered extension — the [foreign] half of
+    a {!Mirror_bat.Milcheck.env}. *)

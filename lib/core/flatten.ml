@@ -374,5 +374,25 @@ and elem_type env src =
   | Types.Set elem -> elem
   | ty -> fail "expected a set, got %s" (Types.to_string ty)
 
-let compile ?(specialize = true) storage expr =
-  compile_env { storage; vars = []; tvars = []; dom = root_dom; specialize } expr
+exception Ill_formed of string
+
+let compile ?(specialize = true) ?(check = false) storage expr =
+  let shape = compile_env { storage; vars = []; tvars = []; dom = root_dom; specialize } expr in
+  if check then begin
+    (* the analyzer env is built inline (catalog + registry signatures)
+       rather than through Plancheck, which depends on this module *)
+    let env =
+      Mirror_bat.Milcheck.env_of_catalog ~foreign:Extension.foreign_signature
+        (Storage.catalog storage)
+    in
+    Shape.iter
+      (fun plan ->
+        match Mirror_bat.Milcheck.verify env plan with
+        | Ok _ -> ()
+        | Error ds ->
+          raise
+            (Ill_formed
+               (String.concat "; " (List.map Mirror_bat.Milcheck.diag_to_string ds))))
+      shape
+  end;
+  shape

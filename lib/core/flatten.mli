@@ -20,12 +20,23 @@ exception Unsupported of string
     the top level, or a literal of unsupported shape).  Expressions
     accepted by {!Typecheck.infer} otherwise always compile. *)
 
-val compile : ?specialize:bool -> Storage.t -> Expr.t -> Extension.planshape
+exception Ill_formed of string
+(** Raised (only under [~check:true]) when the emitted bundle fails
+    {!Mirror_bat.Milcheck.verify} — a compiler bug, since well-typed
+    expressions must compile to well-formed plans. *)
+
+val compile :
+  ?specialize:bool -> ?check:bool -> Storage.t -> Expr.t -> Extension.planshape
 (** Compile a closed, well-typed expression.  [specialize] (default
     true) enables physical specialisations such as the hash equi-join
     (an equality conjunct in a join predicate restricts candidate pairs
     by a key join rather than the full cross product); disable it for
-    the optimisation-ablation experiments.  @raise Unsupported. *)
+    the optimisation-ablation experiments.  [check] (default false)
+    runs the {!Mirror_bat.Milcheck} plan verifier over every emitted
+    plan against the storage catalog and extension registry.
+    @raise Unsupported
+    @raise Ill_formed under [~check:true] for a bundle that fails
+    verification. *)
 
 val root_dom : Mirror_bat.Mil.t
 (** The top-level context domain: the singleton [(@0, @0)]. *)

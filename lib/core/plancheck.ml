@@ -1,0 +1,117 @@
+module Mil = Mirror_bat.Mil
+module Milopt = Mirror_bat.Milopt
+module Milcheck = Mirror_bat.Milcheck
+module Milprop = Mirror_bat.Milprop
+
+let env_of_storage storage =
+  Milcheck.env_of_catalog ~foreign:Extension.foreign_signature (Storage.catalog storage)
+
+let shape_plans shape =
+  let acc = ref [] in
+  Shape.iter (fun p -> acc := p :: !acc) shape;
+  List.rev !acc
+
+let verify_shape env shape =
+  let bad = ref [] in
+  Shape.iter
+    (fun plan ->
+      match Milcheck.verify env plan with
+      | Ok _ -> ()
+      | Error ds -> bad := !bad @ ds)
+    shape;
+  match !bad with [] -> Ok () | ds -> Error ds
+
+let lint_shape env shape =
+  List.concat_map (Milcheck.lint env) (shape_plans shape)
+
+(* {1 Differential checking} *)
+
+(* Zip two bundles plan-by-plan; [None] when the shape skeletons
+   disagree (different tuple fields, extension names or BAT counts). *)
+let rec zip_shapes a b =
+  match (a, b) with
+  | Shape.Atomic p, Shape.Atomic q -> Some [ (p, q) ]
+  | Shape.Tuple fs, Shape.Tuple gs when List.map fst fs = List.map fst gs ->
+    zip_all (List.map snd fs) (List.map snd gs)
+  | Shape.Set { link = l1; elem = e1 }, Shape.Set { link = l2; elem = e2 } ->
+    Option.map (fun rest -> (l1, l2) :: rest) (zip_shapes e1 e2)
+  | ( Shape.Xstruct { ext = x1; bats = b1; subs = s1; _ },
+      Shape.Xstruct { ext = x2; bats = b2; subs = s2; _ } )
+    when x1 = x2 && List.length b1 = List.length b2 ->
+    Option.bind (zip_all s1 s2) (fun rest ->
+        Some (List.combine b1 b2 @ rest))
+  | _ -> None
+
+and zip_all xs ys =
+  if List.length xs <> List.length ys then None
+  else
+    List.fold_right
+      (fun (x, y) acc ->
+        Option.bind acc (fun rest ->
+            Option.map (fun ps -> ps @ rest) (zip_shapes x y)))
+      (List.combine xs ys) (Some [])
+
+let compatible_pair env ~stage k (before, after) =
+  let pb, _ = Milcheck.infer env before in
+  let pa, _ = Milcheck.infer env after in
+  if Milprop.compatible pb pa then Ok ()
+  else
+    Error
+      (Printf.sprintf "%s changed the envelope of bundle plan %d: %s vs %s" stage k
+         (Milprop.to_string pb) (Milprop.to_string pa))
+
+let check_pairs env ~stage pairs =
+  let rec go k = function
+    | [] -> Ok ()
+    | pair :: rest -> (
+      match compatible_pair env ~stage k pair with
+      | Ok () -> go (k + 1) rest
+      | Error _ as e -> e)
+  in
+  go 0 pairs
+
+(* Assert the two optimisation stages preserve each plan's inferred
+   type/shape/cardinality envelope:
+   - logical: the bundle compiled from [expr] vs the bundle compiled
+     from [Optimize.rewrite expr] (same skeleton, pairwise-compatible
+     envelopes);
+   - physical: every plan vs its [Milopt.rewrite] image. *)
+let differential ?(specialize = true) storage expr =
+  let env = env_of_storage storage in
+  match Flatten.compile ~specialize storage expr with
+  | exception Flatten.Unsupported msg -> Error ("unoptimized compile: " ^ msg)
+  | shape0 -> (
+    let milopt_pairs shape =
+      List.map (fun p -> (p, Milopt.rewrite p)) (shape_plans shape)
+    in
+    let physical shape label =
+      check_pairs env ~stage:("Milopt.rewrite (" ^ label ^ ")") (milopt_pairs shape)
+    in
+    match Flatten.compile ~specialize storage (Optimize.rewrite expr) with
+    | exception Flatten.Unsupported msg -> Error ("optimized compile: " ^ msg)
+    | shape1 -> (
+      match zip_shapes shape0 shape1 with
+      | None -> Error "Optimize.rewrite changed the bundle's shape skeleton"
+      | Some pairs -> (
+        match check_pairs env ~stage:"Optimize.rewrite" pairs with
+        | Error _ as e -> e
+        | Ok () -> (
+          match physical shape0 "unoptimized" with
+          | Error _ as e -> e
+          | Ok () -> physical shape1 "optimized"))))
+
+(* {1 Whole-query vetting} *)
+
+let diags_to_string ds = String.concat "; " (List.map Milcheck.diag_to_string ds)
+
+let vet ?(specialize = true) storage expr =
+  match Typecheck.infer (Storage.typecheck_env storage) expr with
+  | Error e -> Error ("typecheck: " ^ e)
+  | Ok _ -> (
+    match Flatten.compile ~specialize storage expr with
+    | exception Flatten.Unsupported msg -> Error ("flatten: " ^ msg)
+    | shape -> (
+      let env = env_of_storage storage in
+      match verify_shape env shape with
+      | Error ds -> Error ("verify: " ^ diags_to_string ds)
+      | Ok () -> differential ~specialize storage expr))

@@ -166,6 +166,7 @@ module MSET = struct
       }
 
   let foreign_ops = []
+  let foreign_sigs = []
   let bind_value ~path:_ ~recurse:_ ~ty_args:_ v = v
 end
 
