@@ -16,11 +16,19 @@
      E5  component micro-benchmarks (bechamel)
      E6  retrieval quality: dual coding and relevance feedback
 
+   Besides the printed tables, every experiment appends an entry to
+   BENCH_core.json (schema documented in EXPERIMENTS.md) so later PRs
+   can diff sizes, median latencies and op-level metric snapshots
+   against this baseline.
+
    Run with:  dune exec bench/main.exe            (full suite)
               dune exec bench/main.exe -- quick   (smaller sizes) *)
 
 module Prng = Mirror_util.Prng
 module Tablefmt = Mirror_util.Tablefmt
+module Json = Mirror_util.Jsonx
+module Metrics = Mirror_util.Metrics
+module Trace = Mirror_util.Trace
 module Atom = Mirror_bat.Atom
 module Bat = Mirror_bat.Bat
 module Column = Mirror_bat.Column
@@ -54,21 +62,80 @@ let ok = function
 let section title = Printf.printf "\n==== %s ====\n\n" title
 
 (* Adaptive timing (CPU seconds; everything here is single threaded and
-   compute bound). *)
+   compute bound).  Each run is timed individually and the *median* is
+   reported — robust against GC pauses and scheduler noise, and the
+   figure BENCH_core.json records for later PRs to diff. *)
 let seconds_per_run f =
   ignore (f ());
   (* warm-up + single-shot estimate *)
   let t0 = Sys.time () in
   ignore (f ());
   let est = Float.max (Sys.time () -. t0) 1e-6 in
-  let reps = max 3 (int_of_float (0.25 /. est)) in
-  let t0 = Sys.time () in
-  for _ = 1 to reps do
-    ignore (f ())
-  done;
-  (Sys.time () -. t0) /. Float.of_int reps
+  let reps = max 5 (int_of_float (0.25 /. est)) in
+  let times =
+    Array.init reps (fun _ ->
+        let t0 = Sys.time () in
+        ignore (f ());
+        Sys.time () -. t0)
+  in
+  Mirror_util.Stat.median times
 
 let ms x = Tablefmt.cell_float ~prec:2 (1000.0 *. x)
+
+(* {1 BENCH_core.json accumulation} *)
+
+let json_entries : Json.t list ref = ref [] (* reversed *)
+
+let record_entry id fields =
+  json_entries := Json.Obj (("id", Json.Str id) :: fields) :: !json_entries
+
+let json_ms s = Json.Float (1000.0 *. s)
+
+let json_of_snapshot (s : Metrics.snapshot) =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.Metrics.counters));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, h) ->
+               ( k,
+                 Json.Obj
+                   [
+                     ("count", Json.Int h.Metrics.count);
+                     ("p50", Json.Float h.Metrics.p50);
+                     ("p95", Json.Float h.Metrics.p95);
+                     ("max", Json.Float h.Metrics.max);
+                     ("total", Json.Float h.Metrics.total);
+                   ] ))
+             s.Metrics.histograms) );
+    ]
+
+(* One untimed evaluation with the metrics registry enabled; returns the
+   resulting op-level snapshot as JSON.  The registry is reset on both
+   sides so timed runs never pay for metric recording. *)
+let metered f =
+  Metrics.reset ();
+  ignore (Metrics.with_enabled f);
+  let snap = json_of_snapshot (Metrics.snapshot ()) in
+  Metrics.reset ();
+  snap
+
+let write_bench_json () =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "mirror-bench-core/v1");
+        ("mode", Json.Str (if quick then "quick" else "full"));
+        ("experiments", Json.Arr (List.rev !json_entries));
+      ]
+  in
+  let oc = open_out "BENCH_core.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_core.json (%d experiment entries)\n"
+    (List.length !json_entries)
 
 (* {1 Synthetic text collections (paper-shaped TraditionalImgLib)} *)
 
@@ -143,9 +210,14 @@ let experiment_f1 () =
   let n = if quick then 8 else 16 in
   let scenes = Synth.corpus (Prng.create 11) ~n ~width:48 ~height:48 () in
   let m = Mirror.create () in
+  (* metrics on for the (single-shot) build: per-daemon latency
+     histograms and bus counters land in the F1 snapshot *)
+  Metrics.reset ();
   let t0 = Sys.time () in
-  let report = ok (Mirror.build_image_library m ~scenes ()) in
+  let report = Metrics.with_enabled (fun () -> ok (Mirror.build_image_library m ~scenes ())) in
   let elapsed = Sys.time () -. t0 in
+  let snapshot = json_of_snapshot (Metrics.snapshot ()) in
+  Metrics.reset ();
   let t =
     Tablefmt.create
       ~title:
@@ -175,7 +247,28 @@ let experiment_f1 () =
   Printf.printf "pipeline rounds: %d, dead letters: %d, library size: %d\n"
     report.Orchestrator.rounds
     (List.length report.Orchestrator.dead_letters)
-    (Mirror.library_size m)
+    (Mirror.library_size m);
+  record_entry "F1"
+    [
+      ("images", Json.Int n);
+      ("seconds", Json.Float elapsed);
+      ("rounds", Json.Int report.Orchestrator.rounds);
+      ("dead_letters", Json.Int (List.length report.Orchestrator.dead_letters));
+      ( "daemons",
+        Json.Arr
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("name", Json.Str s.Orchestrator.name);
+                   ("handled", Json.Int s.Orchestrator.handled);
+                   ("produced", Json.Int s.Orchestrator.produced);
+                   ("failures", Json.Int s.Orchestrator.failures);
+                   ("cpu_seconds", Json.Float s.Orchestrator.cpu_seconds);
+                 ])
+             report.Orchestrator.stats) );
+      ("metrics", snapshot);
+    ]
 
 (* {1 Q1: the section-3 query, latency vs collection size} *)
 
@@ -190,6 +283,8 @@ let experiment_q1 () =
         ("us/query/doc", Tablefmt.Right);
       ]
   in
+  let rows = ref [] in
+  let last_snapshot = ref Json.Null in
   List.iter
     (fun n ->
       let m = make_docs ~n in
@@ -200,6 +295,15 @@ let experiment_q1 () =
       in
       let st = Mirror.storage m in
       let s = seconds_per_run (fun () -> ok (Eval.query_value st expr)) in
+      last_snapshot := metered (fun () -> ok (Eval.query_value st expr));
+      rows :=
+        Json.Obj
+          [
+            ("documents", Json.Int n);
+            ("median_ms", json_ms s);
+            ("us_per_doc", Json.Float (1e6 *. s /. Float.of_int n));
+          ]
+        :: !rows;
       Tablefmt.add_row t
         [
           Tablefmt.cell_int n;
@@ -208,6 +312,12 @@ let experiment_q1 () =
         ])
     sizes;
   Tablefmt.print t;
+  record_entry "Q1"
+    [
+      ("sizes", Json.Arr (List.map (fun n -> Json.Int n) sizes));
+      ("rows", Json.Arr (List.rev !rows));
+      ("metrics", !last_snapshot);
+    ];
   print_endline "expected shape: latency grows ~linearly; per-document cost roughly flat."
 
 (* {1 E1: set-at-a-time vs object-at-a-time} *)
@@ -234,6 +344,8 @@ let experiment_e1 () =
         ("speedup", Tablefmt.Right);
       ]
   in
+  let rows = ref [] in
+  let last_snapshot = ref Json.Null in
   List.iter
     (fun n ->
       let m = make_docs ~n in
@@ -248,6 +360,18 @@ let experiment_e1 () =
           end;
           let t_naive = seconds_per_run (fun () -> Naive.eval st expr) in
           let t_flat = seconds_per_run (fun () -> ok (Eval.query_value st expr)) in
+          if label = "rank" then
+            last_snapshot := metered (fun () -> ok (Eval.query_value st expr));
+          rows :=
+            Json.Obj
+              [
+                ("query", Json.Str label);
+                ("documents", Json.Int n);
+                ("naive_ms", json_ms t_naive);
+                ("flattened_ms", json_ms t_flat);
+                ("speedup", Json.Float (t_naive /. t_flat));
+              ]
+            :: !rows;
           Tablefmt.add_row t
             [
               label;
@@ -259,6 +383,12 @@ let experiment_e1 () =
         queries)
     sizes;
   Tablefmt.print t;
+  record_entry "E1"
+    [
+      ("sizes", Json.Arr (List.map (fun n -> Json.Int n) sizes));
+      ("rows", Json.Arr (List.rev !rows));
+      ("metrics", !last_snapshot);
+    ];
   print_endline
     "expected shape: the flattened plans win, and the factor grows with collection\n\
      size — most dramatically on joins, where set-at-a-time execution uses whole-\n\
@@ -270,6 +400,8 @@ let experiment_e1 () =
 let experiment_e2 () =
   section "E2: physical getBL operator vs belief composed from generic operators";
   let sizes = if quick then [ 200 ] else [ 200; 800 ] in
+  let rows = ref [] in
+  let last_snapshot = ref Json.Null in
   let t =
     Tablefmt.create
       ~title:"single-term belief over the whole collection (ms); results identical"
@@ -317,6 +449,17 @@ let experiment_e2 () =
       in
       let t_phys = seconds_per_run (fun () -> ok (Eval.query_value st physical)) in
       let t_comp = seconds_per_run (fun () -> ok (Eval.query_value st composed)) in
+      last_snapshot := metered (fun () -> ok (Eval.query_value st physical));
+      rows :=
+        Json.Obj
+          [
+            ("documents", Json.Int n);
+            ("physical_ms", json_ms t_phys);
+            ("composed_ms", json_ms t_comp);
+            ("ratio", Json.Float (t_comp /. t_phys));
+            ("max_abs_diff", Json.Float max_diff);
+          ]
+        :: !rows;
       Tablefmt.add_row t
         [
           Tablefmt.cell_int n;
@@ -327,6 +470,12 @@ let experiment_e2 () =
         ])
     sizes;
   Tablefmt.print t;
+  record_entry "E2"
+    [
+      ("sizes", Json.Arr (List.map (fun n -> Json.Int n) sizes));
+      ("rows", Json.Arr (List.rev !rows));
+      ("metrics", !last_snapshot);
+    ];
   print_endline
     "expected shape: the dedicated probabilistic operator beats the equivalent\n\
      composition of generic operators (\"new probabilistic operators at the physical\n\
@@ -337,6 +486,7 @@ let experiment_e2 () =
 let experiment_e3 () =
   section "E3: one integrated query vs IR system + DB system post-filter";
   let sizes = if quick then [ 200 ] else [ 200; 800 ] in
+  let rows = ref [] in
   let t =
     Tablefmt.create ~title:"rank only years < 1996 (ms)"
       [
@@ -394,6 +544,16 @@ let experiment_e3 () =
       end;
       let t_int = seconds_per_run (fun () -> ok (Eval.query_value st integrated)) in
       let t_two = seconds_per_run (fun () -> two_system ()) in
+      rows :=
+        Json.Obj
+          [
+            ("documents", Json.Int n);
+            ("selectivity", Json.Float sel);
+            ("integrated_ms", json_ms t_int);
+            ("two_system_ms", json_ms t_two);
+            ("ratio", Json.Float (t_two /. t_int));
+          ]
+        :: !rows;
       Tablefmt.add_row t
         [
           Tablefmt.cell_int n;
@@ -404,6 +564,11 @@ let experiment_e3 () =
         ])
     sizes;
   Tablefmt.print t;
+  record_entry "E3"
+    [
+      ("sizes", Json.Arr (List.map (fun n -> Json.Int n) sizes));
+      ("rows", Json.Arr (List.rev !rows));
+    ];
   print_endline
     "expected shape: pushing the relational selection below ranking beats ranking\n\
      everything and post-filtering (\"an efficient integration of information and\n\
@@ -441,9 +606,21 @@ let experiment_e4 () =
         ("ms/query", Tablefmt.Right);
       ]
   in
+  let rewrite_rows = ref [] in
+  let optimised_s = ref 0.0 in
   let row label ~optimize ~cse expr =
     let report = ok (Eval.query ~optimize ~cse st expr) in
     let s = seconds_per_run (fun () -> ok (Eval.query ~optimize ~cse st expr)) in
+    if optimize then optimised_s := s;
+    rewrite_rows :=
+      Json.Obj
+        [
+          ("configuration", Json.Str label);
+          ("plan_nodes", Json.Int report.Eval.plan_nodes);
+          ("ops_evaluated", Json.Int report.Eval.evaluated);
+          ("median_ms", json_ms s);
+        ]
+      :: !rewrite_rows;
     Tablefmt.add_row t
       [ label; Tablefmt.cell_int report.Eval.plan_nodes; Tablefmt.cell_int report.Eval.evaluated; ms s ]
   in
@@ -452,6 +629,26 @@ let experiment_e4 () =
   let _, trace = Optimize.rewrite_trace fusable in
   Tablefmt.add_rowf t "rules fired: %s" (String.concat ", " trace);
   Tablefmt.print t;
+
+  (* tracing-overhead ablation: the default (Trace.null) path must cost
+     the same as before the observability layer existed — the span code
+     is behind a single is_on branch — while an enabled trace pays for
+     one span per executed operator. *)
+  let t_off =
+    seconds_per_run (fun () -> ok (Eval.query ~optimize:true ~cse:true st fusable))
+  in
+  let t_on =
+    seconds_per_run (fun () ->
+        ok (Eval.query ~optimize:true ~cse:true ~trace:(Trace.create ()) st fusable))
+  in
+  let ta =
+    Tablefmt.create ~title:"tracing-overhead ablation (optimised plan)"
+      [ ("configuration", Tablefmt.Left); ("ms/query", Tablefmt.Right) ]
+  in
+  Tablefmt.add_row ta [ "tracing disabled (default)"; ms t_off ];
+  Tablefmt.add_row ta [ "tracing enabled"; ms t_on ];
+  Tablefmt.add_rowf ta "enabled/disabled ratio: %.2f" (t_on /. Float.max t_off 1e-9);
+  Tablefmt.print ta;
 
   (* the equi-join physical specialisation *)
   let njoin = if quick then 400 else 1200 in
@@ -472,11 +669,14 @@ let experiment_e4 () =
       ~title:(Printf.sprintf "equi-join specialisation (self semijoin over %d rows)" njoin)
       [ ("configuration", Tablefmt.Left); ("ms/query", Tablefmt.Right) ]
   in
+  let join_rows = ref [] in
   List.iter
     (fun (label, specialize) ->
       let s =
         seconds_per_run (fun () -> ok (Eval.query ~optimize:false ~specialize stj joinq))
       in
+      join_rows :=
+        Json.Obj [ ("configuration", Json.Str label); ("median_ms", json_ms s) ] :: !join_rows;
       Tablefmt.add_row tj [ label; ms s ])
     [ ("hash equi-join", true); ("cross product + filter", false) ];
   Tablefmt.print tj;
@@ -498,10 +698,20 @@ let experiment_e4 () =
         ("ms/query", Tablefmt.Right);
       ]
   in
+  let cse_rows = ref [] in
   List.iter
     (fun (label, cse) ->
       let report = ok (Eval.query ~optimize:false ~cse std repeated) in
       let s = seconds_per_run (fun () -> ok (Eval.query ~optimize:false ~cse std repeated)) in
+      cse_rows :=
+        Json.Obj
+          [
+            ("configuration", Json.Str label);
+            ("ops_evaluated", Json.Int report.Eval.evaluated);
+            ("memo_hits", Json.Int report.Eval.memo_hits);
+            ("median_ms", json_ms s);
+          ]
+        :: !cse_rows;
       Tablefmt.add_row t2
         [
           label;
@@ -511,6 +721,24 @@ let experiment_e4 () =
         ])
     [ ("with CSE (memo table)", true); ("without CSE", false) ];
   Tablefmt.print t2;
+  record_entry "E4"
+    [
+      ("sizes", Json.Arr [ Json.Int n; Json.Int njoin ]);
+      ("rows", Json.Arr (List.rev !rewrite_rows));
+      ("rules_fired", Json.Arr (List.map (fun r -> Json.Str r) trace));
+      ( "trace_ablation",
+        Json.Obj
+          [
+            ("baseline_ms", json_ms !optimised_s);
+            ("trace_off_ms", json_ms t_off);
+            ("trace_on_ms", json_ms t_on);
+            ("off_over_baseline", Json.Float (t_off /. Float.max !optimised_s 1e-9));
+            ("on_over_off", Json.Float (t_on /. Float.max t_off 1e-9));
+          ] );
+      ("join_rows", Json.Arr (List.rev !join_rows));
+      ("cse_rows", Json.Arr (List.rev !cse_rows));
+      ("metrics", metered (fun () -> ok (Eval.query ~optimize:false std repeated)));
+    ];
   print_endline
     "expected shape: optimised plans are smaller and faster; CSE halves the work of\n\
      the duplicated ranking subplan (\"an excellent basis for algebraic query\n\
@@ -618,7 +846,17 @@ let experiment_e5 () =
       Tablefmt.add_row t
         [ name; Printf.sprintf "%.0f" ns; Tablefmt.cell_float ~prec:2 (ns /. 1000.0) ])
     rows;
-  Tablefmt.print t
+  Tablefmt.print t;
+  record_entry "E5"
+    [
+      ( "rows",
+        Json.Arr
+          (List.map
+             (fun (name, ns) ->
+               Json.Obj [ ("benchmark", Json.Str name); ("ns_per_op", Json.Float ns) ])
+             rows) );
+      ("metrics", metered (fun () -> ok (Eval.query_value st rank_expr)));
+    ]
 
 (* {1 Q2 + E6: the retrieval session and its quality} *)
 
@@ -750,6 +988,27 @@ let experiment_q2_e6 () =
   in
   List.iter p5_round [ 1; 2; 3 ];
   Tablefmt.print t2;
+  record_entry "E6"
+    [
+      ("images", Json.Int n);
+      ("queries", Json.Int (List.length queries));
+      ( "modes",
+        Json.Arr
+          (List.map
+             (fun (label, mode) ->
+               let map_, p5 = quality mode in
+               Json.Obj
+                 [
+                   ("mode", Json.Str label);
+                   ("map", Json.Float map_);
+                   ("p_at_5", Json.Float p5);
+                 ])
+             [
+               ("text-only", Mirror.Text_only);
+               ("image-only", Mirror.Image_only);
+               ("dual", Mirror.Dual);
+             ]) );
+    ];
   print_endline
     "expected shape: dual coding >= the better single coding on average;\n\
      P@5 non-decreasing over feedback rounds."
@@ -765,4 +1024,5 @@ let () =
   experiment_e4 ();
   experiment_e5 ();
   experiment_q2_e6 ();
+  write_bench_json ();
   print_endline "\nall experiments complete."

@@ -1,0 +1,62 @@
+(* bench-smoke validator: check that BENCH_core.json parses and carries
+   a well-formed entry for every core experiment (E1–E5).  Run by
+   `dune build @bench-smoke`; exits non-zero on any problem so the
+   alias fails loudly. *)
+
+module Json = Mirror_util.Jsonx
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("BENCH_core.json: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_core.json" in
+  let src = try read_file path with Sys_error e -> die "cannot read: %s" e in
+  let doc = match Json.parse src with Ok v -> v | Error e -> die "parse error: %s" e in
+  (match Json.member "schema" doc with
+  | Some (Json.Str "mirror-bench-core/v1") -> ()
+  | Some (Json.Str other) -> die "unexpected schema %S" other
+  | _ -> die "missing \"schema\" field");
+  (match Json.member "mode" doc with
+  | Some (Json.Str ("quick" | "full")) -> ()
+  | _ -> die "missing or bad \"mode\" field");
+  let entries =
+    match Option.bind (Json.member "experiments" doc) Json.to_list with
+    | Some es -> es
+    | None -> die "missing \"experiments\" array"
+  in
+  let entry_id e = Option.bind (Json.member "id" e) Json.to_str in
+  let find id = List.find_opt (fun e -> entry_id e = Some id) entries in
+  List.iter
+    (fun id ->
+      match find id with
+      | None -> die "no entry for experiment %s" id
+      | Some e ->
+        (* every core entry carries at least one non-empty row list *)
+        let row_fields = [ "rows"; "daemons"; "modes" ] in
+        let has_rows =
+          List.exists
+            (fun f ->
+              match Option.bind (Json.member f e) Json.to_list with
+              | Some (_ :: _) -> true
+              | _ -> false)
+            row_fields
+        in
+        if not has_rows then die "entry %s has no rows" id)
+    [ "E1"; "E2"; "E3"; "E4"; "E5" ];
+  (* E4 must carry the tracing ablation used by the acceptance check *)
+  (match find "E4" with
+  | Some e4 ->
+    (match Json.member "trace_ablation" e4 with
+    | Some (Json.Obj _ as ab) ->
+      if Option.bind (Json.member "trace_off_ms" ab) Json.to_float = None then
+        die "E4 trace_ablation lacks trace_off_ms"
+    | _ -> die "E4 entry lacks trace_ablation")
+  | None -> ());
+  Printf.printf "BENCH_core.json ok: %d experiment entries (%s)\n" (List.length entries)
+    (String.concat ", " (List.filter_map entry_id entries))

@@ -47,6 +47,7 @@ let help_text =
   \  .explain EXPR          show the flattened MIL plan\n\
   \  .lint EXPR             static-check a query (verifier + lint pass)\n\
   \  .profile EXPR          run with per-operator timing\n\
+  \  .trace EXPR            run under a trace and show the span tree\n\
   \  .extents               list defined extents with types and sizes\n\
   \  .catalog               list the physical BATs\n\
   \  .search TEXT           dual-coding search over the demo library\n\
@@ -246,6 +247,15 @@ let handle_line mref line =
         rows
     | Error e -> Printf.printf "error: %s\n" e
   end
+  else if Mirror_util.Stringx.starts_with ~prefix:".trace " line then begin
+    let src = String.sub line 7 (String.length line - 7) in
+    match
+      Result.bind (Parser.parse_expr src) (fun e ->
+          Eval.explain_analyze (Mirror.storage m) e)
+    with
+    | Ok text -> print_string text
+    | Error e -> Printf.printf "error: %s\n" e
+  end
   else if Mirror_util.Stringx.starts_with ~prefix:".lint " line then begin
     let src = String.trim (String.sub line 6 (String.length line - 6)) in
     ignore (lint_query (Mirror.storage m) src)
@@ -346,9 +356,35 @@ let lint_cmd =
   let doc = "statically check Moa queries (plan verifier + lint pass)" in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const lint_main $ db_arg $ lint_queries_arg)
 
+let explain_analyze_main db src =
+  match storage_for db with
+  | exception Failure e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | st -> (
+    match Parser.parse_expr src with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok expr -> (
+      match Eval.explain_analyze st expr with
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+      | Ok text ->
+        print_string text;
+        0))
+
+let explain_analyze_cmd =
+  let doc = "execute a query under a trace: span tree with per-operator time, rows and memo hits" in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const explain_analyze_main $ db_arg $ explain_query_arg)
+
 let explain_cmd =
-  let doc = "show the compiled MIL plan bundle of a query" in
-  Cmd.v (Cmd.info "explain" ~doc) Term.(const explain_main $ check_arg $ db_arg $ explain_query_arg)
+  let doc = "show the compiled MIL plan bundle of a query (subcommand: analyze)" in
+  Cmd.group
+    ~default:Term.(const explain_main $ check_arg $ db_arg $ explain_query_arg)
+    (Cmd.info "explain" ~doc)
+    [ explain_analyze_cmd ]
 
 let cmd =
   let doc = "the Mirror multimedia DBMS shell" in

@@ -49,25 +49,25 @@ type session = {
   memo : (t, Bat.t) Hashtbl.t;
   cse : bool;
   st : stats;
-  prof : (string, float ref * int ref) Hashtbl.t option;
-  mutable prof_child : float;
+  tr : Mirror_util.Trace.t;
 }
 
 let no_foreign ~name ~args:_ ~meta:_ =
   failwith (Printf.sprintf "Mil: unknown foreign operator %S" name)
 
-let session ?(cse = true) ?(profile = false) ?(foreign = no_foreign) catalog =
+let session ?(cse = true) ?(trace = Mirror_util.Trace.null) ?(foreign = no_foreign)
+    catalog =
   {
     catalog;
     foreign;
     memo = Hashtbl.create 128;
     cse;
     st = { evaluated = 0; memo_hits = 0; rows_produced = 0 };
-    prof = (if profile then Some (Hashtbl.create 32) else None);
-    prof_child = 0.0;
+    tr = trace;
   }
 
 let stats s = s.st
+let trace s = s.tr
 
 let op_name = function
   | Get _ -> "get"
@@ -108,35 +108,33 @@ let rec eval s plan =
   match if s.cse then Hashtbl.find_opt s.memo plan else None with
   | Some b ->
     s.st.memo_hits <- s.st.memo_hits + 1;
+    if Mirror_util.Trace.is_on s.tr then
+      Mirror_util.Trace.event s.tr (op_name plan) ~rows:(Bat.count b)
+        ~attrs:[ ("memo", "hit") ];
     b
   | None ->
     let b =
-      match s.prof with
-      | None -> eval_raw s plan
-      | Some prof ->
-        (* record self time: total minus the time spent in child plans *)
-        let saved_child = s.prof_child in
-        s.prof_child <- 0.0;
-        let t0 = Sys.time () in
-        let b = eval_raw s plan in
-        let dt = Sys.time () -. t0 in
-        let self = Float.max 0.0 (dt -. s.prof_child) in
-        let key = op_name plan in
-        let total, count =
-          match Hashtbl.find_opt prof key with
-          | Some cell -> cell
-          | None ->
-            let cell = (ref 0.0, ref 0) in
-            Hashtbl.add prof key cell;
-            cell
-        in
-        total := !total +. self;
-        incr count;
-        s.prof_child <- saved_child +. dt;
-        b
+      if not (Mirror_util.Trace.is_on s.tr) then eval_raw s plan
+      else begin
+        Mirror_util.Trace.enter s.tr (op_name plan);
+        match eval_raw s plan with
+        | b ->
+          Mirror_util.Trace.leave ~rows:(Bat.count b) s.tr;
+          b
+        | exception e ->
+          Mirror_util.Trace.leave
+            ~attrs:[ ("error", Printexc.to_string e) ]
+            s.tr;
+          raise e
+      end
     in
     s.st.evaluated <- s.st.evaluated + 1;
     s.st.rows_produced <- s.st.rows_produced + Bat.count b;
+    if Mirror_util.Metrics.enabled () then begin
+      let name = op_name plan in
+      Mirror_util.Metrics.incr ("mil.op." ^ name);
+      Mirror_util.Metrics.incr ~by:(Bat.count b) ("mil.rows." ^ name)
+    end;
     if s.cse then Hashtbl.add s.memo plan b;
     b
 
@@ -186,11 +184,8 @@ and eval_raw s plan =
 let exec s plan = eval s plan
 
 let profile s =
-  match s.prof with
-  | None -> []
-  | Some prof ->
-    Hashtbl.fold (fun name (total, count) acc -> (name, !total, !count) :: acc) prof []
-    |> List.sort (fun (_, a, _) (_, b, _) -> Float.compare b a)
+  Mirror_util.Trace.aggregate (Mirror_util.Trace.roots s.tr)
+  |> List.map (fun (name, a) -> (name, a.Mirror_util.Trace.self, a.Mirror_util.Trace.calls))
 
 let rec size = function
   | Get _ | Lit _ -> 1

@@ -72,12 +72,20 @@ type session
     Re-using one session across the plans of a bundle shares their
     common subplans. *)
 
-val session : ?cse:bool -> ?profile:bool -> ?foreign:foreign_fn -> Catalog.t -> session
+val session :
+  ?cse:bool ->
+  ?trace:Mirror_util.Trace.t ->
+  ?foreign:foreign_fn ->
+  Catalog.t ->
+  session
 (** Open a session.  [cse] (default [true]) controls whether the memo
     table is consulted; switching it off re-executes shared subplans
-    and exists for the optimisation-benefit experiments.  [profile]
-    (default [false]) additionally records per-operator wall time, read
-    back with {!profile}. *)
+    and exists for the optimisation-benefit experiments.  [trace]
+    (default {!Mirror_util.Trace.null}) receives one span per executed
+    operator — nested like the plan, with the produced row count — and
+    a zero-duration ["memo=hit"] event per memo-table answer.  When the
+    {!Mirror_util.Metrics} registry is enabled the executor also bumps
+    ["mil.op.<name>"] / ["mil.rows.<name>"] counters per operator. *)
 
 val exec : session -> t -> Bat.t
 (** Evaluate a plan.
@@ -87,9 +95,14 @@ val exec : session -> t -> Bat.t
 val stats : session -> stats
 (** The session's counters so far. *)
 
+val trace : session -> Mirror_util.Trace.t
+(** The trace the session was opened with ({!Mirror_util.Trace.null}
+    when none was given). *)
+
 val profile : session -> (string * float * int) list
-(** Per-operator (name, total seconds, evaluations), most expensive
-    first; empty unless the session was opened with [~profile:true]. *)
+(** Per-operator (name, self seconds, evaluations) aggregated from the
+    session's trace, most expensive first; empty unless the session was
+    opened with an enabled [trace]. *)
 
 val size : t -> int
 (** Number of operator nodes (tree size, before sharing). *)

@@ -83,27 +83,61 @@ let plan_nodes shape =
   Shape.iter (fun p -> n := !n + Mil.size p) shape;
   !n
 
-let query ?(cse = true) ?(optimize = true) ?(specialize = true) ?(check = false) storage expr =
-  match Typecheck.infer (Storage.typecheck_env storage) expr with
+module Trace = Mirror_util.Trace
+
+let query ?(cse = true) ?(optimize = true) ?(specialize = true) ?(check = false)
+    ?(trace = Trace.null) storage expr =
+  match
+    Trace.with_span trace "typecheck" (fun () ->
+        Typecheck.infer (Storage.typecheck_env storage) expr)
+  with
   | Error e -> Error e
   | Ok result_type -> (
     let raw_expr = expr in
-    let expr = if optimize then Optimize.rewrite expr else expr in
-    match Flatten.compile ~specialize ~check storage expr with
+    let expr =
+      if not optimize then expr
+      else if Trace.is_on trace then
+        Trace.with_span trace "optimize" (fun () ->
+            let expr, rules = Optimize.rewrite_trace expr in
+            Trace.attr trace "rules" (string_of_int (List.length rules));
+            if rules <> [] then Trace.attr trace "fired" (String.concat "," rules);
+            expr)
+      else Optimize.rewrite expr
+    in
+    match Flatten.compile ~specialize ~check ~trace storage expr with
     | exception Flatten.Unsupported msg -> Error msg
     | exception Flatten.Ill_formed msg -> Error ("ill-formed plan: " ^ msg)
     | shape -> (
       (* physical peephole rewriting; deterministic, so shared subplans
          stay shared for the executor's memo table *)
-      let shape = if optimize then Shape.map Mirror_bat.Milopt.rewrite shape else shape in
+      let shape =
+        if not optimize then shape
+        else if Trace.is_on trace then
+          Trace.with_span trace "milopt" (fun () ->
+              let fired = ref 0 in
+              let shape =
+                Shape.map
+                  (fun p ->
+                    let p, n = Mirror_bat.Milopt.rewrite_count p in
+                    fired := !fired + n;
+                    p)
+                  shape
+              in
+              Trace.attr trace "rules" (string_of_int !fired);
+              shape)
+        else Shape.map Mirror_bat.Milopt.rewrite shape
+      in
       let differential =
-        if check then Plancheck.differential ~specialize storage raw_expr else Ok ()
+        if check then
+          Trace.with_span trace "differential" (fun () ->
+              Plancheck.differential ~specialize storage raw_expr)
+        else Ok ()
       in
       match differential with
       | Error msg -> Error ("differential check: " ^ msg)
       | Ok () -> (
         let session =
-          Mil.session ~cse
+          Mil.session ~cse ~trace
             ~foreign:(Extension.foreign_dispatch (Storage.eval_env storage))
             (Storage.catalog storage)
         in
@@ -112,7 +146,14 @@ let query ?(cse = true) ?(optimize = true) ?(specialize = true) ?(check = false)
             Mirror_bat.Milcheck.exec_checked (Plancheck.env_of_storage storage) session
           else Mil.exec session
         in
-        match reify ~lookup shape with
+        match
+          Trace.with_span trace "execute" (fun () ->
+              let value = reify ~lookup shape in
+              let stats = Mil.stats session in
+              Trace.attr trace "evaluated" (string_of_int stats.Mil.evaluated);
+              Trace.attr trace "memo_hits" (string_of_int stats.Mil.memo_hits);
+              value)
+        with
         | value ->
           let stats = Mil.stats session in
           Ok
@@ -139,8 +180,10 @@ let profile storage expr =
     | exception Flatten.Unsupported msg -> Error msg
     | shape ->
       let shape = Shape.map Mirror_bat.Milopt.rewrite shape in
+      (* only the session gets the trace, so the aggregation sees
+         operator spans alone (no compiler phases) *)
       let session =
-        Mil.session ~profile:true
+        Mil.session ~trace:(Trace.create ())
           ~foreign:(Extension.foreign_dispatch (Storage.eval_env storage))
           (Storage.catalog storage)
       in
@@ -150,6 +193,58 @@ let profile storage expr =
       | exception Invalid_argument msg -> Error msg
       | exception Mil.Unbound name ->
         Error (Printf.sprintf "plan referenced the unbound catalog name %S" name)))
+
+let explain_analyze ?(optimize = true) ?(cse = true) storage expr =
+  let trace = Trace.create () in
+  match query ~cse ~optimize ~trace storage expr with
+  | Error e -> Error e
+  | Ok report ->
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "result type: %s\nplan: %d bats, %d nodes; executed %d, memo hits %d\n\n"
+         (Types.to_string report.result_type)
+         report.plan_bats report.plan_nodes report.evaluated report.memo_hits);
+    Buffer.add_string buf (Trace.render trace);
+    (* per-operator rollup over the executor spans only *)
+    let exec_spans =
+      List.concat_map
+        (fun (sp : Trace.span) -> if sp.Trace.name = "execute" then sp.Trace.children else [])
+        (Trace.roots trace)
+    in
+    let agg =
+      Trace.aggregate
+        ~flag:(fun sp -> List.mem_assoc "memo" sp.Trace.attrs)
+        exec_spans
+    in
+    if agg <> [] then begin
+      Buffer.add_char buf '\n';
+      let tbl =
+        Mirror_util.Tablefmt.create ~title:"per-operator totals"
+          Mirror_util.Tablefmt.
+            [
+              ("operator", Left);
+              ("calls", Right);
+              ("total(ms)", Right);
+              ("self(ms)", Right);
+              ("rows", Right);
+              ("memo hits", Right);
+            ]
+      in
+      List.iter
+        (fun (name, a) ->
+          Mirror_util.Tablefmt.add_row tbl
+            [
+              name;
+              string_of_int a.Trace.calls;
+              Mirror_util.Tablefmt.cell_float (1000.0 *. a.Trace.total);
+              Mirror_util.Tablefmt.cell_float (1000.0 *. a.Trace.self);
+              string_of_int a.Trace.rows;
+              string_of_int a.Trace.flagged;
+            ])
+        agg;
+      Buffer.add_string buf (Mirror_util.Tablefmt.render tbl)
+    end;
+    Ok (Buffer.contents buf)
 
 let explain ?(optimize = true) storage expr =
   match Typecheck.infer (Storage.typecheck_env storage) expr with

@@ -20,6 +20,7 @@ val query :
   ?optimize:bool ->
   ?specialize:bool ->
   ?check:bool ->
+  ?trace:Mirror_util.Trace.t ->
   Storage.t ->
   Expr.t ->
   (report, string) result
@@ -29,7 +30,11 @@ val query :
     the debug mode: the bundle is verified by {!Mirror_bat.Milcheck},
     the {!Plancheck.differential} checker vets both optimiser stages,
     and every executed plan's result BAT is compared against its
-    inferred property envelope. *)
+    inferred property envelope.  [trace] (default
+    {!Mirror_util.Trace.null}) records one span per pipeline phase —
+    ["typecheck"], ["optimize"], ["flatten.compile"], ["milopt"],
+    ["execute"] — with the kernel's per-operator spans nested under
+    ["execute"]. *)
 
 val query_value : Storage.t -> Expr.t -> (Value.t, string) result
 (** Just the value. *)
@@ -40,6 +45,13 @@ val profile : Storage.t -> Expr.t -> ((string * float * int) list, string) resul
 
 val explain : ?optimize:bool -> Storage.t -> Expr.t -> (string, string) result
 (** The compiled plan bundle, pretty-printed. *)
+
+val explain_analyze :
+  ?optimize:bool -> ?cse:bool -> Storage.t -> Expr.t -> (string, string) result
+(** Run the query under a fresh trace and render the result: the phase
+    span tree (with per-operator rows, times and memo-hit events nested
+    under ["execute"]) followed by a per-operator rollup table.  Backs
+    [mirror_cli explain analyze] and the REPL's [.trace]. *)
 
 val reify :
   lookup:(Mirror_bat.Mil.t -> Mirror_bat.Bat.t) ->

@@ -333,12 +333,29 @@ module E = struct
           Mil.Get (path ^ "#len");
         ]
 
+  (* Metrics wrapper shared by both belief operators: count calls and
+     produced rows, and record wall-time per call as a histogram.  The
+     clock is only read when the registry is enabled. *)
+  let metered name f =
+    if not (Mirror_util.Metrics.enabled ()) then f ()
+    else begin
+      let t0 = Mirror_util.Trace.now () in
+      let b = f () in
+      Mirror_util.Metrics.incr (name ^ ".calls");
+      Mirror_util.Metrics.incr ~by:(Bat.count b) (name ^ ".rows");
+      Mirror_util.Metrics.observe (name ^ ".ms")
+        (1000.0 *. (Mirror_util.Trace.now () -. t0));
+      b
+    end
+
   let getbl_foreign env ~args ~meta =
     match (args, meta) with
     | [ occ_ctx; occ_term; occ_tf; len; dom; qlink; qval ], space_name :: _ -> (
       match env.Extension.space space_name with
       | Some space ->
-        Mirror_ir.Search.getbl_pairs ~space ~occ_ctx ~occ_term ~occ_tf ~len ~dom ~qlink ~qval
+        metered "contrep.getbl" (fun () ->
+            Mirror_ir.Search.getbl_pairs ~space ~occ_ctx ~occ_term ~occ_tf ~len ~dom
+              ~qlink ~qval)
       | None -> failwith (Printf.sprintf "contrep_getbl: unknown space %S" space_name))
     | _ -> failwith "contrep_getbl: malformed physical operands"
 
@@ -347,7 +364,9 @@ module E = struct
     | [ occ_ctx; occ_term; occ_tf; len; dom ], [ space_name; net_src ] -> (
       match (env.Extension.space space_name, Mirror_ir.Querynet.of_string net_src) with
       | Some space, Ok net ->
-        Mirror_ir.Search.getblnet_pairs ~space ~net ~occ_ctx ~occ_term ~occ_tf ~len ~dom
+        metered "contrep.getblnet" (fun () ->
+            Mirror_ir.Search.getblnet_pairs ~space ~net ~occ_ctx ~occ_term ~occ_tf ~len
+              ~dom)
       | None, _ -> failwith (Printf.sprintf "contrep_getblnet: unknown space %S" space_name)
       | _, Error e -> failwith ("contrep_getblnet: " ^ e))
     | _ -> failwith "contrep_getblnet: malformed physical operands"

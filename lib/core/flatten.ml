@@ -376,23 +376,34 @@ and elem_type env src =
 
 exception Ill_formed of string
 
-let compile ?(specialize = true) ?(check = false) storage expr =
-  let shape = compile_env { storage; vars = []; tvars = []; dom = root_dom; specialize } expr in
-  if check then begin
-    (* the analyzer env is built inline (catalog + registry signatures)
-       rather than through Plancheck, which depends on this module *)
-    let env =
-      Mirror_bat.Milcheck.env_of_catalog ~foreign:Extension.foreign_signature
-        (Storage.catalog storage)
-    in
-    Shape.iter
-      (fun plan ->
-        match Mirror_bat.Milcheck.verify env plan with
-        | Ok _ -> ()
-        | Error ds ->
-          raise
-            (Ill_formed
-               (String.concat "; " (List.map Mirror_bat.Milcheck.diag_to_string ds))))
-      shape
-  end;
+let verify_shape storage shape =
+  (* the analyzer env is built inline (catalog + registry signatures)
+     rather than through Plancheck, which depends on this module *)
+  let env =
+    Mirror_bat.Milcheck.env_of_catalog ~foreign:Extension.foreign_signature
+      (Storage.catalog storage)
+  in
+  Shape.iter
+    (fun plan ->
+      match Mirror_bat.Milcheck.verify env plan with
+      | Ok _ -> ()
+      | Error ds ->
+        raise
+          (Ill_formed
+             (String.concat "; " (List.map Mirror_bat.Milcheck.diag_to_string ds))))
+    shape
+
+let compile ?(specialize = true) ?(check = false) ?(trace = Mirror_util.Trace.null)
+    storage expr =
+  let shape =
+    Mirror_util.Trace.with_span trace "flatten.compile" (fun () ->
+        let shape =
+          compile_env { storage; vars = []; tvars = []; dom = root_dom; specialize } expr
+        in
+        Mirror_util.Trace.attr trace "bats" (string_of_int (Shape.count_bats shape));
+        shape)
+  in
+  if check then
+    Mirror_util.Trace.with_span trace "flatten.verify" (fun () ->
+        verify_shape storage shape);
   shape

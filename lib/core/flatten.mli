@@ -26,14 +26,21 @@ exception Ill_formed of string
     expressions must compile to well-formed plans. *)
 
 val compile :
-  ?specialize:bool -> ?check:bool -> Storage.t -> Expr.t -> Extension.planshape
+  ?specialize:bool ->
+  ?check:bool ->
+  ?trace:Mirror_util.Trace.t ->
+  Storage.t ->
+  Expr.t ->
+  Extension.planshape
 (** Compile a closed, well-typed expression.  [specialize] (default
     true) enables physical specialisations such as the hash equi-join
     (an equality conjunct in a join predicate restricts candidate pairs
     by a key join rather than the full cross product); disable it for
     the optimisation-ablation experiments.  [check] (default false)
     runs the {!Mirror_bat.Milcheck} plan verifier over every emitted
-    plan against the storage catalog and extension registry.
+    plan against the storage catalog and extension registry.  [trace]
+    records ["flatten.compile"] (with a ["bats"] attribute) and
+    ["flatten.verify"] spans.
     @raise Unsupported
     @raise Ill_formed under [~check:true] for a bundle that fails
     verification. *)

@@ -31,8 +31,14 @@ let subscribe t ~topic ~name =
 
 let publish t m =
   t.published <- t.published + 1;
+  if Mirror_util.Metrics.enabled () then begin
+    Mirror_util.Metrics.incr "bus.published";
+    Mirror_util.Metrics.incr ("bus.topic." ^ m.topic)
+  end;
   match Hashtbl.find_opt t.subscribers m.topic with
-  | None | Some [] -> t.dropped <- t.dropped + 1
+  | None | Some [] ->
+    t.dropped <- t.dropped + 1;
+    if Mirror_util.Metrics.enabled () then Mirror_util.Metrics.incr "bus.dropped"
   | Some subs -> List.iter (fun name -> Queue.push m (queue_of t name)) (List.rev subs)
 
 let fetch t ~name =

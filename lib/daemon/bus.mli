@@ -26,7 +26,9 @@ val subscribe : t -> topic:string -> name:string -> unit
 
 val publish : t -> message -> unit
 (** Fan the message out to every subscriber's queue.  Messages on
-    topics nobody subscribes to are counted as dropped. *)
+    topics nobody subscribes to are counted as dropped.  When the
+    {!Mirror_util.Metrics} registry is enabled, ["bus.published"],
+    ["bus.topic.<topic>"] and ["bus.dropped"] counters are bumped. *)
 
 val fetch : t -> name:string -> message option
 (** Pop the next message queued for a daemon. *)

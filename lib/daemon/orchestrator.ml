@@ -92,16 +92,21 @@ let formulated t =
                  let w = String.sub pair (i + 1) (String.length pair - i - 1) in
                  Option.map (fun w -> (c, w)) (float_of_string_opt w))))
 
-let run ?(max_retries = 2) ?(max_rounds = 1000) t =
+let run ?(max_retries = 2) ?(max_rounds = 1000) ?(trace = Mirror_util.Trace.null) t =
+  let module Trace = Mirror_util.Trace in
+  let module Metrics = Mirror_util.Metrics in
   let bus = t.context.Daemon.bus in
   let dead = ref [] in
   let attempts : (string * Bus.message, int) Hashtbl.t = Hashtbl.create 64 in
   let rounds = ref 0 in
+  Trace.enter trace "orchestrator.run";
   while Bus.pending bus > 0 && !rounds < max_rounds do
     incr rounds;
+    Trace.enter trace (Printf.sprintf "round %d" !rounds);
     List.iter
       (fun (d : Daemon.t) ->
         let tally = Hashtbl.find t.tallies d.Daemon.name in
+        let handled_before = tally.m_handled in
         (* handle at most the messages present at round start, so a
            daemon whose output feeds its own inbox cannot monopolise a
            round (the rounds guard then catches livelock) *)
@@ -111,16 +116,24 @@ let run ?(max_retries = 2) ?(max_rounds = 1000) t =
             match Bus.fetch bus ~name:d.Daemon.name with
             | None -> ()
             | Some m ->
+            let m_on = Metrics.enabled () in
+            let w0 = if m_on then Trace.now () else 0.0 in
             let t0 = Sys.time () in
             (match d.Daemon.handle t.context m with
             | out ->
               tally.m_cpu <- tally.m_cpu +. (Sys.time () -. t0);
               tally.m_handled <- tally.m_handled + 1;
               tally.m_produced <- tally.m_produced + List.length out;
+              if m_on then begin
+                Metrics.incr ("daemon." ^ d.Daemon.name ^ ".handled");
+                Metrics.observe ("daemon." ^ d.Daemon.name ^ ".ms")
+                  (1000.0 *. (Trace.now () -. w0))
+              end;
               List.iter (Bus.publish bus) out
             | exception _ ->
               tally.m_cpu <- tally.m_cpu +. (Sys.time () -. t0);
               tally.m_failures <- tally.m_failures + 1;
+              if m_on then Metrics.incr ("daemon." ^ d.Daemon.name ^ ".failures");
               let key = (d.Daemon.name, m) in
               let tries = Option.value ~default:0 (Hashtbl.find_opt attempts key) in
               if tries < max_retries then begin
@@ -130,9 +143,23 @@ let run ?(max_retries = 2) ?(max_rounds = 1000) t =
               else dead := (d.Daemon.name, m) :: !dead);
               drain (budget - 1)
         in
-        drain (Bus.queued bus ~name:d.Daemon.name))
-      t.daemons
+        let budget = Bus.queued bus ~name:d.Daemon.name in
+        if budget > 0 && Trace.is_on trace then begin
+          Trace.enter trace d.Daemon.name;
+          drain budget;
+          Trace.leave ~rows:(tally.m_handled - handled_before) trace
+        end
+        else drain budget)
+      t.daemons;
+    Trace.leave trace
   done;
+  Trace.leave
+    ~attrs:
+      [
+        ("rounds", string_of_int !rounds);
+        ("dead_letters", string_of_int (List.length !dead));
+      ]
+    trace;
   let stats =
     List.map
       (fun (d : Daemon.t) ->

@@ -47,7 +47,13 @@ val formulated : t -> (string * float) list option
 (** Pop the client's next formulation answer (concept, belief) — the
     interactive query-formulation round trip of §5.1. *)
 
-val run : ?max_retries:int -> ?max_rounds:int -> t -> report
+val run :
+  ?max_retries:int -> ?max_rounds:int -> ?trace:Mirror_util.Trace.t -> t -> report
 (** Pump messages until quiescence.  [max_retries] (default 2) extra
     attempts per message per daemon; [max_rounds] (default 1000)
-    guards against livelock. *)
+    guards against livelock.  [trace] records an ["orchestrator.run"]
+    span with one child per round and, under each round, one span per
+    daemon that handled messages (rows = messages handled).  When the
+    {!Mirror_util.Metrics} registry is enabled, per-daemon
+    ["daemon.<name>.handled"/".failures"] counters and a
+    ["daemon.<name>.ms"] latency histogram are recorded. *)

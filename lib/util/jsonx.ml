@@ -1,0 +1,252 @@
+(* Minimal JSON: a value type, a serializer and a recursive-descent
+   parser.  Just enough for BENCH_core.json emission and the bench-smoke
+   validator — no external dependency, no streaming, no number edge-case
+   heroics (non-finite floats serialize as null, matching what bechamel
+   can produce for degenerate fits). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    (* Keep a float marker so the value round-trips as Float. *)
+    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+
+let to_string ?(indent = 2) v =
+  let buf = Buffer.create 256 in
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  let rec go level = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | Str s -> escape_to buf s
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad ((level + 1) * indent);
+          go (level + 1) item)
+        items;
+      Buffer.add_char buf '\n';
+      pad (level * indent);
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad ((level + 1) * indent);
+          escape_to buf k;
+          Buffer.add_string buf ": ";
+          go (level + 1) item)
+        fields;
+      Buffer.add_char buf '\n';
+      pad (level * indent);
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    &&
+    match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let literal st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+      st.pos <- st.pos + 1;
+      match peek st with
+      | None -> fail st "unterminated escape"
+      | Some c ->
+        st.pos <- st.pos + 1;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if st.pos + 4 > String.length st.src then fail st "bad \\u escape";
+          let hex = String.sub st.src st.pos 4 in
+          st.pos <- st.pos + 4;
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with _ -> fail st "bad \\u escape"
+          in
+          (* Codepoints above 0xff are replaced; the bench schema is ASCII. *)
+          Buffer.add_char buf (if code < 0x100 then Char.chr code else '?')
+        | _ -> fail st "bad escape");
+        go ())
+    | Some c ->
+      st.pos <- st.pos + 1;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    st.pos < String.length st.src && is_num_char st.src.[st.pos]
+  do
+    st.pos <- st.pos + 1
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail st (Printf.sprintf "bad number %S" s))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      Arr []
+    end
+    else begin
+      let items = ref [ parse_value st ] in
+      let rec more () =
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          items := parse_value st :: !items;
+          more ()
+        | Some ']' -> st.pos <- st.pos + 1
+        | _ -> fail st "expected ',' or ']'"
+      in
+      more ();
+      Arr (List.rev !items)
+    end
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        (k, parse_value st)
+      in
+      let fields = ref [ field () ] in
+      let rec more () =
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          fields := field () :: !fields;
+          more ()
+        | Some '}' -> st.pos <- st.pos + 1
+        | _ -> fail st "expected ',' or '}'"
+      in
+      more ();
+      Obj (List.rev !fields)
+    end
+  | Some _ -> parse_number st
+
+let parse src =
+  let st = { src; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos <> String.length src then Error "trailing garbage after JSON value"
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --- accessors ----------------------------------------------------- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_list = function Arr items -> Some items | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None

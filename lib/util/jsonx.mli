@@ -1,0 +1,30 @@
+(** Minimal JSON values with a serializer and a parser.
+
+    Used for [BENCH_core.json] emission and the [@bench-smoke]
+    validator.  Non-finite floats serialize as [null]; parsing accepts
+    standard JSON (with \u escapes above U+00FF replaced by ['?']). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Pretty-printed JSON text (default 2-space indent), no trailing
+    newline. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an
+    error. *)
+
+(** Shallow accessors, [None] on shape mismatch: *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_str : t -> string option
+val to_float : t -> float option
+val to_int : t -> int option

@@ -1,0 +1,91 @@
+(* Process-wide metrics registry: named counters and histograms.
+
+   Disabled by default so instrumented hot paths pay only an [enabled ()]
+   check (callers guard before building metric names).  Enable around a
+   measured region, [snapshot] to read, [reset] between regions. *)
+
+let on = ref false
+let set_enabled v = on := v
+let enabled () = !on
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+(* Histograms keep raw samples (bench regions observe at most a few
+   thousand values); percentiles are computed at snapshot time. *)
+type series = { mutable buf : float array; mutable len : int }
+
+let histograms : (string, series) Hashtbl.t = Hashtbl.create 32
+
+let incr ?(by = 1) name =
+  if !on then
+    match Hashtbl.find_opt counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add counters name (ref by)
+
+let observe name v =
+  if !on then begin
+    let s =
+      match Hashtbl.find_opt histograms name with
+      | Some s -> s
+      | None ->
+        let s = { buf = Array.make 16 0.0; len = 0 } in
+        Hashtbl.add histograms name s;
+        s
+    in
+    if s.len = Array.length s.buf then begin
+      let bigger = Array.make (2 * s.len) 0.0 in
+      Array.blit s.buf 0 bigger 0 s.len;
+      s.buf <- bigger
+    end;
+    s.buf.(s.len) <- v;
+    s.len <- s.len + 1
+  end
+
+let counter name =
+  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+type histo = { count : int; p50 : float; p95 : float; max : float; total : float }
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * histo) list;
+}
+
+let histo_of_series s =
+  let a = Array.sub s.buf 0 s.len in
+  let total = Array.fold_left ( +. ) 0.0 a in
+  if s.len = 0 then { count = 0; p50 = 0.0; p95 = 0.0; max = 0.0; total }
+  else
+    {
+      count = s.len;
+      p50 = Stat.percentile a 50.0;
+      p95 = Stat.percentile a 95.0;
+      max = Array.fold_left Float.max neg_infinity a;
+      total;
+    }
+
+let snapshot () =
+  let cs =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let hs =
+    Hashtbl.fold (fun name s acc -> (name, histo_of_series s) :: acc) histograms []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { counters = cs; histograms = hs }
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset histograms
+
+let with_enabled f =
+  let saved = !on in
+  on := true;
+  match f () with
+  | v ->
+    on := saved;
+    v
+  | exception e ->
+    on := saved;
+    raise e

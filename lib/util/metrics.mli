@@ -1,0 +1,42 @@
+(** Process-wide metrics registry: named counters and histograms.
+
+    Disabled by default; every recording call is a no-op until
+    {!set_enabled}[ true].  Instrumented hot paths should guard with
+    {!enabled} before allocating metric names.
+
+    Naming scheme (see DESIGN.md §6): dot-separated, lowest component the
+    unit or event — ["mil.op.join"], ["mil.rows.join"],
+    ["contrep.getbl.ms"], ["daemon.indexer.ms"], ["bus.published"]. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run [f] with the registry enabled, restoring the previous state. *)
+
+val incr : ?by:int -> string -> unit
+(** Bump a counter (created at 0 on first use).  No-op when disabled. *)
+
+val observe : string -> float -> unit
+(** Record a histogram sample.  No-op when disabled. *)
+
+val counter : string -> int
+(** Current counter value; 0 when never bumped. *)
+
+type histo = {
+  count : int;
+  p50 : float;
+  p95 : float;
+  max : float;
+  total : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  histograms : (string * histo) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Drop all counters and histograms (does not change enablement). *)

@@ -1,0 +1,168 @@
+(* Hierarchical span tracing for the query path.
+
+   A trace is an explicit enter/leave span stack: the hot path (Mil.eval)
+   calls [enter]/[leave] directly instead of going through a closure, so a
+   disabled trace costs a single field load and branch per operator.  Spans
+   record wall-clock duration, an optional row count, and free-form
+   key/value attributes; completed spans form a forest rooted at [roots]. *)
+
+type span = {
+  name : string;
+  mutable dur : float; (* wall-clock seconds *)
+  mutable rows : int option;
+  mutable attrs : (string * string) list;
+  mutable children : span list;
+}
+
+type t = {
+  enabled : bool;
+  mutable stack : (span * float) list; (* open spans, innermost first *)
+  mutable done_roots : span list; (* completed top-level spans, reversed *)
+}
+
+let null = { enabled = false; stack = []; done_roots = [] }
+let create () = { enabled = true; stack = []; done_roots = [] }
+let is_on t = t.enabled
+
+(* Wall-clock seconds.  Unix.gettimeofday rather than Sys.time: spans are
+   meant to be compared against external latencies (daemon rounds, bench
+   medians), not just CPU accounting. *)
+let now () = Unix.gettimeofday ()
+
+let fresh name = { name; dur = 0.0; rows = None; attrs = []; children = [] }
+
+let enter t name =
+  if t.enabled then t.stack <- (fresh name, now ()) :: t.stack
+
+let finish t sp t0 ~rows ~attrs =
+  sp.dur <- now () -. t0;
+  (match rows with Some _ -> sp.rows <- rows | None -> ());
+  if attrs <> [] then sp.attrs <- sp.attrs @ attrs;
+  sp.children <- List.rev sp.children;
+  match t.stack with
+  | (parent, _) :: _ -> parent.children <- sp :: parent.children
+  | [] -> t.done_roots <- sp :: t.done_roots
+
+let leave ?rows ?(attrs = []) t =
+  if t.enabled then
+    match t.stack with
+    | [] -> invalid_arg "Trace.leave: no open span"
+    | (sp, t0) :: rest ->
+      t.stack <- rest;
+      finish t sp t0 ~rows ~attrs
+
+let attr t k v =
+  if t.enabled then
+    match t.stack with
+    | (sp, _) :: _ -> sp.attrs <- sp.attrs @ [ (k, v) ]
+    | [] -> ()
+
+let set_rows t rows =
+  if t.enabled then
+    match t.stack with
+    | (sp, _) :: _ -> sp.rows <- Some rows
+    | [] -> ()
+
+let event ?rows ?(attrs = []) t name =
+  if t.enabled then begin
+    let sp = fresh name in
+    sp.rows <- rows;
+    sp.attrs <- attrs;
+    match t.stack with
+    | (parent, _) :: _ -> parent.children <- sp :: parent.children
+    | [] -> t.done_roots <- sp :: t.done_roots
+  end
+
+let with_span ?(attrs = []) t name f =
+  if not t.enabled then f ()
+  else begin
+    enter t name;
+    match f () with
+    | v ->
+      leave ~attrs t;
+      v
+    | exception e ->
+      leave ~attrs:(("error", Printexc.to_string e) :: attrs) t;
+      raise e
+  end
+
+let roots t =
+  (* Open spans are not reported: a trace is read after the traced work. *)
+  List.rev t.done_roots
+
+let root t = match roots t with [] -> None | sp :: _ -> Some sp
+
+let rec fold f acc sp = List.fold_left (fold f) (f acc sp) sp.children
+
+let self_seconds sp =
+  let child = List.fold_left (fun acc c -> acc +. c.dur) 0.0 sp.children in
+  Float.max 0.0 (sp.dur -. child)
+
+type agg = {
+  calls : int;
+  total : float; (* inclusive seconds *)
+  self : float; (* exclusive seconds *)
+  rows : int;
+  flagged : int;
+}
+
+let aggregate ?(flag = fun _ -> false) spans =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  let visit acc sp =
+    ignore acc;
+    let prev =
+      match Hashtbl.find_opt tbl sp.name with
+      | Some a -> a
+      | None ->
+        order := sp.name :: !order;
+        { calls = 0; total = 0.0; self = 0.0; rows = 0; flagged = 0 }
+    in
+    Hashtbl.replace tbl sp.name
+      {
+        calls = prev.calls + 1;
+        total = prev.total +. sp.dur;
+        self = prev.self +. self_seconds sp;
+        rows = prev.rows + Option.value ~default:0 sp.rows;
+        flagged = (prev.flagged + if flag sp then 1 else 0);
+      };
+    ()
+  in
+  List.iter (fun sp -> fold visit () sp) spans;
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b.self a.self)
+
+let ms s = s *. 1000.0
+
+let render_spans spans =
+  let buf = Buffer.create 512 in
+  (* First pass: widest indented name, so columns line up. *)
+  let rec width depth sp =
+    List.fold_left
+      (fun acc c -> Int.max acc (width (depth + 1) c))
+      ((2 * depth) + String.length sp.name)
+      sp.children
+  in
+  let name_w =
+    List.fold_left (fun acc sp -> Int.max acc (width 0 sp)) (String.length "span") spans
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s %10s %10s %8s  %s\n" name_w "span" "total(ms)" "self(ms)"
+       "rows" "notes");
+  let rec line depth (sp : span) =
+    let indent = String.make (2 * depth) ' ' in
+    let rows = match sp.rows with None -> "-" | Some n -> string_of_int n in
+    let notes =
+      String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) sp.attrs)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s %10.3f %10.3f %8s  %s\n" name_w (indent ^ sp.name)
+         (ms sp.dur)
+         (ms (self_seconds sp))
+         rows notes);
+    List.iter (line (depth + 1)) sp.children
+  in
+  List.iter (line 0) spans;
+  Buffer.contents buf
+
+let render t = render_spans (roots t)

@@ -1,0 +1,78 @@
+(** Hierarchical span tracing.
+
+    A [Trace.t] is an explicit enter/leave span stack.  Hot paths call
+    {!enter}/{!leave} directly (no closure allocation); a disabled trace —
+    {!null}, the default everywhere — costs one field load and branch per
+    call.  Completed spans form a forest: each span has a wall-clock
+    duration, an optional row count, and key/value attributes. *)
+
+type span = {
+  name : string;
+  mutable dur : float;  (** wall-clock seconds *)
+  mutable rows : int option;
+  mutable attrs : (string * string) list;
+  mutable children : span list;  (** in completion order *)
+}
+(** Treat spans as read-only outside this module. *)
+
+type t
+
+val null : t
+(** The disabled trace: every operation is a no-op. *)
+
+val create : unit -> t
+(** A fresh enabled trace. *)
+
+val is_on : t -> bool
+
+val enter : t -> string -> unit
+(** Open a span as a child of the innermost open span. *)
+
+val leave : ?rows:int -> ?attrs:(string * string) list -> t -> unit
+(** Close the innermost open span, recording its duration.
+    @raise Invalid_argument when no span is open on an enabled trace. *)
+
+val attr : t -> string -> string -> unit
+(** Append an attribute to the innermost open span (no-op when none). *)
+
+val set_rows : t -> int -> unit
+(** Set the row count of the innermost open span (no-op when none). *)
+
+val event : ?rows:int -> ?attrs:(string * string) list -> t -> string -> unit
+(** Record a zero-duration child span (e.g. a memo hit). *)
+
+val with_span : ?attrs:(string * string) list -> t -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f] inside a span.  Exceptions are re-raised
+    after closing the span with an ["error"] attribute. *)
+
+val roots : t -> span list
+(** Completed top-level spans, oldest first.  Open spans are excluded. *)
+
+val root : t -> span option
+
+val fold : ('a -> span -> 'a) -> 'a -> span -> 'a
+(** Pre-order fold over a span and its descendants. *)
+
+val self_seconds : span -> float
+(** Exclusive time: duration minus the sum of direct children. *)
+
+type agg = {
+  calls : int;
+  total : float;  (** inclusive seconds *)
+  self : float;  (** exclusive seconds *)
+  rows : int;  (** summed over spans that recorded rows *)
+  flagged : int;  (** spans matching [flag] *)
+}
+
+val aggregate : ?flag:(span -> bool) -> span list -> (string * agg) list
+(** Per-name rollup over span forests, sorted by self time descending.
+    [flag] marks spans to tally in [flagged] (e.g. memo hits). *)
+
+val render_spans : span list -> string
+(** Indented tree with total/self milliseconds, rows, and attributes. *)
+
+val render : t -> string
+(** [render_spans (roots t)]. *)
+
+val now : unit -> float
+(** Wall-clock seconds (the clock spans are measured with). *)

@@ -485,8 +485,12 @@ let test_select_cmp_typed_paths () =
 
 let test_mil_profiling () =
   let c = mil_fixture () in
-  let s = Mil.session ~profile:true c in
-  ignore (Mil.exec s (Mil.GroupAggr (Bat.Sum, Mil.Join (Mil.Reverse (Mil.Get "link"), Mil.Get "vals"))));
+  let tr = Mirror_util.Trace.create () in
+  let s = Mil.session ~trace:tr c in
+  let plan =
+    Mil.GroupAggr (Bat.Sum, Mil.Join (Mil.Reverse (Mil.Get "link"), Mil.Get "vals"))
+  in
+  let result = Mil.exec s plan in
   let prof = Mil.profile s in
   Alcotest.(check bool) "profile recorded" true (List.length prof >= 3);
   List.iter
@@ -494,7 +498,15 @@ let test_mil_profiling () =
       Alcotest.(check bool) "non-negative time" true (t >= 0.0);
       Alcotest.(check bool) "positive count" true (n > 0))
     prof;
-  (* unprofiled sessions report nothing *)
+  (* the trace mirrors the plan: one root span, rows = result size *)
+  (match Mirror_util.Trace.root tr with
+  | None -> Alcotest.fail "no root span"
+  | Some sp ->
+    Alcotest.(check string) "root span is the root operator" (Mil.op_name plan)
+      sp.Mirror_util.Trace.name;
+    Alcotest.(check (option int))
+      "root span rows" (Some (Bat.count result)) sp.Mirror_util.Trace.rows);
+  (* untraced sessions report nothing *)
   let s2 = Mil.session c in
   ignore (Mil.exec s2 (Mil.Get "link"));
   Alcotest.(check int) "no profile by default" 0 (List.length (Mil.profile s2))

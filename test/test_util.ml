@@ -250,6 +250,161 @@ let test_table_arity_check () =
   Alcotest.check_raises "arity" (Invalid_argument "Tablefmt.add_row: 2 cells for 1 columns")
     (fun () -> Tablefmt.add_row t [ "x"; "y" ])
 
+(* {1 Trace} *)
+
+module Trace = Mirror_util.Trace
+
+let test_trace_null_noop () =
+  let t = Trace.null in
+  Alcotest.(check bool) "disabled" false (Trace.is_on t);
+  Trace.enter t "a";
+  Trace.leave t;
+  (* leave on an empty stack is only an error on an enabled trace *)
+  Trace.leave t;
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Trace.roots t));
+  Alcotest.(check int) "with_span still runs f" 7 (Trace.with_span t "x" (fun () -> 7))
+
+let test_trace_tree () =
+  let t = Trace.create () in
+  Trace.enter t "root";
+  Trace.enter t "left";
+  Trace.leave ~rows:3 t;
+  Trace.enter t "right";
+  Trace.event t "memo" ~rows:3 ~attrs:[ ("memo", "hit") ];
+  Trace.leave ~rows:5 ~attrs:[ ("k", "v") ] t;
+  Trace.leave ~rows:8 t;
+  match Trace.root t with
+  | None -> Alcotest.fail "no root span"
+  | Some sp ->
+    Alcotest.(check string) "root name" "root" sp.Trace.name;
+    Alcotest.(check (option int)) "root rows" (Some 8) sp.Trace.rows;
+    Alcotest.(check (list string)) "children in completion order" [ "left"; "right" ]
+      (List.map (fun (c : Trace.span) -> c.Trace.name) sp.Trace.children);
+    let right = List.nth sp.Trace.children 1 in
+    Alcotest.(check (option string)) "attr recorded" (Some "v")
+      (List.assoc_opt "k" right.Trace.attrs);
+    Alcotest.(check (list string)) "event is a zero-duration child" [ "memo" ]
+      (List.map (fun (c : Trace.span) -> c.Trace.name) right.Trace.children);
+    Alcotest.(check bool) "self time excludes children" true
+      (Trace.self_seconds sp <= sp.Trace.dur +. 1e-12);
+    (* pre-order fold sees all four spans *)
+    Alcotest.(check int) "fold count" 4 (Trace.fold (fun n _ -> n + 1) 0 sp)
+
+let test_trace_aggregate_render () =
+  let t = Trace.create () in
+  for i = 1 to 3 do
+    Trace.enter t "op";
+    if i = 1 then Trace.event t "op" ~attrs:[ ("memo", "hit") ];
+    Trace.leave ~rows:i t
+  done;
+  let aggs = Trace.aggregate ~flag:(fun s -> List.mem_assoc "memo" s.Trace.attrs) (Trace.roots t) in
+  (match List.assoc_opt "op" aggs with
+  | None -> Alcotest.fail "no rollup for op"
+  | Some a ->
+    Alcotest.(check int) "calls" 4 a.Trace.calls;
+    Alcotest.(check int) "rows summed" 6 a.Trace.rows;
+    Alcotest.(check int) "flagged memo hits" 1 a.Trace.flagged);
+  let s = Trace.render t in
+  Alcotest.(check bool) "render names the span" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> Stringx.starts_with ~prefix:"op" (String.trim l)))
+
+let test_trace_unbalanced_leave () =
+  let t = Trace.create () in
+  Alcotest.check_raises "unbalanced" (Invalid_argument "Trace.leave: no open span")
+    (fun () -> Trace.leave t)
+
+let test_trace_with_span_error () =
+  let t = Trace.create () in
+  (try Trace.with_span t "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  match Trace.root t with
+  | Some sp ->
+    Alcotest.(check bool) "error attribute recorded" true
+      (List.mem_assoc "error" sp.Trace.attrs)
+  | None -> Alcotest.fail "span not closed on exception"
+
+(* {1 Metrics} *)
+
+module Metrics = Mirror_util.Metrics
+
+let test_metrics_disabled_noop () =
+  Metrics.reset ();
+  Alcotest.(check bool) "disabled by default" false (Metrics.enabled ());
+  Metrics.incr "off.counter";
+  Metrics.observe "off.histo" 1.0;
+  let s = Metrics.snapshot () in
+  Alcotest.(check int) "no counters" 0 (List.length s.Metrics.counters);
+  Alcotest.(check int) "no histograms" 0 (List.length s.Metrics.histograms)
+
+let test_metrics_counters_histos () =
+  Metrics.reset ();
+  Metrics.with_enabled (fun () ->
+      Metrics.incr "b.count";
+      Metrics.incr ~by:4 "b.count";
+      Metrics.incr "a.count";
+      for i = 1 to 100 do
+        Metrics.observe "a.ms" (Float.of_int i)
+      done);
+  Alcotest.(check bool) "with_enabled restored" false (Metrics.enabled ());
+  Alcotest.(check int) "counter value" 5 (Metrics.counter "b.count");
+  let s = Metrics.snapshot () in
+  Alcotest.(check (list (pair string int))) "counters sorted by name"
+    [ ("a.count", 1); ("b.count", 5) ] s.Metrics.counters;
+  (match List.assoc_opt "a.ms" s.Metrics.histograms with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    Alcotest.(check int) "count" 100 h.Metrics.count;
+    Alcotest.(check bool) "p50 near middle" true (feq ~eps:2.0 50.0 h.Metrics.p50);
+    Alcotest.(check bool) "p95 near tail" true (feq ~eps:2.0 95.0 h.Metrics.p95);
+    check_float "max" 100.0 h.Metrics.max;
+    check_float "total" 5050.0 h.Metrics.total);
+  Metrics.reset ();
+  Alcotest.(check int) "reset drops counters" 0 (Metrics.counter "b.count")
+
+(* {1 Jsonx} *)
+
+module Json = Mirror_util.Jsonx
+
+let test_json_round_trip () =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "test/v1");
+        ("n", Json.Int 42);
+        ("pi", Json.Float 3.25);
+        ("ok", Json.Bool true);
+        ("nothing", Json.Null);
+        ("items", Json.Arr [ Json.Int 1; Json.Str "two\n\"quoted\"" ]);
+      ]
+  in
+  match Json.parse (Json.to_string ~indent:2 doc) with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok doc' ->
+    Alcotest.(check (option string)) "schema" (Some "test/v1")
+      (Option.bind (Json.member "schema" doc') Json.to_str);
+    Alcotest.(check (option int)) "int" (Some 42)
+      (Option.bind (Json.member "n" doc') Json.to_int);
+    Alcotest.(check (option (float 1e-12))) "float" (Some 3.25)
+      (Option.bind (Json.member "pi" doc') Json.to_float);
+    (match Option.bind (Json.member "items" doc') Json.to_list with
+    | Some [ Json.Int 1; Json.Str s ] ->
+      Alcotest.(check string) "escapes survive" "two\n\"quoted\"" s
+    | _ -> Alcotest.fail "items array mangled")
+
+let test_json_nonfinite_and_errors () =
+  Alcotest.(check string) "nan serialises as null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf serialises as null" "null"
+    (Json.to_string (Json.Float Float.infinity));
+  (match Json.parse "{\"a\": 1,}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing comma accepted");
+  (match Json.parse "[1, 2] trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Json.parse "  [1, -2.5e1, \"x\"]  " with
+  | Ok (Json.Arr [ Json.Int 1; Json.Float f; Json.Str "x" ]) -> check_float "exp float" (-25.0) f
+  | Ok _ -> Alcotest.fail "unexpected shape"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
 (* {1 QCheck properties} *)
 
 let prop_lse_ge_max =
@@ -321,6 +476,25 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "arity check" `Quick test_table_arity_check;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "null trace is a no-op" `Quick test_trace_null_noop;
+          Alcotest.test_case "span tree structure" `Quick test_trace_tree;
+          Alcotest.test_case "aggregate and render" `Quick test_trace_aggregate_render;
+          Alcotest.test_case "unbalanced leave raises" `Quick test_trace_unbalanced_leave;
+          Alcotest.test_case "with_span records errors" `Quick test_trace_with_span_error;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "disabled registry records nothing" `Quick test_metrics_disabled_noop;
+          Alcotest.test_case "counters and histograms" `Quick test_metrics_counters_histos;
+        ] );
+      ( "jsonx",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "non-finite floats and parse errors" `Quick
+            test_json_nonfinite_and_errors;
         ] );
       ( "properties",
         qc
