@@ -188,20 +188,37 @@ let docs_workload =
 let vet_workloads () =
   let m = make_docs ~n:16 in
   let st = Mirror.storage m in
+  (* metered so the VET entry snapshots the translation-validation
+     counters (moacheck.validations / moacheck.envelope_checks) *)
+  Metrics.reset ();
   let failures =
-    List.filter_map
-      (fun src ->
-        match Mirror_core.Plancheck.vet st (ok (Parser.parse_expr ~bindings src)) with
-        | Ok () -> None
-        | Error e -> Some (Printf.sprintf "  %s\n    %s" src e))
-      docs_workload
+    Metrics.with_enabled (fun () ->
+        List.filter_map
+          (fun src ->
+            match Mirror_core.Plancheck.vet st (ok (Parser.parse_expr ~bindings src)) with
+            | Ok () -> None
+            | Error e -> Some (Printf.sprintf "  %s\n    %s" src e))
+          docs_workload)
   in
+  let snap = Metrics.snapshot () in
+  let snapshot = json_of_snapshot snap in
+  Metrics.reset ();
   if failures <> [] then begin
     Printf.printf "workload vetting FAILED:\n%s\n" (String.concat "\n" failures);
     exit 1
   end;
-  Printf.printf "workloads vetted: %d queries pass the static analyzer\n"
+  let counter k = Option.value ~default:0 (List.assoc_opt k snap.Metrics.counters) in
+  Printf.printf
+    "workloads vetted: %d queries pass both analysis layers (%d flattenings validated, %d \
+     envelopes checked)\n"
     (List.length docs_workload)
+    (counter "moacheck.validations")
+    (counter "moacheck.envelope_checks");
+  record_entry "VET"
+    [
+      ("queries", Json.Int (List.length docs_workload));
+      ("metrics", snapshot);
+    ]
 
 (* {1 F1: the figure-1 pipeline} *)
 

@@ -58,5 +58,16 @@ let () =
         die "E4 trace_ablation lacks trace_off_ms"
     | _ -> die "E4 entry lacks trace_ablation")
   | None -> ());
+  (* the VET entry must prove translation validation actually ran *)
+  (match find "VET" with
+  | None -> die "no entry for the workload vetting pass (VET)"
+  | Some v -> (
+    match
+      Option.bind (Json.member "metrics" v) (fun m ->
+          Option.bind (Json.member "counters" m) (Json.member "moacheck.envelope_checks"))
+    with
+    | Some (Json.Int n) when n > 0 -> ()
+    | Some (Json.Int _) -> die "VET ran zero envelope checks"
+    | _ -> die "VET entry lacks the moacheck.envelope_checks counter"));
   Printf.printf "BENCH_core.json ok: %d experiment entries (%s)\n" (List.length entries)
     (String.concat ", " (List.filter_map entry_id entries))

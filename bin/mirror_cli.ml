@@ -26,6 +26,8 @@ module Storage = Mirror_core.Storage
 module Optimize = Mirror_core.Optimize
 module Flatten = Mirror_core.Flatten
 module Plancheck = Mirror_core.Plancheck
+module Moacheck = Mirror_core.Moacheck
+module Moaprop = Mirror_core.Moaprop
 module Corpus = Mirror_core.Corpus
 module Shape = Mirror_core.Shape
 module Milcheck = Mirror_bat.Milcheck
@@ -107,8 +109,12 @@ let print_result = function
 
 (* {1 Static analysis (lint / explain --check)} *)
 
-(* verifier + differential + lint pass over one query's bundle;
-   returns 0 when no error-severity problem was found *)
+(* Both layers of static checking over one query: the Moa-level shape
+   analyzer (Moacheck) on the logical expression, then — via
+   Plancheck.vet — typechecking, plan verification and translation
+   validation of the flattening, then the MIL-level lint pass over the
+   optimized bundle.  Returns 0 when no error-severity problem was
+   found. *)
 let lint_expr st src expr =
   match Plancheck.vet st expr with
   | Error e ->
@@ -120,13 +126,17 @@ let lint_expr st src expr =
       Printf.printf "FAIL  %s\n  flatten: %s\n" src e;
       1
     | shape ->
+      let moa_diags = Moacheck.lint (Moacheck.env_of_storage st) expr in
+      let moa_errors = Moaprop.errors moa_diags in
       let shape = Shape.map Milopt.rewrite shape in
       let env = Plancheck.env_of_storage st in
       let diags = Plancheck.lint_shape env shape in
       let errors = List.filter (fun d -> d.Milcheck.severity = Milcheck.Error) diags in
-      Printf.printf "%s  %s\n" (if errors = [] then "ok  " else "FAIL") src;
-      List.iter (fun d -> Printf.printf "  %s\n" (Milcheck.diag_to_string d)) diags;
-      if errors = [] then 0 else 1)
+      let failed = moa_errors <> [] || errors <> [] in
+      Printf.printf "%s  %s\n" (if failed then "FAIL" else "ok  ") src;
+      List.iter (fun d -> Printf.printf "  moa: %s\n" (Moaprop.diag_to_string d)) moa_diags;
+      List.iter (fun d -> Printf.printf "  mil: %s\n" (Milcheck.diag_to_string d)) diags;
+      if failed then 1 else 0)
 
 let lint_query st src =
   match Parser.parse_expr src with
@@ -187,6 +197,9 @@ let explain_main check db src =
               Printf.printf "check: FAIL flatten: %s\n" e;
               1
             | shape ->
+              let menv = Moacheck.env_of_storage st in
+              let prop, _ = Moacheck.infer menv expr in
+              Printf.printf "-- moa envelope: %s\n" (Moaprop.to_string prop);
               let shape = Shape.map Milopt.rewrite shape in
               let env = Plancheck.env_of_storage st in
               List.iteri
@@ -356,6 +369,33 @@ let lint_cmd =
   let doc = "statically check Moa queries (plan verifier + lint pass)" in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const lint_main $ db_arg $ lint_queries_arg)
 
+(* {1 Daemon topic-graph lint} *)
+
+(* The standard pipeline's external contract: topics the orchestrator
+   (or a query client) publishes into the daemon set, and topics it
+   consumes as progress/output signals. *)
+let pipeline_roots = [ "image.new"; "annotation.new"; "collection.complete"; "query.formulate" ]
+let pipeline_sinks = [ "features.ready"; "annotation.indexed"; "clustering.done"; "thesaurus.ready" ]
+
+let daemons_lint_main () =
+  let daemons = Mirror_daemon.Standard.all () in
+  let diags =
+    Mirror_daemon.Daemonlint.lint ~roots:pipeline_roots ~sinks:pipeline_sinks daemons
+  in
+  List.iter (fun d -> print_endline (Mirror_daemon.Daemonlint.diag_to_string d)) diags;
+  let errs = Mirror_daemon.Daemonlint.errors diags in
+  Printf.printf "%d daemon(s) checked, %d problem(s)\n" (List.length daemons)
+    (List.length errs);
+  if errs = [] then 0 else 1
+
+let daemons_lint_cmd =
+  let doc = "statically check the standard daemon set's topic graph" in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const daemons_lint_main $ const ())
+
+let daemons_cmd =
+  let doc = "daemon utilities (subcommand: lint)" in
+  Cmd.group (Cmd.info "daemons" ~doc) [ daemons_lint_cmd ]
+
 let explain_analyze_main db src =
   match storage_for db with
   | exception Failure e ->
@@ -390,6 +430,6 @@ let cmd =
   let doc = "the Mirror multimedia DBMS shell" in
   let info = Cmd.info "mirror" ~doc in
   Cmd.group ~default:Term.(const main $ eval_arg $ demo_arg $ seed_arg) info
-    [ lint_cmd; explain_cmd ]
+    [ lint_cmd; explain_cmd; daemons_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -188,6 +188,15 @@ module VEC = struct
 
   let foreign_ops = []
   let foreign_sigs = []
+
+  (* Sound defaults for the Moa-level analyzer: claim nothing about
+     operator results or the flattened bundle. *)
+  let op_envelope ~op:_ ~args:_ ~ty ~top = top ty
+
+  let prop_flat ~ctx:_ ~prop:_ ~meta:_ ~nbats ~nsubs =
+    ( List.init nbats (fun _ -> None),
+      List.init nsubs (fun _ -> (Mirror_core.Moaprop.Unknown, Mirror_bat.Milprop.any_card)) )
+
   let bind_value ~path:_ ~recurse:_ ~ty_args:_ v = v
 end
 

@@ -105,7 +105,15 @@ let bad_operands name a b =
        (Atom.ty_name (Atom.type_of b)))
 
 let apply_cmp c a b =
-  let r = Atom.compare a b in
+  (* Mixed int/float operands compare numerically (the type system
+     promotes them); Atom.compare's cross-type rank order is only for
+     sorting heterogeneous columns. *)
+  let r =
+    match numeric_promote a b with
+    | `Int (x, y) -> Stdlib.compare x y
+    | `Flt (x, y) -> Float.compare x y
+    | `Other -> Atom.compare a b
+  in
   match c with
   | Eq -> r = 0
   | Ne -> r <> 0
@@ -142,8 +150,16 @@ let apply_binop op a b =
     | `Int (x, y) -> Atom.Flt (Float.of_int x ** Float.of_int y)
     | `Flt (x, y) -> Atom.Flt (x ** y)
     | `Other -> bad_operands "pow" a b)
-  | MinOp -> if Atom.compare b a < 0 then b else a
-  | MaxOp -> if Atom.compare b a > 0 then b else a
+  | MinOp -> (
+    match numeric_promote a b with
+    | `Int (x, y) -> Atom.Int (min x y)
+    | `Flt (x, y) -> Atom.Flt (Float.min x y)
+    | `Other -> if Atom.compare b a < 0 then b else a)
+  | MaxOp -> (
+    match numeric_promote a b with
+    | `Int (x, y) -> Atom.Int (max x y)
+    | `Flt (x, y) -> Atom.Flt (Float.max x y)
+    | `Other -> if Atom.compare b a > 0 then b else a)
   | CmpOp c -> Atom.Bool (apply_cmp c a b)
   | And -> (
     match (a, b) with

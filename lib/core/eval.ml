@@ -91,7 +91,7 @@ let query ?(cse = true) ?(optimize = true) ?(specialize = true) ?(check = false)
     Trace.with_span trace "typecheck" (fun () ->
         Typecheck.infer (Storage.typecheck_env storage) expr)
   with
-  | Error e -> Error e
+  | Error e -> Error (Typecheck.diag_to_string e)
   | Ok result_type -> (
     let raw_expr = expr in
     let expr =
@@ -174,7 +174,7 @@ let query_value storage expr = Result.map (fun r -> r.value) (query storage expr
 
 let profile storage expr =
   match Typecheck.infer (Storage.typecheck_env storage) expr with
-  | Error e -> Error e
+  | Error e -> Error (Typecheck.diag_to_string e)
   | Ok _ -> (
     match Flatten.compile storage (Optimize.rewrite expr) with
     | exception Flatten.Unsupported msg -> Error msg
@@ -248,7 +248,7 @@ let explain_analyze ?(optimize = true) ?(cse = true) storage expr =
 
 let explain ?(optimize = true) storage expr =
   match Typecheck.infer (Storage.typecheck_env storage) expr with
-  | Error e -> Error e
+  | Error e -> Error (Typecheck.diag_to_string e)
   | Ok _ -> (
     let expr = if optimize then Optimize.rewrite expr else expr in
     match Flatten.compile storage expr with

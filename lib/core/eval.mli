@@ -28,9 +28,10 @@ val query :
     default true) exist for the ablation experiments; see
     {!Flatten.compile} for [specialize].  [check] (default false) is
     the debug mode: the bundle is verified by {!Mirror_bat.Milcheck},
-    the {!Plancheck.differential} checker vets both optimiser stages,
-    and every executed plan's result BAT is compared against its
-    inferred property envelope.  [trace] (default
+    the flattening is translation-validated against the {!Moacheck}
+    logical envelope, the {!Plancheck.differential} checker vets both
+    optimiser stages, and every executed plan's result BAT is compared
+    against its inferred property envelope.  [trace] (default
     {!Mirror_util.Trace.null}) records one span per pipeline phase —
     ["typecheck"], ["optimize"], ["flatten.compile"], ["milopt"],
     ["execute"] — with the kernel's per-operator spans nested under

@@ -111,6 +111,29 @@ let unop_name = function
   | Bat.Abs -> "abs"
   | Bat.ToFlt -> "flt"
 
+let op_name = function
+  | Extent _ -> "extent"
+  | Lit _ -> "lit"
+  | Var _ -> "var"
+  | Field _ -> "field"
+  | Tuple _ -> "tuple"
+  | Map _ -> "map"
+  | Select _ -> "select"
+  | Join _ -> "join"
+  | Semijoin _ -> "semijoin"
+  | Aggr (a, _) -> aggr_name a
+  | Binop (op, _, _) -> binop_sym op
+  | Unop (op, _) -> unop_name op
+  | Exists _ -> "exists"
+  | Member _ -> "in"
+  | Union _ -> "union"
+  | Diff _ -> "diff"
+  | Inter _ -> "inter"
+  | Flat _ -> "flatten"
+  | Nest _ -> "nest"
+  | Unnest _ -> "unnest"
+  | ExtOp { op; _ } -> op
+
 let rec pp ppf expr =
   let plist sep f ppf = Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf sep) f ppf in
   match expr with

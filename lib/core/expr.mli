@@ -75,6 +75,10 @@ val binop_sym : Mirror_bat.Bat.binop -> string
 val unop_name : Mirror_bat.Bat.unop -> string
 (** "not", "log", … (concrete-syntax keyword). *)
 
+val op_name : t -> string
+(** Short constructor name ("map", "select", "sum", "+", extension op
+    name, …) — used as the step label in diagnostic paths. *)
+
 val free_vars : t -> string list
 (** Unbound variables, each listed once, in first-use order. *)
 

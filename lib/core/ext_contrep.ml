@@ -401,6 +401,61 @@ module E = struct
         } );
     ]
 
+  (* Bounds on the per-occurrence tf values, when the receiver's
+     element envelope states them. *)
+  let tf_bounds = function
+    | Moaprop.Xprop { elem = Moaprop.Tuple fields; _ } -> (
+      match List.assoc_opt "tf" fields with
+      | Some (Moaprop.Atomic { lo; hi; _ }) -> (lo, hi)
+      | _ -> (None, None))
+    | _ -> (None, None)
+
+  let self_card self =
+    match Moaprop.card_of self with Some c -> c | None -> Mirror_bat.Milprop.any_card
+
+  let op_envelope ~op ~args ~ty ~top =
+    match (op, args) with
+    | "getBL", _ :: query :: _ ->
+      (* One belief per query term; beliefs are default_belief plus a
+         non-negative evidence part bounded by belief_weight. *)
+      Moaprop.Set
+        {
+          card = self_card query;
+          elem = Moaprop.atomic_range Atom.TFlt (Some Belief.default_belief) (Some 1.0);
+        }
+    | "getBLnet", _ -> Moaprop.atomic_range Atom.TFlt (Some 0.0) (Some 1.0)
+    | "terms", [ self ] ->
+      Moaprop.Set { card = self_card self; elem = Moaprop.atomic Atom.TStr }
+    | "tf", self :: _ ->
+      (* Either 0 (term absent) or one of the stored tf values. *)
+      let tlo, thi = tf_bounds self in
+      Moaprop.atomic_range Atom.TFlt
+        (Option.map (Float.min 0.0) tlo)
+        (Option.map (Float.max 0.0) thi)
+    | "clen", [ self ] ->
+      let tlo, thi = tf_bounds self in
+      let lo, hi = Moaprop.sum_range (self_card self) tlo thi in
+      Moaprop.atomic_range Atom.TFlt lo hi
+    | _ -> top ty
+
+  (* Candidate-list filtering (see filter_flat) keeps the occurrence
+     BATs physically untouched under context filtering, so only their
+     column types can be promised — never cardinalities. *)
+  let prop_flat ~ctx:_ ~prop:_ ~meta:_ ~nbats ~nsubs =
+    let bt t =
+      Some
+        {
+          Mirror_bat.Milprop.unknown with
+          Mirror_bat.Milprop.hty = Some Atom.TOid;
+          tty = Some t;
+        }
+    in
+    match (nbats, nsubs) with
+    | 4, 0 -> ([ bt Atom.TOid; bt Atom.TStr; bt Atom.TFlt; bt Atom.TFlt ], [])
+    | _ ->
+      ( List.init nbats (fun _ -> None),
+        List.init nsubs (fun _ -> (Moaprop.Unknown, Mirror_bat.Milprop.any_card)) )
+
   let bind_value ~path ~recurse:_ ~ty_args:_ v =
     match v with
     | Value.Xv { ext = "CONTREP"; items; _ } ->

@@ -2,6 +2,7 @@ module Mil = Mirror_bat.Mil
 module Bat = Mirror_bat.Bat
 module Atom = Mirror_bat.Atom
 module Column = Mirror_bat.Column
+module Prop = Mirror_bat.Milprop
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Flatten.Unsupported s)) fmt
 
@@ -201,6 +202,43 @@ module E = struct
 
   let foreign_ops = []
   let foreign_sigs = []
+
+  let op_envelope ~op ~args ~ty ~top =
+    match (op, args) with
+    | ("tolist" | "tolist_desc"), Moaprop.Set { card; elem } :: _ ->
+      Moaprop.Xprop { ext = name; card; elem; ordered = true }
+    | "take", [ Moaprop.Xprop { ext; card; elem; ordered }; n ] ->
+      (* take n of a list of size s has min(s, max 0 n) elements *)
+      let nlo, nhi =
+        match n with
+        | Moaprop.Atomic { lo; hi; _ } ->
+          ( (match lo with Some f -> max 0 (int_of_float f) | None -> 0),
+            match hi with Some f -> Some (max 0 (int_of_float f)) | None -> None )
+        | _ -> (0, None)
+      in
+      let hi =
+        match (card.Prop.hi, nhi) with
+        | Some a, Some b -> Some (min a b)
+        | Some a, None -> Some a
+        | None, h -> h
+      in
+      Moaprop.Xprop { ext; card = { Prop.lo = min card.Prop.lo nlo; hi }; elem; ordered }
+    | "toset", [ Moaprop.Xprop { card; elem; _ } ] ->
+      (* toset keeps every element (no deduplication) *)
+      Moaprop.Set { card; elem }
+    | _ -> top ty
+
+  let prop_flat ~ctx ~prop ~meta:_ ~nbats ~nsubs =
+    match (prop, nbats, nsubs) with
+    | Moaprop.Xprop { card; elem; _ }, 2, 1 ->
+      let n = Moaprop.card_prod ctx card in
+      ( [
+          Some { Prop.unknown with Prop.hty = Some Atom.TOid; tty = Some Atom.TOid; card = n };
+          Some { Prop.unknown with Prop.hty = Some Atom.TOid; tty = Some Atom.TInt; card = n };
+        ],
+        [ (elem, n) ] )
+    | _ ->
+      (List.init nbats (fun _ -> None), List.init nsubs (fun _ -> (Moaprop.Unknown, Prop.any_card)))
 
   let bind_value ~path ~recurse ~ty_args v =
     match (ty_args, v) with

@@ -79,6 +79,17 @@ module type S = sig
 
   val foreign_sigs : (string * Mirror_bat.Milprop.foreign_sig) list
 
+  val op_envelope :
+    op:string -> args:Moaprop.t list -> ty:Types.t -> top:(Types.t -> Moaprop.t) -> Moaprop.t
+
+  val prop_flat :
+    ctx:Mirror_bat.Milprop.card ->
+    prop:Moaprop.t ->
+    meta:string list ->
+    nbats:int ->
+    nsubs:int ->
+    Mirror_bat.Milprop.t option list * (Moaprop.t * Mirror_bat.Milprop.card) list
+
   val bind_value :
     path:string ->
     recurse:(path:string -> ty:Types.t -> Value.t -> Value.t) ->

@@ -126,6 +126,30 @@ module type S = sig
       name in {!foreign_ops} should be covered; an operator without a
       signature is rejected by verification. *)
 
+  val op_envelope :
+    op:string -> args:Moaprop.t list -> ty:Types.t -> top:(Types.t -> Moaprop.t) -> Moaprop.t
+  (** Logical envelope of an operator application, given the envelopes
+      of its arguments (receiver first) and the already-checked result
+      type [ty]; [top] is the coarsest envelope of a type.  Returning
+      [top ty] is always sound — override to state ranges, cardinality
+      bounds or orderedness (consulted by [Moacheck]). *)
+
+  val prop_flat :
+    ctx:Mirror_bat.Milprop.card ->
+    prop:Moaprop.t ->
+    meta:string list ->
+    nbats:int ->
+    nsubs:int ->
+    Mirror_bat.Milprop.t option list * (Moaprop.t * Mirror_bat.Milprop.card) list
+  (** Map a logical envelope of this structure onto its flattened
+      bundle, for translation validation: given the context-count
+      bounds [ctx] (how many instances the bundle holds) and the
+      per-instance envelope [prop], return one expected MIL envelope
+      option per bundle BAT ([None] claims nothing) and, for each
+      nested sub-shape, the element envelope and context bounds to
+      validate it under.  The returned lists must have [nbats] and
+      [nsubs] entries; all-[None]/[Unknown] is always sound. *)
+
   val bind_value :
     path:string ->
     recurse:(path:string -> ty:Types.t -> Value.t -> Value.t) ->

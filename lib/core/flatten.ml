@@ -25,7 +25,7 @@ let fresh env = Storage.fresh_query_base env.storage
 let infer env e =
   match Typecheck.infer_with (Storage.typecheck_env env.storage) ~vars:env.tvars e with
   | Ok ty -> ty
-  | Error msg -> fail "flatten: ill-typed subexpression (%s)" msg
+  | Error d -> fail "flatten: ill-typed subexpression (%s)" (Typecheck.diag_to_string d)
 
 (* {1 Context transformations} *)
 
@@ -403,7 +403,14 @@ let compile ?(specialize = true) ?(check = false) ?(trace = Mirror_util.Trace.nu
         Mirror_util.Trace.attr trace "bats" (string_of_int (Shape.count_bats shape));
         shape)
   in
-  if check then
+  if check then begin
     Mirror_util.Trace.with_span trace "flatten.verify" (fun () ->
         verify_shape storage shape);
+    Mirror_util.Trace.with_span trace "flatten.validate" (fun () ->
+        match Moacheck.validate storage expr shape with
+        | Ok () -> ()
+        | Error ds ->
+          raise
+            (Ill_formed (String.concat "; " (List.map Moaprop.diag_to_string ds))))
+  end;
   shape

@@ -22,8 +22,10 @@ exception Unsupported of string
 
 exception Ill_formed of string
 (** Raised (only under [~check:true]) when the emitted bundle fails
-    {!Mirror_bat.Milcheck.verify} — a compiler bug, since well-typed
-    expressions must compile to well-formed plans. *)
+    {!Mirror_bat.Milcheck.verify}, or when {!Moacheck.validate} finds a
+    plan envelope disjoint from the logical envelope — either way a
+    compiler bug, since well-typed expressions must compile to
+    well-formed, envelope-respecting plans. *)
 
 val compile :
   ?specialize:bool ->
@@ -38,9 +40,11 @@ val compile :
     by a key join rather than the full cross product); disable it for
     the optimisation-ablation experiments.  [check] (default false)
     runs the {!Mirror_bat.Milcheck} plan verifier over every emitted
-    plan against the storage catalog and extension registry.  [trace]
-    records ["flatten.compile"] (with a ["bats"] attribute) and
-    ["flatten.verify"] spans.
+    plan against the storage catalog and extension registry, then
+    {!Moacheck.validate} (translation validation of the bundle against
+    the logical envelope).  [trace] records ["flatten.compile"] (with a
+    ["bats"] attribute), ["flatten.verify"] and ["flatten.validate"]
+    spans.
     @raise Unsupported
     @raise Ill_formed under [~check:true] for a bundle that fails
     verification. *)

@@ -193,7 +193,7 @@ and binder_type storage tenv src =
   match Typecheck.infer_with (Storage.typecheck_env storage) ~vars:tenv src with
   | Ok (Types.Set elem) -> elem
   | Ok other -> fail "naive: mapped a non-set %s" (Types.to_string other)
-  | Error e -> fail "naive: %s" e
+  | Error e -> fail "naive: %s" (Typecheck.diag_to_string e)
 
 let eval storage expr = eval_env storage [] [] expr
 

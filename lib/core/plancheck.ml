@@ -104,14 +104,22 @@ let differential ?(specialize = true) storage expr =
 
 let diags_to_string ds = String.concat "; " (List.map Milcheck.diag_to_string ds)
 
+let moa_diags_to_string ds = String.concat "; " (List.map Moaprop.diag_to_string ds)
+
 let vet ?(specialize = true) storage expr =
   match Typecheck.infer (Storage.typecheck_env storage) expr with
-  | Error e -> Error ("typecheck: " ^ e)
+  | Error e -> Error ("typecheck: " ^ Typecheck.diag_to_string e)
   | Ok _ -> (
-    match Flatten.compile ~specialize storage expr with
-    | exception Flatten.Unsupported msg -> Error ("flatten: " ^ msg)
-    | shape -> (
-      let env = env_of_storage storage in
-      match verify_shape env shape with
-      | Error ds -> Error ("verify: " ^ diags_to_string ds)
-      | Ok () -> differential ~specialize storage expr))
+    match Moacheck.verify (Moacheck.env_of_storage storage) expr with
+    | Error ds -> Error ("moacheck: " ^ moa_diags_to_string ds)
+    | Ok _ -> (
+      match Flatten.compile ~specialize storage expr with
+      | exception Flatten.Unsupported msg -> Error ("flatten: " ^ msg)
+      | shape -> (
+        let env = env_of_storage storage in
+        match verify_shape env shape with
+        | Error ds -> Error ("verify: " ^ diags_to_string ds)
+        | Ok () -> (
+          match Moacheck.validate storage expr shape with
+          | Error ds -> Error ("validate: " ^ moa_diags_to_string ds)
+          | Ok () -> differential ~specialize storage expr))))

@@ -36,9 +36,10 @@ val differential :
     stays envelope-compatible with its [Milopt.rewrite] image. *)
 
 val vet : ?specialize:bool -> Storage.t -> Expr.t -> (unit, string) result
-(** Full static vetting of one query: typecheck, compile, verify the
-    bundle, then run the differential checker.  [Ok ()] means every
-    stage passed. *)
+(** Full static vetting of one query: typecheck, {!Moacheck.verify} the
+    logical envelope, compile, verify the bundle, run
+    {!Moacheck.validate} (translation validation of the flattening),
+    then the differential checker.  [Ok ()] means every stage passed. *)
 
 val diags_to_string : Mirror_bat.Milcheck.diag list -> string
 (** Diagnostics joined with ["; "]. *)

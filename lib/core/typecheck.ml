@@ -5,6 +5,8 @@ type env = { extent : string -> Types.t option }
 
 let ( let* ) = Result.bind
 
+(* Helpers below return bare-string errors; the recursion wraps them
+   into located diagnostics at the node where they fire. *)
 let err fmt = Printf.ksprintf (fun s -> Error s) fmt
 
 let expect_set what = function
@@ -58,7 +60,13 @@ let aggr_type a t =
     | _ -> err "%s requires numeric elements, got %s" (Expr.aggr_name a) (Atom.ty_name t))
   | Bat.Min | Bat.Max -> Ok t
 
-let rec infer_vars env vars expr =
+let diag path expr message =
+  { Moaprop.severity = Moaprop.Error; path; op = Expr.op_name expr; message }
+
+let rec infer_at env vars path expr =
+  let err fmt = Printf.ksprintf (fun s -> Error (diag path expr s)) fmt in
+  let locate r = Result.map_error (diag path expr) r in
+  let sub ?vars:(vs = vars) slot e = infer_at env vs (path ^ slot ^ "/" ^ Expr.op_name e) e in
   match expr with
   | Expr.Extent name -> (
     match env.extent name with
@@ -72,7 +80,7 @@ let rec infer_vars env vars expr =
     | Some ty -> Ok ty
     | None -> err "unbound variable %S" v)
   | Expr.Field (e, f) -> (
-    let* ty = infer_vars env vars e in
+    let* ty = sub "" e in
     match Types.field ty f with
     | Some fty -> Ok fty
     | None -> err "type %s has no field %S" (Types.to_string ty) f)
@@ -85,94 +93,94 @@ let rec infer_vars env vars expr =
         List.fold_left
           (fun acc (l, e) ->
             let* acc = acc in
-            let* ty = infer_vars env vars e in
+            let* ty = sub (":" ^ l) e in
             Ok ((l, ty) :: acc))
           (Ok []) fields
       in
       Ok (Types.Tuple (List.rev ftys))
   | Expr.Map { v; body; src } ->
-    let* src_ty = infer_vars env vars src in
-    let* elem = expect_set "map" src_ty in
-    let* body_ty = infer_vars env ((v, elem) :: vars) body in
+    let* src_ty = sub ":src" src in
+    let* elem = locate (expect_set "map" src_ty) in
+    let* body_ty = sub ~vars:((v, elem) :: vars) ":body" body in
     Ok (Types.Set body_ty)
   | Expr.Select { v; pred; src } ->
-    let* src_ty = infer_vars env vars src in
-    let* elem = expect_set "select" src_ty in
-    let* pred_ty = infer_vars env ((v, elem) :: vars) pred in
-    let* () = expect_bool "select predicate" pred_ty in
+    let* src_ty = sub ":src" src in
+    let* elem = locate (expect_set "select" src_ty) in
+    let* pred_ty = sub ~vars:((v, elem) :: vars) ":pred" pred in
+    let* () = locate (expect_bool "select predicate" pred_ty) in
     Ok src_ty
   | Expr.Join { v1; v2; pred; left; right; l1; l2 } ->
     if l1 = l2 then err "join labels must differ"
     else
-      let* lty = infer_vars env vars left in
-      let* e1 = expect_set "join (left)" lty in
-      let* rty = infer_vars env vars right in
-      let* e2 = expect_set "join (right)" rty in
-      let* pred_ty = infer_vars env ((v1, e1) :: (v2, e2) :: vars) pred in
-      let* () = expect_bool "join predicate" pred_ty in
+      let* lty = sub ":l" left in
+      let* e1 = locate (expect_set "join (left)" lty) in
+      let* rty = sub ":r" right in
+      let* e2 = locate (expect_set "join (right)" rty) in
+      let* pred_ty = sub ~vars:((v1, e1) :: (v2, e2) :: vars) ":pred" pred in
+      let* () = locate (expect_bool "join predicate" pred_ty) in
       Ok (Types.Set (Types.Tuple [ (l1, e1); (l2, e2) ]))
   | Expr.Semijoin { v1; v2; pred; left; right } ->
-    let* lty = infer_vars env vars left in
-    let* e1 = expect_set "semijoin (left)" lty in
-    let* rty = infer_vars env vars right in
-    let* e2 = expect_set "semijoin (right)" rty in
-    let* pred_ty = infer_vars env ((v1, e1) :: (v2, e2) :: vars) pred in
-    let* () = expect_bool "semijoin predicate" pred_ty in
+    let* lty = sub ":l" left in
+    let* e1 = locate (expect_set "semijoin (left)" lty) in
+    let* rty = sub ":r" right in
+    let* e2 = locate (expect_set "semijoin (right)" rty) in
+    let* pred_ty = sub ~vars:((v1, e1) :: (v2, e2) :: vars) ":pred" pred in
+    let* () = locate (expect_bool "semijoin predicate" pred_ty) in
     Ok lty
   | Expr.Aggr (Bat.Count, e) ->
-    let* ty = infer_vars env vars e in
-    let* _ = expect_set "count" ty in
+    let* ty = sub "" e in
+    let* _ = locate (expect_set "count" ty) in
     Ok (Types.Atomic Atom.TInt)
   | Expr.Aggr (a, e) ->
-    let* ty = infer_vars env vars e in
-    let* elem = expect_set (Expr.aggr_name a) ty in
-    let* base = expect_atomic (Expr.aggr_name a) elem in
-    let* rty = aggr_type a base in
+    let* ty = sub "" e in
+    let* elem = locate (expect_set (Expr.aggr_name a) ty) in
+    let* base = locate (expect_atomic (Expr.aggr_name a) elem) in
+    let* rty = locate (aggr_type a base) in
     Ok (Types.Atomic rty)
   | Expr.Binop (op, a, b) ->
-    let* ta = infer_vars env vars a in
-    let* tb = infer_vars env vars b in
-    let* ba = expect_atomic "binary operator" ta in
-    let* bb = expect_atomic "binary operator" tb in
-    let* rty = binop_type op ba bb in
+    let* ta = sub ":l" a in
+    let* tb = sub ":r" b in
+    let* ba = locate (expect_atomic "binary operator" ta) in
+    let* bb = locate (expect_atomic "binary operator" tb) in
+    let* rty = locate (binop_type op ba bb) in
     Ok (Types.Atomic rty)
   | Expr.Unop (op, e) ->
-    let* ty = infer_vars env vars e in
-    let* base = expect_atomic "unary operator" ty in
-    let* rty = unop_type op base in
+    let* ty = sub "" e in
+    let* base = locate (expect_atomic "unary operator" ty) in
+    let* rty = locate (unop_type op base) in
     Ok (Types.Atomic rty)
   | Expr.Exists e ->
-    let* ty = infer_vars env vars e in
-    let* _ = expect_set "exists" ty in
+    let* ty = sub "" e in
+    let* _ = locate (expect_set "exists" ty) in
     Ok (Types.Atomic Atom.TBool)
   | Expr.Member (x, s) ->
-    let* tx = infer_vars env vars x in
-    let* bx = expect_atomic "in" tx in
-    let* ts = infer_vars env vars s in
-    let* elem = expect_set "in" ts in
-    let* bs = expect_atomic "in (set elements)" elem in
+    let* tx = sub ":l" x in
+    let* bx = locate (expect_atomic "in" tx) in
+    let* ts = sub ":r" s in
+    let* elem = locate (expect_set "in" ts) in
+    let* bs = locate (expect_atomic "in (set elements)" elem) in
     if bx = bs then Ok (Types.Atomic Atom.TBool)
     else err "in: element type %s vs set of %s" (Atom.ty_name bx) (Atom.ty_name bs)
   | Expr.Union (a, b) | Expr.Diff (a, b) | Expr.Inter (a, b) ->
     let what =
       match expr with Expr.Union _ -> "union" | Expr.Diff _ -> "diff" | _ -> "inter"
     in
-    let* ta = infer_vars env vars a in
-    let* ea = expect_set what ta in
-    let* _ = expect_atomic (what ^ " (elements)") ea in
-    let* tb = infer_vars env vars b in
-    let* eb = expect_set what tb in
+    let* ta = sub ":l" a in
+    let* ea = locate (expect_set what ta) in
+    let* _ = locate (expect_atomic (what ^ " (elements)") ea) in
+    let* tb = sub ":r" b in
+    let* eb = locate (expect_set what tb) in
     if Types.equal ea eb then Ok ta
     else err "%s: element types differ (%s vs %s)" what (Types.to_string ea) (Types.to_string eb)
   | Expr.Flat e -> (
-    let* ty = infer_vars env vars e in
-    let* elem = expect_set "flatten" ty in
+    let* ty = sub "" e in
+    let* elem = locate (expect_set "flatten" ty) in
     match elem with
     | Types.Set inner -> Ok (Types.Set inner)
     | _ -> err "flatten expects SET<SET<T>>, got %s" (Types.to_string ty))
   | Expr.Nest { src; key; inner } -> (
-    let* ty = infer_vars env vars src in
-    let* elem = expect_set "nest" ty in
+    let* ty = sub "" src in
+    let* elem = locate (expect_set "nest" ty) in
     match elem with
     | Types.Tuple fields -> (
       if List.mem_assoc inner fields then err "nest: label %S already used" inner
@@ -184,8 +192,8 @@ let rec infer_vars env vars expr =
         | None -> err "nest: no field %S" key)
     | _ -> err "nest expects a set of tuples, got %s" (Types.to_string ty))
   | Expr.Unnest { src; field } -> (
-    let* ty = infer_vars env vars src in
-    let* elem = expect_set "unnest" ty in
+    let* ty = sub "" src in
+    let* elem = locate (expect_set "unnest" ty) in
     match elem with
     | Types.Tuple fields -> (
       match List.assoc_opt field fields with
@@ -208,13 +216,20 @@ let rec infer_vars env vars expr =
     | Some (module E : Extension.S) ->
       let* arg_tys =
         List.fold_left
-          (fun acc e ->
-            let* acc = acc in
-            let* ty = infer_vars env vars e in
-            Ok (ty :: acc))
-          (Ok []) args
+          (fun (i, acc) e ->
+            ( i + 1,
+              let* acc = acc in
+              let* ty = sub (":" ^ string_of_int i) e in
+              Ok (ty :: acc) ))
+          (0, Ok []) args
+        |> snd
       in
-      E.op_type ~op ~args:(List.rev arg_tys))
+      locate (E.op_type ~op ~args:(List.rev arg_tys)))
 
-let infer env expr = infer_vars env [] expr
-let infer_with env ~vars expr = infer_vars env vars expr
+let infer env expr = infer_at env [] (Expr.op_name expr) expr
+
+let infer_with ?path env ~vars expr =
+  let path = match path with Some p -> p | None -> Expr.op_name expr in
+  infer_at env vars path expr
+
+let diag_to_string = Moaprop.diag_to_string

@@ -3,14 +3,37 @@
     Checks an expression against the schema (extent types) and the
     extension registry, and returns its structure type.  Everything the
     flattening compiler assumes is validated here, so compilation can
-    be written against well-typed inputs. *)
+    be written against well-typed inputs.
+
+    Errors are structured {!Moaprop.diag} values (always of [Error]
+    severity) whose [path] locates the offending subexpression from the
+    root, using the same slash-separated constructor-name convention as
+    {!Moacheck} and [Milcheck]; use {!diag_to_string} where a plain
+    message is wanted. *)
 
 type env = { extent : string -> Types.t option }
 (** Schema access. *)
 
-val infer : env -> Expr.t -> (Types.t, string) result
+val infer : env -> Expr.t -> (Types.t, Moaprop.diag) result
 (** Type of a closed expression. *)
 
-val infer_with : env -> vars:(string * Types.t) list -> Expr.t -> (Types.t, string) result
+val infer_with :
+  ?path:string -> env -> vars:(string * Types.t) list -> Expr.t -> (Types.t, Moaprop.diag) result
 (** Type of an expression with free variables bound to the given
-    types. *)
+    types.  [path] seeds the diagnostic locus (defaults to the root
+    constructor's name). *)
+
+val diag_to_string : Moaprop.diag -> string
+(** Render a diagnostic as the historical one-line error string. *)
+
+(** {1 Atom-level typing helpers}
+
+    Shared with {!Moacheck}, which re-derives atom result types from
+    its envelopes instead of re-running full inference. *)
+
+val binop_type :
+  Mirror_bat.Bat.binop -> Mirror_bat.Atom.ty -> Mirror_bat.Atom.ty ->
+  (Mirror_bat.Atom.ty, string) result
+
+val unop_type : Mirror_bat.Bat.unop -> Mirror_bat.Atom.ty -> (Mirror_bat.Atom.ty, string) result
+val aggr_type : Mirror_bat.Bat.aggr -> Mirror_bat.Atom.ty -> (Mirror_bat.Atom.ty, string) result

@@ -8,7 +8,8 @@ type ctx = {
 type t = {
   name : string;
   topics : string list;
+  publishes : string list;
   handle : ctx -> Bus.message -> Bus.message list;
 }
 
-let make ~name ~topics handle = { name; topics; handle }
+let make ~name ~topics ?(publishes = []) handle = { name; topics; publishes; handle }

@@ -17,6 +17,10 @@ type ctx = {
 type t = {
   name : string;
   topics : string list;  (** Subscriptions. *)
+  publishes : string list;
+      (** Topics this daemon's handler may emit — a static declaration
+          used only by {!Daemonlint}'s topic-graph analysis; ["*"]
+          declares a dynamic (client-chosen) topic. *)
   handle : ctx -> Bus.message -> Bus.message list;
       (** React to one message; returned messages are published by the
           orchestrator.  May raise — the orchestrator retries and
@@ -26,6 +30,7 @@ type t = {
 val make :
   name:string ->
   topics:string list ->
+  ?publishes:string list ->
   (ctx -> Bus.message -> Bus.message list) ->
   t
-(** Build a daemon. *)
+(** Build a daemon.  [publishes] defaults to none declared. *)

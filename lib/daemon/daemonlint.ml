@@ -1,0 +1,96 @@
+type severity = Error | Warning
+
+type diag = {
+  severity : severity;
+  subject : string;  (* daemon or topic name *)
+  message : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let diag_to_string d =
+  Printf.sprintf "%s (%s): %s" (severity_name d.severity) d.subject d.message
+
+let errors diags = List.filter (fun d -> d.severity = Error) diags
+
+let dynamic = "*"
+
+let lint ?(roots = []) ?(sinks = []) daemons =
+  let out = ref [] in
+  let add severity subject fmt =
+    Printf.ksprintf (fun message -> out := { severity; subject; message } :: !out) fmt
+  in
+  let declared d = List.filter (fun t -> not (String.equal t dynamic)) d.Daemon.publishes in
+  let publishers t =
+    List.filter (fun d -> List.mem t (declared d)) daemons |> List.map (fun d -> d.Daemon.name)
+  in
+  let subscribers t =
+    List.filter (fun d -> List.mem t d.Daemon.topics) daemons |> List.map (fun d -> d.Daemon.name)
+  in
+  (* Two daemons sharing a name share one bus queue and steal each
+     other's messages. *)
+  let names = List.map (fun d -> d.Daemon.name) daemons in
+  List.iter
+    (fun n ->
+      if List.length (List.filter (String.equal n) names) > 1 then
+        add Error n "duplicate daemon name")
+    (List.sort_uniq String.compare names);
+  (* Liveness fixpoint: a topic is live when a root or a live daemon
+     publishes it; a daemon is live when it subscribes to a live
+     topic. *)
+  let live_topics = Hashtbl.create 16 in
+  let live_daemons = Hashtbl.create 16 in
+  List.iter (fun t -> Hashtbl.replace live_topics t ()) roots;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun d ->
+        if
+          (not (Hashtbl.mem live_daemons d.Daemon.name))
+          && List.exists (Hashtbl.mem live_topics) d.Daemon.topics
+        then begin
+          Hashtbl.replace live_daemons d.Daemon.name ();
+          List.iter
+            (fun t ->
+              if not (Hashtbl.mem live_topics t) then begin
+                Hashtbl.replace live_topics t ();
+                changed := true
+              end)
+            (declared d);
+          changed := true
+        end)
+      daemons
+  done;
+  List.iter
+    (fun d ->
+      let orphaned, fed =
+        List.partition (fun t -> publishers t = [] && not (List.mem t roots)) d.Daemon.topics
+      in
+      List.iter
+        (fun t -> add Error d.Daemon.name "subscribes to %S, which nothing publishes" t)
+        orphaned;
+      if d.Daemon.topics = [] then add Error d.Daemon.name "subscribes to no topic"
+      else if (not (Hashtbl.mem live_daemons d.Daemon.name)) && orphaned = [] then
+        add Error d.Daemon.name
+          "can never fire: its subscriptions (%s) are unreachable from any root topic"
+          (String.concat ", " fed))
+    daemons;
+  (* Dead-letter-only paths: a declared publication nothing consumes is
+     dropped by the bus on every publish. *)
+  let published = List.sort_uniq String.compare (List.concat_map declared daemons) in
+  List.iter
+    (fun t ->
+      if subscribers t = [] && not (List.mem t sinks) then
+        add Warning t "published (by %s) but nothing subscribes — every publication is dropped"
+          (String.concat ", " (publishers t)))
+    published;
+  List.iter
+    (fun t -> if subscribers t = [] then add Warning t "root topic has no subscribers")
+    (List.sort_uniq String.compare roots);
+  List.iter
+    (fun t ->
+      if publishers t = [] && not (List.mem t roots) then
+        add Warning t "declared sink is never published")
+    (List.sort_uniq String.compare sinks);
+  List.rev !out

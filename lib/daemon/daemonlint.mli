@@ -1,0 +1,31 @@
+(** Static analysis of a daemon set's topic graph.
+
+    Daemons are decoupled through bus topics, so a misspelt topic or a
+    retired producer fails silently at runtime: subscriptions never
+    fire, publications dead-letter.  This lint rebuilds the topic graph
+    from each daemon's subscriptions and declared {!Daemon.t.publishes}
+    and reports the disconnections statically. *)
+
+type severity = Error | Warning
+
+type diag = {
+  severity : severity;
+  subject : string;  (** The daemon or topic concerned. *)
+  message : string;
+}
+
+val severity_name : severity -> string
+val diag_to_string : diag -> string
+
+val errors : diag list -> diag list
+(** Just the [Error]-severity diagnostics. *)
+
+val lint : ?roots:string list -> ?sinks:string list -> Daemon.t list -> diag list
+(** Topic-graph lint.  [roots] are topics published from outside the
+    daemon set (pipeline inputs); [sinks] are topics consumed outside
+    it (pipeline outputs).  Reports as errors: duplicate daemon names,
+    subscriptions to topics nothing publishes, and daemons unreachable
+    from any root; as warnings: publications (and roots) nothing
+    subscribes to — dead-letter-only paths — and declared sinks never
+    published.  A daemon publishing ["*"] (dynamic topic) contributes
+    no static publications. *)

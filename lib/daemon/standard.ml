@@ -15,14 +15,16 @@ let image_of ctx doc =
     | Some img -> img)
 
 let segmenter ?(params = Segment.default_params) () =
-  Daemon.make ~name:"segmenter" ~topics:[ "image.new" ] (fun ctx m ->
+  Daemon.make ~name:"segmenter" ~topics:[ "image.new" ] ~publishes:[ "segments.ready" ]
+    (fun ctx m ->
       let img = image_of ctx m.Bus.subject in
       let regions = Segment.segment_flat ~params img in
       Store.put_segments ctx.Daemon.store ~doc:m.Bus.subject regions;
       [ msg "segments.ready" m.Bus.subject ])
 
 let feature_daemon (f : Features.t) =
-  Daemon.make ~name:("feature:" ^ f.Features.name) ~topics:[ "segments.ready" ] (fun ctx m ->
+  Daemon.make ~name:("feature:" ^ f.Features.name) ~topics:[ "segments.ready" ]
+    ~publishes:[ "features.ready" ] (fun ctx m ->
       let doc = m.Bus.subject in
       let img = image_of ctx doc in
       match Store.segments ctx.Daemon.store ~doc with
@@ -33,7 +35,8 @@ let feature_daemon (f : Features.t) =
         [ msg ~payload:[ ("space", f.Features.name) ] "features.ready" doc ])
 
 let annotation_indexer =
-  Daemon.make ~name:"annotation-indexer" ~topics:[ "annotation.new" ] (fun ctx m ->
+  Daemon.make ~name:"annotation-indexer" ~topics:[ "annotation.new" ]
+    ~publishes:[ "annotation.indexed" ] (fun ctx m ->
       match Bus.attr m "text" with
       | None -> failwith "annotation indexer: missing text payload"
       | Some text ->
@@ -46,7 +49,8 @@ let internal_schema spaces =
     spaces
 
 let clusterer ?(seed = 20259) ?(kmin = 2) ?(kmax = 6) ?(expected_spaces = 6) () =
-  Daemon.make ~name:"autoclass" ~topics:[ "collection.complete" ] (fun ctx m ->
+  Daemon.make ~name:"autoclass" ~topics:[ "collection.complete" ]
+    ~publishes:[ "clustering.done"; "contrep.ready" ] (fun ctx m ->
       ignore m;
       let store = ctx.Daemon.store in
       let g = Prng.create seed in
@@ -81,7 +85,8 @@ let clusterer ?(seed = 20259) ?(kmin = 2) ?(kmax = 6) ?(expected_spaces = 6) () 
    formulation": a client posts "query.formulate" with the text and a
    reply topic; the daemon answers with the associated concepts. *)
 let formulation_daemon =
-  Daemon.make ~name:"query-formulation" ~topics:[ "query.formulate" ] (fun ctx m ->
+  Daemon.make ~name:"query-formulation" ~topics:[ "query.formulate" ] ~publishes:[ "*" ]
+    (fun ctx m ->
       match (Bus.attr m "text", Bus.attr m "reply") with
       | Some text, Some reply -> (
         match Store.thesaurus ctx.Daemon.store with
@@ -99,7 +104,8 @@ let formulation_daemon =
       | _ -> failwith "query formulation: missing text/reply payload")
 
 let thesaurus_daemon =
-  Daemon.make ~name:"thesaurus" ~topics:[ "contrep.ready" ] (fun ctx m ->
+  Daemon.make ~name:"thesaurus" ~topics:[ "contrep.ready" ] ~publishes:[ "thesaurus.ready" ]
+    (fun ctx m ->
       ignore m;
       let th = Mirror_thesaurus.Concepts.build (Store.evidence ctx.Daemon.store) in
       Store.put_thesaurus ctx.Daemon.store th;

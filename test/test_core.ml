@@ -209,7 +209,7 @@ let test_typecheck_battery () =
     (fun src ->
       match Typecheck.infer (tc_env st) (parse_q src) with
       | Ok _ -> ()
-      | Error e -> Alcotest.failf "%s: %s" src e)
+      | Error e -> Alcotest.failf "%s: %s" src (Typecheck.diag_to_string e))
     battery
 
 let test_typecheck_errors () =
@@ -236,7 +236,12 @@ let test_typecheck_errors () =
 
 let test_typecheck_results () =
   let st = storage_with default_rows in
-  let ty src = Types.to_string (ok (Typecheck.infer (tc_env st) (parse_q src))) in
+  let ty src =
+    Types.to_string
+      (ok
+         (Result.map_error Typecheck.diag_to_string
+            (Typecheck.infer (tc_env st) (parse_q src))))
+  in
   Alcotest.(check string) "map" "SET< Atomic<int> >" (ty "map[THIS.a](R)");
   Alcotest.(check string) "getbl" "SET< SET< Atomic<flt> > >"
     (ty "map[getBL(THIS.c, {'x'})](R)");
@@ -670,7 +675,9 @@ let prop_random_exprs =
     (fun expr ->
       let st = storage_with default_rows in
       match Typecheck.infer (tc_env st) expr with
-      | Error e -> QCheck.Test.fail_reportf "generator produced ill-typed expr: %s" e
+      | Error e ->
+        QCheck.Test.fail_reportf "generator produced ill-typed expr: %s"
+          (Typecheck.diag_to_string e)
       | Ok _ -> (
         let naive = Naive.eval st expr in
         match Eval.query_value st expr with

@@ -167,6 +167,15 @@ module MSET = struct
 
   let foreign_ops = []
   let foreign_sigs = []
+
+  (* Sound defaults for the Moa-level analyzer: claim nothing about
+     operator results or the flattened bundle. *)
+  let op_envelope ~op:_ ~args:_ ~ty ~top = top ty
+
+  let prop_flat ~ctx:_ ~prop:_ ~meta:_ ~nbats ~nsubs =
+    ( List.init nbats (fun _ -> None),
+      List.init nsubs (fun _ -> (Mirror_core.Moaprop.Unknown, Mirror_bat.Milprop.any_card)) )
+
   let bind_value ~path:_ ~recurse:_ ~ty_args:_ v = v
 end
 
@@ -214,7 +223,7 @@ let test_ddl_typechecks () =
   let st = storage_with_msets () in
   match Typecheck.infer (Storage.typecheck_env st) map_mtotal with
   | Ok ty -> Alcotest.(check string) "result type" "SET< Atomic<int> >" (Types.to_string ty)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Typecheck.diag_to_string e)
 
 let test_ddl_arity_checked () =
   let st = Storage.create () in

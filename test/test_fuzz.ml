@@ -378,6 +378,412 @@ let test_deterministic () =
   in
   Alcotest.(check (list string)) "same seed, same plans" (sequence ()) (sequence ())
 
+(* {1 Moa-level fuzzing}
+
+   The same seeded pool-growth scheme one level up: random well-typed
+   Moa expressions over the shared corpus database, each checked for
+
+     (a) Typecheck accepts it (a generator bug otherwise);
+     (b) Moacheck produces no Error diagnostic — the analyzer must
+         never reject a well-typed expression (zero false errors);
+     (c) the Naive reference result lies inside the inferred Moa
+         envelope (Moaprop.value_ok);
+     (d) Flatten.compile succeeds and Moacheck.validate certifies the
+         flattening: the logical envelope intersects the Milcheck
+         physical envelope on every BAT of the bundle.
+
+   Deliberately excluded constructs: Div/Pow (division by a randomly
+   zero constant; float rounding), Log/Exp/Sqrt (NaN domains), Mul
+   (deep random chains overflow the int range, breaking envelope
+   soundness — see DESIGN.md), Nest/Unnest (compile only at the top
+   level, so they cannot be wrapped), and binder-dependent getBL
+   queries (not flattenable by contract).  CONTREP and LIST coverage
+   comes from seeding the pool with the corpus query battery. *)
+
+module Expr = Mirror_core.Expr
+module Types = Mirror_core.Types
+module Value = Mirror_core.Value
+module Typecheck = Mirror_core.Typecheck
+module Moacheck = Mirror_core.Moacheck
+module Moaprop = Mirror_core.Moaprop
+module Naive = Mirror_core.Naive
+module Flatten = Mirror_core.Flatten
+module Storage = Mirror_core.Storage
+module Corpus = Mirror_core.Corpus
+module Parser = Mirror_core.Parser
+
+let moa_to_generate = 500
+let moa_max_size = 40 (* bigger expressions are tested but not pooled; also
+                         bounds Add/Sub chain depth so integer envelope ends
+                         stay exactly representable as floats *)
+
+type mentry = { expr : Expr.t; ty : Types.t }
+
+let fresh_var =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "f%d" !n
+
+let is_num_ty = function Types.Atomic (Atom.TInt | Atom.TFlt) -> true | _ -> false
+let is_atomic_ty = function Types.Atomic _ -> true | _ -> false
+let set_elem = function Types.Set e -> Some e | _ -> None
+let list_elem = function Types.Xt ("LIST", [ e ]) -> Some e | _ -> None
+
+let num_set e = match set_elem e.ty with Some t -> is_num_ty t | None -> false
+let atom_set e = match set_elem e.ty with Some t -> is_atomic_ty t | None -> false
+
+let moa_lit g = function
+  | Atom.TInt -> Expr.lit_int (Prng.int g 60 - 30)
+  | Atom.TFlt -> Expr.lit_flt (Float.of_int (Prng.int g 80 - 40) /. 4.0)
+  | Atom.TStr -> Expr.lit_str (Prng.choose g words)
+  | Atom.TBool -> Expr.lit_bool (Prng.bool g)
+  | Atom.TOid -> Expr.lit_int 0 (* never requested *)
+
+let int_fields ty =
+  match ty with
+  | Types.Tuple fs ->
+    List.filter_map (fun (f, t) -> if t = Types.Atomic Atom.TInt then Some f else None) fs
+  | _ -> []
+
+(* Candidate constructors, mirroring the MIL generator scheme: each
+   returns Some well-typed wrapper of pool entries, or None when no
+   entry satisfies its precondition. *)
+let moa_generators : (string * (Prng.t -> mentry list -> mentry option)) array =
+  [|
+    ( "lit_atom",
+      fun g _ ->
+        let ty = Prng.choose g [| Atom.TInt; Atom.TFlt; Atom.TStr; Atom.TBool |] in
+        Some { expr = moa_lit g ty; ty = Types.Atomic ty } );
+    ( "lit_set",
+      fun g _ ->
+        let n = Prng.int g 6 in
+        if Prng.bool g then
+          let v = Value.VSet (List.init n (fun _ -> Value.Atom (Atom.Int (Prng.int g 60 - 30)))) in
+          Some { expr = Expr.Lit (v, Types.Set (Types.Atomic Atom.TInt));
+                 ty = Types.Set (Types.Atomic Atom.TInt) }
+        else
+          let ws = List.init n (fun _ -> Prng.choose g words) in
+          Some { expr = Expr.lit_str_set ws; ty = Types.Set (Types.Atomic Atom.TStr) } );
+    ( "aggr",
+      fun g pool ->
+        Option.map
+          (fun e ->
+            let elem = Option.get (set_elem e.ty) in
+            match Prng.int g 5 with
+            | 0 -> { expr = Expr.Aggr (Bat.Count, e.expr); ty = Types.Atomic Atom.TInt }
+            | 1 -> { expr = Expr.Aggr (Bat.Avg, e.expr); ty = Types.Atomic Atom.TFlt }
+            | 2 -> { expr = Expr.Aggr (Bat.Sum, e.expr); ty = elem }
+            | 3 -> { expr = Expr.Aggr (Bat.Min, e.expr); ty = elem }
+            | _ -> { expr = Expr.Aggr (Bat.Max, e.expr); ty = elem })
+          (pick g pool num_set) );
+    ( "count_any",
+      fun g pool ->
+        Option.map
+          (fun e -> { expr = Expr.Aggr (Bat.Count, e.expr); ty = Types.Atomic Atom.TInt })
+          (pick g pool atom_set) );
+    ( "binop",
+      fun g pool ->
+        Option.bind
+          (pick g pool (fun e -> is_num_ty e.ty))
+          (fun a ->
+            Option.map
+              (fun b ->
+                let op = Prng.choose g Bat.[| Add; Sub; MinOp; MaxOp |] in
+                let ty =
+                  if a.ty = Types.Atomic Atom.TInt && b.ty = Types.Atomic Atom.TInt then
+                    Types.Atomic Atom.TInt
+                  else Types.Atomic Atom.TFlt
+                in
+                { expr = Expr.Binop (op, a.expr, b.expr); ty })
+              (pick g pool (fun e -> is_num_ty e.ty))) );
+    ( "cmp",
+      fun g pool ->
+        Option.bind
+          (pick g pool (fun e -> is_atomic_ty e.ty))
+          (fun a ->
+            Option.map
+              (fun b ->
+                let c = Prng.choose g Bat.[| Eq; Ne; Lt; Le; Gt; Ge |] in
+                { expr = Expr.Binop (Bat.CmpOp c, a.expr, b.expr);
+                  ty = Types.Atomic Atom.TBool })
+              (pick g pool (fun e ->
+                   e.ty = a.ty || (is_num_ty e.ty && is_num_ty a.ty)))) );
+    ( "boolop",
+      fun g pool ->
+        Option.bind
+          (pick g pool (fun e -> e.ty = Types.Atomic Atom.TBool))
+          (fun a ->
+            Option.map
+              (fun b ->
+                let op = if Prng.bool g then Bat.And else Bat.Or in
+                { expr = Expr.Binop (op, a.expr, b.expr); ty = a.ty })
+              (pick g pool (fun e -> e.ty = Types.Atomic Atom.TBool))) );
+    ( "unop",
+      fun g pool ->
+        Option.map
+          (fun e ->
+            if e.ty = Types.Atomic Atom.TBool then
+              { expr = Expr.Unop (Bat.Not, e.expr); ty = e.ty }
+            else
+              match Prng.int g 3 with
+              | 0 -> { expr = Expr.Unop (Bat.Neg, e.expr); ty = e.ty }
+              | 1 -> { expr = Expr.Unop (Bat.Abs, e.expr); ty = e.ty }
+              | _ -> { expr = Expr.Unop (Bat.ToFlt, e.expr); ty = Types.Atomic Atom.TFlt })
+          (pick g pool (fun e -> is_num_ty e.ty || e.ty = Types.Atomic Atom.TBool)) );
+    ( "exists",
+      fun g pool ->
+        Option.map
+          (fun e -> { expr = Expr.Exists e.expr; ty = Types.Atomic Atom.TBool })
+          (pick g pool (fun e -> set_elem e.ty <> None)) );
+    ( "member",
+      fun g pool ->
+        Option.map
+          (fun e ->
+            let base =
+              match set_elem e.ty with Some (Types.Atomic b) -> b | _ -> assert false
+            in
+            { expr = Expr.Member (moa_lit g base, e.expr); ty = Types.Atomic Atom.TBool })
+          (pick g pool (fun e ->
+               match set_elem e.ty with
+               | Some (Types.Atomic (Atom.TInt | Atom.TFlt | Atom.TStr | Atom.TBool)) -> true
+               | _ -> false)) );
+    ( "setop",
+      fun g pool ->
+        Option.bind (pick g pool atom_set) (fun a ->
+            if Prng.int g 4 = 0 then
+              (* the distinct idiom: union(x, x) *)
+              Some { expr = Expr.Union (a.expr, a.expr); ty = a.ty }
+            else
+              Option.map
+                (fun b ->
+                  let node =
+                    match Prng.int g 3 with
+                    | 0 -> Expr.Union (a.expr, b.expr)
+                    | 1 -> Expr.Diff (a.expr, b.expr)
+                    | _ -> Expr.Inter (a.expr, b.expr)
+                  in
+                  { expr = node; ty = a.ty })
+                (pick g pool (fun e -> Types.equal e.ty a.ty))) );
+    ( "select",
+      fun g pool ->
+        Option.map
+          (fun e ->
+            let elem = Option.get (set_elem e.ty) in
+            let v = fresh_var () in
+            let cmp () = Bat.CmpOp (Prng.choose g Bat.[| Eq; Ne; Lt; Le; Gt; Ge |]) in
+            let pred =
+              if elem = Types.Atomic Atom.TInt then
+                Expr.Binop (cmp (), Expr.Var v, Expr.lit_int (Prng.int g 40 - 20))
+              else
+                match int_fields elem with
+                | f :: _ ->
+                  Expr.Binop
+                    (cmp (), Expr.Field (Expr.Var v, f), Expr.lit_int (Prng.int g 40 - 20))
+                | [] -> Expr.lit_bool (Prng.bool g)
+            in
+            { expr = Expr.Select { v; pred; src = e.expr }; ty = e.ty })
+          (pick g pool (fun e -> set_elem e.ty <> None)) );
+    ( "map",
+      fun g pool ->
+        Option.map
+          (fun e ->
+            let elem = Option.get (set_elem e.ty) in
+            let v = fresh_var () in
+            match elem with
+            | Types.Tuple ((f0, t0) :: _ as fs) ->
+              let f, t = List.nth fs (Prng.int g (List.length fs)) in
+              let f, t = if Prng.bool g then (f, t) else (f0, t0) in
+              { expr = Expr.Map { v; body = Expr.Field (Expr.Var v, f); src = e.expr };
+                ty = Types.Set t }
+            | Types.Atomic (Atom.TInt | Atom.TFlt) ->
+              { expr =
+                  Expr.Map
+                    { v;
+                      body = Expr.Binop (Bat.Add, Expr.Var v, moa_lit g Atom.TInt);
+                      src = e.expr };
+                ty = Types.Set (if elem = Types.Atomic Atom.TInt then elem
+                                else Types.Atomic Atom.TFlt) }
+            | _ -> { expr = Expr.Map { v; body = Expr.Var v; src = e.expr }; ty = e.ty })
+          (pick g pool (fun e -> set_elem e.ty <> None)) );
+    ( "flat",
+      fun g pool ->
+        Option.map
+          (fun e ->
+            let inner = Option.get (set_elem e.ty) in
+            { expr = Expr.Flat e.expr; ty = inner })
+          (pick g pool (fun e ->
+               match set_elem e.ty with Some (Types.Set _) -> true | _ -> false)) );
+    ( "join",
+      fun g pool ->
+        Option.bind (pick g pool atom_set) (fun a ->
+            Option.map
+              (fun b ->
+                let ea = Option.get (set_elem a.ty) and eb = Option.get (set_elem b.ty) in
+                let v1 = fresh_var () and v2 = fresh_var () in
+                let c = Prng.choose g Bat.[| Eq; Ne; Lt; Le; Gt; Ge |] in
+                let pred = Expr.Binop (Bat.CmpOp c, Expr.Var v1, Expr.Var v2) in
+                let node =
+                  if Prng.bool g then
+                    Expr.Join
+                      { v1; v2; pred; left = a.expr; right = b.expr; l1 = "l"; l2 = "r" }
+                  else Expr.Semijoin { v1; v2; pred; left = a.expr; right = b.expr }
+                in
+                match node with
+                | Expr.Join _ ->
+                  { expr = node; ty = Types.Set (Types.Tuple [ ("l", ea); ("r", eb) ]) }
+                | _ -> { expr = node; ty = a.ty })
+              (pick g pool (fun e ->
+                   match (set_elem a.ty, set_elem e.ty) with
+                   | Some ta, Some tb -> Types.equal ta tb && is_atomic_ty tb
+                   | _ -> false))) );
+    ( "tolist",
+      fun g pool ->
+        Option.map
+          (fun e ->
+            let elem = Option.get (set_elem e.ty) in
+            { expr = Expr.ExtOp { op = "tolist"; args = [ e.expr; Expr.lit_str "" ] };
+              ty = Types.Xt ("LIST", [ elem ]) })
+          (pick g pool num_set) );
+    ( "take",
+      fun g pool ->
+        Option.map
+          (fun e ->
+            { expr = Expr.ExtOp { op = "take"; args = [ e.expr; Expr.lit_int (Prng.int g 6) ] };
+              ty = e.ty })
+          (pick g pool (fun e -> list_elem e.ty <> None)) );
+    ( "toset",
+      fun g pool ->
+        Option.map
+          (fun e ->
+            let elem = Option.get (list_elem e.ty) in
+            { expr = Expr.ExtOp { op = "toset"; args = [ e.expr ] }; ty = Types.Set elem })
+          (pick g pool (fun e -> list_elem e.ty <> None)) );
+  |]
+
+let moa_generate g pool =
+  let rec attempt k =
+    if k = 0 then
+      (* always possible: the corpus extent is in the pool *)
+      match pick g pool (fun e -> set_elem e.ty <> None) with
+      | Some e -> { expr = Expr.Exists e.expr; ty = Types.Atomic Atom.TBool }
+      | None -> List.nth pool (Prng.int g (List.length pool))
+    else
+      let _, gen = Prng.choose g moa_generators in
+      match gen g pool with Some m -> m | None -> attempt (k - 1)
+  in
+  attempt 8
+
+let moa_failf expr fmt =
+  Printf.ksprintf
+    (fun msg -> Alcotest.failf "%s\nexpression:\n%s" msg (Expr.to_string expr))
+    fmt
+
+let rec has_nest (e : Expr.t) =
+  match e with
+  | Expr.Nest _ | Expr.Unnest _ -> true
+  | Expr.Extent _ | Expr.Lit _ | Expr.Var _ -> false
+  | Expr.Field (e, _) | Expr.Aggr (_, e) | Expr.Unop (_, e) | Expr.Exists e | Expr.Flat e ->
+    has_nest e
+  | Expr.Tuple fs -> List.exists (fun (_, e) -> has_nest e) fs
+  | Expr.Map { body; src; _ } | Expr.Select { pred = body; src; _ } ->
+    has_nest body || has_nest src
+  | Expr.Join { pred; left; right; _ } | Expr.Semijoin { pred; left; right; _ } ->
+    has_nest pred || has_nest left || has_nest right
+  | Expr.Binop (_, a, b)
+  | Expr.Member (a, b)
+  | Expr.Union (a, b)
+  | Expr.Diff (a, b)
+  | Expr.Inter (a, b) ->
+    has_nest a || has_nest b
+  | Expr.ExtOp { args; _ } -> List.exists has_nest args
+
+let rec value_atoms = function
+  | Value.Atom _ -> 1
+  | Value.Tup fs -> List.fold_left (fun n (_, v) -> n + value_atoms v) 0 fs
+  | Value.VSet vs | Value.Xv { items = vs; _ } ->
+    List.fold_left (fun n v -> n + value_atoms v) 0 vs
+
+(* The four properties; returns the naive result for pool-size gating. *)
+let moa_check st tenv menv { expr; ty } =
+  (match Typecheck.infer tenv expr with
+  | Error d ->
+    moa_failf expr "generator produced an ill-typed expression: %s"
+      (Typecheck.diag_to_string d)
+  | Ok t ->
+    if not (Types.equal t ty) then
+      moa_failf expr "generator claimed type %s, typechecker inferred %s"
+        (Types.to_string ty) (Types.to_string t));
+  let prop, diags = Moacheck.infer menv expr in
+  (match Moaprop.errors diags with
+  | [] -> ()
+  | ds ->
+    moa_failf expr "analyzer rejected a well-typed expression: %s"
+      (String.concat "; " (List.map Moaprop.diag_to_string ds)));
+  let v = Naive.eval st expr in
+  (match Moaprop.value_ok prop v with
+  | Ok () -> ()
+  | Error msg ->
+    moa_failf expr "naive result escaped the Moa envelope %s: %s" (Moaprop.to_string prop)
+      msg);
+  (match Flatten.compile st expr with
+  | exception Flatten.Unsupported msg -> moa_failf expr "expression does not flatten: %s" msg
+  | exception Flatten.Ill_formed msg -> moa_failf expr "compile rejected: %s" msg
+  | shape -> (
+    match Moacheck.validate st expr shape with
+    | Ok () -> ()
+    | Error ds ->
+      moa_failf expr "translation validation failed: %s"
+        (String.concat "; " (List.map Moaprop.diag_to_string ds))));
+  v
+
+let test_moa_fuzz () =
+  let st = Corpus.storage () in
+  let tenv = Storage.typecheck_env st in
+  let menv = Moacheck.env_of_storage st in
+  let g = Prng.create 20260807 in
+  let canned =
+    List.filter_map
+      (fun src ->
+        match Parser.parse_expr src with
+        | Error _ -> None
+        | Ok e ->
+          if has_nest e || Expr.size e > 25 then None
+          else
+            Option.map
+              (fun ty -> { expr = e; ty })
+              (Result.to_option (Typecheck.infer tenv e)))
+      Corpus.queries
+  in
+  let pool = ref ({ expr = Expr.Extent "R"; ty = Corpus.schema } :: canned) in
+  let pooled = ref 0 in
+  for _ = 1 to moa_to_generate do
+    let me = moa_generate g !pool in
+    let v = moa_check st tenv menv me in
+    if Expr.size me.expr <= moa_max_size && value_atoms v <= 400 then begin
+      pool := me :: !pool;
+      incr pooled
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "pool kept growing (%d of %d expressions pooled)" !pooled moa_to_generate)
+    true
+    (!pooled > moa_to_generate / 2)
+
+let test_moa_deterministic () =
+  (* binder names come from a global counter, so compare operator/size
+     shapes rather than printed expressions *)
+  let sequence () =
+    let g = Prng.create 42 in
+    let pool = ref [ { expr = Expr.Extent "R"; ty = Corpus.schema } ] in
+    List.init 60 (fun _ ->
+        let me = moa_generate g !pool in
+        if Expr.size me.expr <= moa_max_size then pool := me :: !pool;
+        Printf.sprintf "%s/%d:%s" (Expr.op_name me.expr) (Expr.size me.expr)
+          (Types.to_string me.ty))
+  in
+  Alcotest.(check (list string)) "same seed, same expressions" (sequence ()) (sequence ())
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -385,5 +791,11 @@ let () =
         [
           Alcotest.test_case "500 random plans: envelope, rewrite, trace" `Slow test_fuzz;
           Alcotest.test_case "generator is deterministic" `Quick test_deterministic;
+        ] );
+      ( "moa-pipeline",
+        [
+          Alcotest.test_case "500 random queries: envelope, flattening validated" `Slow
+            test_moa_fuzz;
+          Alcotest.test_case "generator is deterministic" `Quick test_moa_deterministic;
         ] );
     ]
