@@ -58,6 +58,24 @@ let () =
         die "E4 trace_ablation lacks trace_off_ms"
     | _ -> die "E4 entry lacks trace_ablation")
   | None -> ());
+  (* the RECOVERY entry must show a real replay: records redone,
+     positive throughput, and the post-recovery certification pass *)
+  (match find "RECOVERY" with
+  | None -> die "no entry for the crash-recovery experiment (RECOVERY)"
+  | Some e ->
+    (match Option.bind (Json.member "records_replayed" e) Json.to_int with
+    | Some n when n > 0 -> ()
+    | Some _ -> die "RECOVERY replayed zero records"
+    | None -> die "RECOVERY entry lacks records_replayed");
+    (match Option.bind (Json.member "recovery_ms" e) Json.to_float with
+    | Some msf when msf >= 0.0 -> ()
+    | _ -> die "RECOVERY entry lacks recovery_ms");
+    (match Option.bind (Json.member "replay_records_per_s" e) Json.to_float with
+    | Some r when r > 0.0 -> ()
+    | _ -> die "RECOVERY entry lacks replay_records_per_s");
+    (match Json.member "certified" e with
+    | Some (Json.Bool true) -> ()
+    | _ -> die "RECOVERY run was not certified"));
   (* the VET entry must prove translation validation actually ran *)
   (match find "VET" with
   | None -> die "no entry for the workload vetting pass (VET)"

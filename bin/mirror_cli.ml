@@ -38,6 +38,8 @@ module Catalog = Mirror_bat.Catalog
 module Bat = Mirror_bat.Bat
 module Synth = Mirror_mm.Synth
 module Prng = Mirror_util.Prng
+module Durable = Mirror_store.Durable
+module Wal = Mirror_store.Wal
 
 let help_text =
   "commands:\n\
@@ -154,19 +156,75 @@ let storage_for db =
     | Ok st -> st
     | Error e -> failwith (Printf.sprintf "cannot load database %s: %s" dir e))
 
-let lint_main db queries =
-  match storage_for db with
-  | exception Failure e ->
-    Printf.eprintf "error: %s\n" e;
-    1
-  | st ->
-    let srcs = if queries = [] then Corpus.queries else queries in
-    let failures = List.fold_left (fun acc src -> acc + lint_query st src) 0 srcs in
-    Printf.printf "%d quer%s checked, %d problem%s\n" (List.length srcs)
-      (if List.length srcs = 1 then "y" else "ies")
-      failures
-      (if failures = 1 then "" else "s");
-    if failures = 0 then 0 else 1
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> ()
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "mirror-durable" ".db" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let report_sweep ~suffix srcs failures =
+  Printf.printf "%d quer%s checked%s, %d problem%s\n" (List.length srcs)
+    (if List.length srcs = 1 then "y" else "ies")
+    suffix failures
+    (if failures = 1 then "" else "s");
+  if failures = 0 then 0 else 1
+
+(* The same corpus sweep, but against a durable store: build the
+   corpus extent through the journaled path, lint, close, reopen (so a
+   checkpointed recovery runs) and certify the recovered database. *)
+let lint_durable queries =
+  Mirror_core.Bootstrap.ensure ();
+  with_temp_dir (fun dir ->
+      match Durable.open_ ~dir () with
+      | Error e ->
+        Printf.eprintf "error: cannot create durable store: %s\n" e;
+        1
+      | Ok (t, _) -> (
+        let st = Durable.storage t in
+        let built =
+          Result.bind (Storage.define st ~name:"R" Corpus.schema) (fun () ->
+              Result.map ignore (Storage.load st ~name:"R" Corpus.rows))
+        in
+        match built with
+        | Error e ->
+          Durable.close t;
+          Printf.eprintf "error: cannot build corpus extent: %s\n" e;
+          1
+        | Ok () -> (
+          let srcs = if queries = [] then Corpus.queries else queries in
+          let failures = List.fold_left (fun acc src -> acc + lint_query st src) 0 srcs in
+          Durable.close t;
+          match Durable.open_ ~dir () with
+          | Error e ->
+            Printf.eprintf "FAIL  durable reopen: %s\n" e;
+            1
+          | Ok (t2, _) -> (
+            let cert = Durable.certify t2 in
+            Durable.close t2;
+            match cert with
+            | Error e ->
+              Printf.printf "FAIL  durable certify: %s\n" e;
+              1
+            | Ok () -> report_sweep ~suffix:" against a recovered durable store" srcs failures))))
+
+let lint_main db queries durable =
+  if durable then lint_durable queries
+  else
+    match storage_for db with
+    | exception Failure e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | st ->
+      let srcs = if queries = [] then Corpus.queries else queries in
+      let failures = List.fold_left (fun acc src -> acc + lint_query st src) 0 srcs in
+      report_sweep ~suffix:"" srcs failures
 
 let explain_main check db src =
   match storage_for db with
@@ -296,10 +354,10 @@ let handle_line mref line =
     | Ok outcomes -> List.iter print_result outcomes
     | Error e -> Printf.printf "error: %s\n" e
 
-let load_demo m ~seed ~n =
+let load_demo ?journal m ~seed ~n =
   Printf.printf "building demo library (%d synthetic images)...\n%!" n;
   let scenes = Synth.corpus (Prng.create seed) ~n ~width:48 ~height:48 () in
-  match Mirror.build_image_library m ~scenes () with
+  match Mirror.build_image_library m ?journal ~scenes () with
   | Ok report ->
     Printf.printf "pipeline done: %d daemons, %d rounds, %d dead letters\n"
       (List.length report.Mirror_daemon.Orchestrator.stats)
@@ -319,21 +377,115 @@ let repl m =
     done
   with Exit -> print_endline "bye"
 
-let main eval_opt demo seed =
-  let m = Mirror.create () in
-  if demo > 0 then load_demo m ~seed ~n:demo;
+let describe_recovery (r : Durable.recovery) =
+  if r.Durable.replayed > 0 then
+    Printf.printf "recovered: %d log record(s) replayed%s\n" r.Durable.replayed
+      (match r.Durable.wal_end with Wal.Torn _ -> " (torn tail discarded)" | _ -> "");
+  match r.Durable.wal_end with
+  | Wal.Torn msg -> Printf.printf "torn write detected: %s\n" msg
+  | Wal.Clean | Wal.Corrupt _ -> ()
+
+let run_session ?durable eval_opt demo seed =
+  let finish, m, journal =
+    match durable with
+    | None -> ((fun code -> code), Mirror.create (), None)
+    | Some dir -> (
+      match Durable.open_ ~dir () with
+      | Error e -> failwith (Printf.sprintf "cannot open durable store %s: %s" dir e)
+      | Ok (t, r) ->
+        describe_recovery r;
+        ( (fun code ->
+            Durable.close t;
+            code),
+          Durable.mirror t,
+          Some (Durable.store_journal t) ))
+  in
+  if demo > 0 then load_demo ?journal m ~seed ~n:demo;
   match eval_opt with
   | Some program -> (
     match Mirror.exec_program m program with
     | Ok outcomes ->
       List.iter print_result outcomes;
-      0
+      finish 0
     | Error e ->
       Printf.eprintf "error: %s\n" e;
-      1)
+      finish 1)
   | None ->
     repl m;
-    0
+    finish 0
+
+let main eval_opt demo seed durable =
+  match run_session ?durable eval_opt demo seed with
+  | code -> code
+  | exception Failure e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+
+(* {1 wal subcommands} *)
+
+let print_status (s : Durable.status) =
+  Printf.printf "snapshot         %s (checkpoint LSN %d)\n" s.Durable.snapshot
+    s.Durable.checkpoint_lsn;
+  Printf.printf "next LSN         %d\n" s.Durable.next_lsn;
+  Printf.printf "since checkpoint %d record(s)\n" s.Durable.since_checkpoint;
+  Printf.printf "log              %d segment(s), %d byte(s)\n" s.Durable.segments
+    s.Durable.log_bytes
+
+let wal_status_main dir =
+  match Durable.inspect ~dir with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok (s, end_) -> (
+    print_status s;
+    match end_ with
+    | Wal.Clean ->
+      print_endline "tail             clean";
+      0
+    | Wal.Torn msg ->
+      Printf.printf "tail             torn — %s (recoverable)\n" msg;
+      0
+    | Wal.Corrupt msg ->
+      Printf.printf "tail             CORRUPT — %s\n" msg;
+      1)
+
+let wal_checkpoint_main dir =
+  match Durable.open_ ~dir () with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok (t, r) -> (
+    describe_recovery r;
+    match Durable.checkpoint t with
+    | Error e ->
+      Durable.close t;
+      Printf.eprintf "error: checkpoint failed: %s\n" e;
+      1
+    | Ok () ->
+      print_status (Durable.status t);
+      Durable.close t;
+      0)
+
+let wal_recover_main dir =
+  match Durable.open_ ~dir () with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok (t, r) -> (
+    Printf.printf "replayed %d log record(s)%s\n" r.Durable.replayed
+      (match r.Durable.wal_end with
+      | Wal.Torn msg -> Printf.sprintf "; torn tail discarded (%s)" msg
+      | _ -> "");
+    let cert = Durable.certify t in
+    print_status (Durable.status t);
+    Durable.close t;
+    match cert with
+    | Ok () ->
+      print_endline "certified: flattened and naive evaluation agree on every extent";
+      0
+    | Error e ->
+      Printf.printf "certify FAILED: %s\n" e;
+      1)
 
 open Cmdliner
 
@@ -348,6 +500,25 @@ let demo_arg =
 let seed_arg =
   let doc = "Random seed for the demo corpus." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let durable_arg =
+  let doc =
+    "Run against the durable store in $(docv): recover it on open, journal every \
+     update to its write-ahead log, checkpoint on exit."
+  in
+  Arg.(value & opt (some string) None & info [ "durable" ] ~docv:"DIR" ~doc)
+
+let lint_durable_arg =
+  let doc =
+    "Sweep the corpus against a durable store in a temporary directory: build the \
+     extent through the write-ahead log, lint, then reopen and certify the recovered \
+     database."
+  in
+  Arg.(value & flag & info [ "durable" ] ~doc)
+
+let wal_dir_arg =
+  let doc = "The durable database directory." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
 
 let db_arg =
   let doc = "Analyse against the database persisted in $(docv) (defaults to the built-in corpus extent)." in
@@ -367,7 +538,26 @@ let check_arg =
 
 let lint_cmd =
   let doc = "statically check Moa queries (plan verifier + lint pass)" in
-  Cmd.v (Cmd.info "lint" ~doc) Term.(const lint_main $ db_arg $ lint_queries_arg)
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const lint_main $ db_arg $ lint_queries_arg $ lint_durable_arg)
+
+(* {1 wal command group} *)
+
+let wal_status_cmd =
+  let doc = "inspect a durable directory read-only: checkpoint, LSNs, log tail state" in
+  Cmd.v (Cmd.info "status" ~doc) Term.(const wal_status_main $ wal_dir_arg)
+
+let wal_checkpoint_cmd =
+  let doc = "open (recovering if needed), snapshot and truncate the log" in
+  Cmd.v (Cmd.info "checkpoint" ~doc) Term.(const wal_checkpoint_main $ wal_dir_arg)
+
+let wal_recover_cmd =
+  let doc = "recover a durable directory and certify the result (flattened vs naive)" in
+  Cmd.v (Cmd.info "recover" ~doc) Term.(const wal_recover_main $ wal_dir_arg)
+
+let wal_cmd =
+  let doc = "durable-store utilities (subcommands: status, checkpoint, recover)" in
+  Cmd.group (Cmd.info "wal" ~doc) [ wal_status_cmd; wal_checkpoint_cmd; wal_recover_cmd ]
 
 (* {1 Daemon topic-graph lint} *)
 
@@ -429,7 +619,7 @@ let explain_cmd =
 let cmd =
   let doc = "the Mirror multimedia DBMS shell" in
   let info = Cmd.info "mirror" ~doc in
-  Cmd.group ~default:Term.(const main $ eval_arg $ demo_arg $ seed_arg) info
-    [ lint_cmd; explain_cmd; daemons_cmd ]
+  Cmd.group ~default:Term.(const main $ eval_arg $ demo_arg $ seed_arg $ durable_arg) info
+    [ lint_cmd; explain_cmd; daemons_cmd; wal_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -1,19 +1,38 @@
-type t = (string, Bat.t) Hashtbl.t
+type t = {
+  tbl : (string, Bat.t) Hashtbl.t;
+  mutable observer : (string -> unit) option;
+}
 
-let create () : t = Hashtbl.create 64
-let put t name b = Hashtbl.replace t name b
-let get t name = Hashtbl.find t name
-let find t name = Hashtbl.find_opt t name
-let mem t name = Hashtbl.mem t name
-let remove t name = Hashtbl.remove t name
-let names t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
-let cardinality t = Hashtbl.length t
-let total_rows t = Hashtbl.fold (fun _ b acc -> acc + Bat.count b) t 0
+let create () : t = { tbl = Hashtbl.create 64; observer = None }
+let set_observer t obs = t.observer <- obs
+let notify t name = match t.observer with None -> () | Some f -> f name
+
+let put t name b =
+  Hashtbl.replace t.tbl name b;
+  notify t name
+
+let get t name = Hashtbl.find t.tbl name
+let find t name = Hashtbl.find_opt t.tbl name
+let mem t name = Hashtbl.mem t.tbl name
+
+let remove t name =
+  if Hashtbl.mem t.tbl name then begin
+    Hashtbl.remove t.tbl name;
+    notify t name
+  end
+
+let names t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
+let cardinality t = Hashtbl.length t.tbl
+let total_rows t = Hashtbl.fold (fun _ b acc -> acc + Bat.count b) t.tbl 0
 
 (* Snapshot format, one entry per stanza:
      %bat <name-with-%XX-escapes> <hty> <tty> <rows>
      <head atom>\t<tail atom>        (rows lines)
-   Atom rendering reuses Atom.to_string / Atom.parse. *)
+   Atom rendering reuses Atom.to_string / Atom.parse.  [save_file]
+   appends an integrity footer line
+     %crc <8 hex digits>
+   over everything before it; [load_file] verifies the footer when
+   present (snapshots predating the footer still load). *)
 
 let escape_name name =
   let buf = Buffer.create (String.length name) in
@@ -42,16 +61,26 @@ let unescape_name s =
   go 0;
   Buffer.contents buf
 
-let dump t oc =
+let dump_buffer t buf =
   List.iter
     (fun name ->
       let b = get t name in
-      Printf.fprintf oc "%%bat %s %s %s %d\n" (escape_name name)
-        (Atom.ty_name (Bat.hty b)) (Atom.ty_name (Bat.tty b)) (Bat.count b);
+      Buffer.add_string buf
+        (Printf.sprintf "%%bat %s %s %s %d\n" (escape_name name)
+           (Atom.ty_name (Bat.hty b)) (Atom.ty_name (Bat.tty b)) (Bat.count b));
       Bat.iter
-        (fun h tl -> Printf.fprintf oc "%s\t%s\n" (Atom.to_string h) (Atom.to_string tl))
+        (fun h tl ->
+          Buffer.add_string buf (Atom.to_string h);
+          Buffer.add_char buf '\t';
+          Buffer.add_string buf (Atom.to_string tl);
+          Buffer.add_char buf '\n')
         b)
     (names t)
+
+let dump t oc =
+  let buf = Buffer.create 4096 in
+  dump_buffer t buf;
+  Buffer.output_buffer oc buf
 
 let ty_of_name = function
   | "int" -> Ok Atom.TInt
@@ -63,28 +92,33 @@ let ty_of_name = function
 
 let ( let* ) = Result.bind
 
-let load ic =
+(* Parse the stanza lines (footer already stripped).  [lines] may end
+   with one empty string from a trailing newline split. *)
+let parse_lines lines =
   let t = create () in
-  let rec read_entries () =
-    match input_line ic with
-    | exception End_of_file -> Ok t
-    | line -> (
-      match String.split_on_char ' ' line with
-      | [ "%bat"; name; htys; ttys; rows ] ->
-        let* hty = ty_of_name htys in
-        let* tty = ty_of_name ttys in
-        let* nrows =
-          match int_of_string_opt rows with
-          | Some n when n >= 0 -> Ok n
-          | _ -> Error (Printf.sprintf "bad row count %S" rows)
-        in
-        let hb = Column.Builder.create hty and tb = Column.Builder.create tty in
-        let rec read_rows k =
-          if k = 0 then Ok ()
-          else
-            match input_line ic with
-            | exception End_of_file -> Error "truncated snapshot"
-            | row -> (
+  let lines = Array.of_list lines in
+  let n = Array.length lines in
+  let rec read_entries i =
+    if i >= n then Ok t
+    else
+      let line = lines.(i) in
+      if line = "" && i = n - 1 then Ok t
+      else
+        match String.split_on_char ' ' line with
+        | [ "%bat"; name; htys; ttys; rows ] ->
+          let* hty = ty_of_name htys in
+          let* tty = ty_of_name ttys in
+          let* nrows =
+            match int_of_string_opt rows with
+            | Some k when k >= 0 -> Ok k
+            | _ -> Error (Printf.sprintf "bad row count %S" rows)
+          in
+          let hb = Column.Builder.create hty and tb = Column.Builder.create tty in
+          let rec read_rows j k =
+            if k = 0 then Ok j
+            else if j >= n then Error "truncated snapshot"
+            else
+              let row = lines.(j) in
               match String.index_opt row '\t' with
               | None -> Error (Printf.sprintf "malformed row %S" row)
               | Some tab ->
@@ -94,19 +128,61 @@ let load ic =
                 let* tl = Atom.parse tty ts in
                 Column.Builder.add hb h;
                 Column.Builder.add tb tl;
-                read_rows (k - 1))
-        in
-        let* () = read_rows nrows in
-        put t (unescape_name name)
-          (Bat.make (Column.Builder.finish hb) (Column.Builder.finish tb));
-        read_entries ()
-      | _ -> Error (Printf.sprintf "malformed header %S" line))
+                read_rows (j + 1) (k - 1)
+          in
+          let* next = read_rows (i + 1) nrows in
+          put t (unescape_name name)
+            (Bat.make (Column.Builder.finish hb) (Column.Builder.finish tb));
+          read_entries next
+        | _ -> Error (Printf.sprintf "malformed header %S" line)
   in
-  read_entries ()
+  read_entries 0
+
+(* Split a trailing "%crc XXXXXXXX\n" footer off a raw snapshot and
+   verify it.  Returns the body to parse. *)
+let check_footer src =
+  let len = String.length src in
+  (* start offset of the last line (ignoring one trailing newline) *)
+  let stop = if len > 0 && src.[len - 1] = '\n' then len - 1 else len in
+  let start =
+    if stop = 0 then 0
+    else match String.rindex_from_opt src (stop - 1) '\n' with Some i -> i + 1 | None -> 0
+  in
+  match () with
+  | () when len - start >= 5 && String.sub src start 5 = "%crc " ->
+    let hex = String.trim (String.sub src (start + 5) (String.length src - start - 5)) in
+    let body = String.sub src 0 start in
+    (match Mirror_util.Crc32.of_hex hex with
+    | None -> Error (Printf.sprintf "malformed integrity footer %%crc %S" hex)
+    | Some expect ->
+      let got = Mirror_util.Crc32.string body in
+      if got <> expect then
+        Error
+          (Printf.sprintf "snapshot checksum mismatch: footer %s, content %s"
+             (Mirror_util.Crc32.to_hex expect) (Mirror_util.Crc32.to_hex got))
+      else Ok body)
+  | _ -> Ok src
+
+let parse src =
+  let* body = check_footer src in
+  parse_lines (String.split_on_char '\n' body)
+
+let load ic =
+  let src = really_input_string ic (in_channel_length ic - pos_in ic) in
+  parse src
 
 let save_file t path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> dump t oc)
+  let buf = Buffer.create 4096 in
+  dump_buffer t buf;
+  let body = Buffer.contents buf in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc body;
+      Printf.fprintf oc "%%crc %s\n" (Mirror_util.Crc32.to_hex (Mirror_util.Crc32.string body)));
+  Sys.rename tmp path
 
 let load_file path =
   let ic = open_in path in

@@ -27,6 +27,12 @@ val mem : t -> string -> bool
 val remove : t -> string -> unit
 (** Unbind (no-op when unbound). *)
 
+val set_observer : t -> (string -> unit) option -> unit
+(** Install (or clear) a mutation observer: it is called with the
+    entry name on every {!put} and every effective {!remove}.  Used by
+    the durability layer to track physical churn between checkpoints
+    ({!Mirror_store.Durable}).  At most one observer is active. *)
+
 val names : t -> string list
 (** All bound names, sorted. *)
 
@@ -38,13 +44,23 @@ val total_rows : t -> int
     reports). *)
 
 val dump : t -> out_channel -> unit
-(** Write a textual snapshot of the whole catalog. *)
+(** Write a textual snapshot of the whole catalog (no integrity
+    footer). *)
 
 val load : in_channel -> (t, string) result
-(** Read back a snapshot produced by {!dump}. *)
+(** Read the rest of the channel as a snapshot ({!parse}). *)
+
+val parse : string -> (t, string) result
+(** Parse a snapshot produced by {!dump} or {!save_file}.  A trailing
+    [%crc] integrity footer, when present, is verified first; a
+    checksum mismatch is an error. *)
 
 val save_file : t -> string -> unit
-(** {!dump} to a file path. *)
+(** Atomically snapshot to a file path: the dump plus a [%crc]
+    integrity footer is written to [path ^ ".tmp"] and renamed over
+    [path], so a crash mid-write never clobbers the previous
+    snapshot. *)
 
 val load_file : string -> (t, string) result
-(** {!load} from a file path. *)
+(** {!parse} a file written by {!save_file} (or an older footer-less
+    {!dump}). *)

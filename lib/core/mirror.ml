@@ -15,6 +15,7 @@ type t = {
   url_of : (int, string) Hashtbl.t;
   doc_of : (string, int) Hashtbl.t;
   visual : (string, (string * float) list) Hashtbl.t;  (* by url *)
+  mutable on_feedback : (query:string -> judgements:(string * bool) list -> unit) option;
 }
 
 type outcome =
@@ -33,6 +34,7 @@ let of_storage stor =
     url_of = Hashtbl.create 64;
     doc_of = Hashtbl.create 64;
     visual = Hashtbl.create 64;
+    on_feedback = None;
   }
 
 let create () =
@@ -44,9 +46,11 @@ let create () =
     url_of = Hashtbl.create 64;
     doc_of = Hashtbl.create 64;
     visual = Hashtbl.create 64;
+    on_feedback = None;
   }
 
 let storage t = t.stor
+let set_feedback_hook t h = t.on_feedback <- h
 let define t ~name ty = Storage.define t.stor ~name ty
 let load t ~name rows = Storage.load t.stor ~name rows
 
@@ -112,8 +116,11 @@ let internal_schema =
          ("image", Types.Xt ("CONTREP", [ Types.Atomic Atom.TStr ]));
        ])
 
-let build_image_library t ?daemons ~scenes () =
+let build_image_library t ?daemons ?journal ~scenes () =
   let orch = Orchestrator.create ?daemons () in
+  (match journal with
+  | None -> ()
+  | Some _ -> Store.set_journal (Orchestrator.ctx orch).Daemon.store journal);
   Array.iteri
     (fun i (s : Synth.scene) ->
       let url = Printf.sprintf "img://%d" i in
@@ -301,4 +308,12 @@ let give_feedback t ~query ~judgements =
       let responsible = List.filter (fun c -> List.mem c doc_concepts) formulated in
       if responsible <> [] then
         Adapt.reinforce t.adapt ~terms ~concepts:responsible ~good:relevant)
-    judgements
+    judgements;
+  match t.on_feedback with None -> () | Some f -> f ~query ~judgements
+
+let replay_feedback t ~query ~judgements =
+  let saved = t.on_feedback in
+  t.on_feedback <- None;
+  Fun.protect
+    ~finally:(fun () -> t.on_feedback <- saved)
+    (fun () -> give_feedback t ~query ~judgements)

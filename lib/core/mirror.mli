@@ -50,13 +50,17 @@ val run_expr : t -> Expr.t -> (Value.t, string) result
 val build_image_library :
   t ->
   ?daemons:Mirror_daemon.Daemon.t list ->
+  ?journal:(string -> string -> unit) ->
   scenes:Mirror_mm.Synth.scene array ->
   unit ->
   (Mirror_daemon.Orchestrator.report, string) result
 (** Ingest a corpus through the daemon pipeline, then load both the
     application schema [ImageLibrary] (§5.2) and the internal dual-
     coded schema [ImageLibraryInternal] with the pipeline's CONTREP
-    content, and adopt the pipeline's association thesaurus. *)
+    content, and adopt the pipeline's association thesaurus.
+    [?journal] is installed on the pipeline's metadata store
+    ({!Mirror_daemon.Store.set_journal}) so the durability layer can
+    log the staged writes. *)
 
 val url_of_doc : t -> int -> string option
 (** URL of a loaded library element (by its extent oid). *)
@@ -92,6 +96,16 @@ val give_feedback : t -> query:string -> judgements:(string * bool) list -> unit
     associations that produced each judged image — the paper's
     "machine learning techniques to adapt the thesaurus … across query
     sessions". *)
+
+val set_feedback_hook :
+  t -> (query:string -> judgements:(string * bool) list -> unit) option -> unit
+(** Install (or clear) a hook fired after {!give_feedback} applies —
+    the durability layer logs the judgement so the adaptation state
+    can be rebuilt deterministically after a crash. *)
+
+val replay_feedback : t -> query:string -> judgements:(string * bool) list -> unit
+(** Re-apply a logged judgement during recovery (never re-fires the
+    hook). *)
 
 val visual_bag : t -> string -> (string * float) list
 (** The visual words of a library image (by URL); empty when

@@ -17,7 +17,13 @@ let save storage ~dir =
   | exception Sys_error e -> Error e
   | exception Failure e -> Error e
   | () ->
-    let oc = open_out (schema_file dir) in
+    (* Both files go through temp-file + rename, so a crash mid-save
+       leaves the previous snapshot intact (each file individually;
+       multi-file atomicity is the checkpoint protocol's job, see
+       [Mirror_store.Durable]). *)
+    let schema = schema_file dir in
+    let tmp = schema ^ ".tmp" in
+    let oc = open_out tmp in
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () ->
@@ -27,6 +33,7 @@ let save storage ~dir =
             | Some ty -> Printf.fprintf oc "define %s as %s;\n" name (Types.to_string ty)
             | None -> ())
           (Storage.extents storage));
+    Sys.rename tmp schema;
     Catalog.save_file (Storage.catalog storage) (catalog_file dir);
     Ok ()
 

@@ -11,12 +11,17 @@ type extent = {
   mutable rows : Value.t list option;
 }
 
+type journal_record =
+  | J_define of string * Types.t
+  | J_replace of string * Value.t list
+
 type t = {
   cat : Catalog.t;
   exts : (string, extent) Hashtbl.t;
   spaces : (string, Space.t) Hashtbl.t;
   mutable next_store : int;
   mutable next_query : int;
+  mutable journal : (journal_record -> unit) option;
 }
 
 let query_base_start = 1 lsl 40
@@ -29,9 +34,13 @@ let create () =
     spaces = Hashtbl.create 8;
     next_store = 0;
     next_query = query_base_start;
+    journal = None;
   }
 
 let catalog t = t.cat
+let set_journal t j = t.journal <- j
+let jlog t r = match t.journal with None -> () | Some f -> f r
+let store_base t = t.next_store
 
 let fresh_store t n =
   let base = t.next_store in
@@ -210,7 +219,7 @@ let clear_prefix t name =
       then Hashtbl.remove t.spaces sp)
     (List.of_seq (Hashtbl.to_seq_keys t.spaces))
 
-let load t ~name rows =
+let load_unlogged t ~name rows =
   match Hashtbl.find_opt t.exts name with
   | None -> Error (Printf.sprintf "unknown extent %S" name)
   | Some extent -> (
@@ -242,6 +251,17 @@ let load t ~name rows =
           Some (List.map (bind_value t ~path:(name ^ "#el") ~ty:elem_ty) rows);
         Ok oids
       | exception Invalid_argument msg -> Error msg))
+
+(* The journal records an operation only after it applied cleanly: a
+   crash in between means the caller never saw it succeed, so losing
+   it is correct.  Internal reloads go through [load_unlogged] so a
+   single DML statement journals exactly one record. *)
+let load t ~name rows =
+  Result.map
+    (fun oids ->
+      jlog t (J_replace (name, rows));
+      oids)
+    (load_unlogged t ~name rows)
 
 (* Restore path: rebuild an extent's plan shape from the catalog's
    deterministic naming (the dual of [materialize]); extension
@@ -292,7 +312,10 @@ let bump_store_base t oid = if oid >= t.next_store then t.next_store <- oid + 1
 let define t ~name ty =
   match define_raw t ~name ty with
   | Error _ as e -> e
-  | Ok () -> Result.map (fun (_ : int list) -> ()) (load t ~name [])
+  | Ok () ->
+    Result.map
+      (fun (_ : int list) -> jlog t (J_define (name, ty)))
+      (load_unlogged t ~name [])
 
 (* DML is copying: BATs are append-only in spirit, but replacing the
    extent wholesale keeps every invariant (statistics spaces, indexes)
@@ -303,7 +326,13 @@ let insert t ~name new_rows =
   | Some extent -> (
     match extent.rows with
     | None -> Error (Printf.sprintf "extent %S has no loaded contents" name)
-    | Some old_rows -> load t ~name (old_rows @ new_rows))
+    | Some old_rows ->
+      let all = old_rows @ new_rows in
+      Result.map
+        (fun oids ->
+          jlog t (J_replace (name, all));
+          oids)
+        (load_unlogged t ~name all))
 
 let delete_where t ~name pred =
   match Hashtbl.find_opt t.exts name with
@@ -314,7 +343,12 @@ let delete_where t ~name pred =
     | Some old_rows ->
       let survivors = List.filter (fun r -> not (pred r)) old_rows in
       let removed = List.length old_rows - List.length survivors in
-      Result.map (fun _ -> removed) (load t ~name survivors))
+      Result.map
+        (fun (_ : int list) ->
+          (* predicates are closures, so the log keeps the survivors *)
+          jlog t (J_replace (name, survivors));
+          removed)
+        (load_unlogged t ~name survivors))
 
 let extents t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.exts [])
 let extent_type t name = Option.map (fun e -> e.ty) (Hashtbl.find_opt t.exts name)

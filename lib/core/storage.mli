@@ -81,3 +81,22 @@ val set_rows : t -> name:string -> Value.t list -> unit
 val bump_store_base : t -> int -> unit
 (** Ensure future storage oids are allocated above the given oid (call
     with the largest oid found in a loaded catalog). *)
+
+(** {1 Durability journal (see {!Mirror_store.Durable})} *)
+
+type journal_record =
+  | J_define of string * Types.t  (** extent DDL *)
+  | J_replace of string * Value.t list
+      (** full post-state of an extent after a copying DML statement
+          ([load]/[insert]/[delete_where] all journal the complete new
+          contents, which makes redo trivially idempotent) *)
+
+val set_journal : t -> (journal_record -> unit) option -> unit
+(** Install (or clear) the journal hook.  It fires after a mutation
+    has applied cleanly; the restore path ({!define_restored},
+    {!set_rows}) never journals. *)
+
+val store_base : t -> int
+(** Current storage-oid allocator position.  Checkpoints persist it so
+    a recovered database allocates the same oids as the original run
+    (the catalog alone under-approximates it after deletes). *)

@@ -1,5 +1,54 @@
 let failure_message = "injected fault"
 
+(* {1 Crash points}
+
+   Process-wide, off unless armed — the recovery fuzzer arms one fault
+   per run and the durability layer polls at its write sites.  Two
+   mechanisms: named discrete crash points (checkpoint protocol steps)
+   and a byte budget that tears a WAL write at an arbitrary offset. *)
+
+exception Crash of string
+
+let armed_point : (string * int ref) option ref = ref None
+let write_budget : int option ref = ref None
+
+let reset_faults () =
+  armed_point := None;
+  write_budget := None
+
+let arm_crash point ~after =
+  if after < 0 then invalid_arg "Faults.arm_crash: negative hit count";
+  armed_point := Some (point, ref after)
+
+let arm_torn_write ~bytes =
+  if bytes < 0 then invalid_arg "Faults.arm_torn_write: negative budget";
+  write_budget := Some bytes
+
+let crash_hit point =
+  match !armed_point with
+  | Some (p, left) when p = point ->
+    if !left = 0 then begin
+      armed_point := None;
+      raise (Crash ("crash point " ^ point))
+    end
+    else decr left
+  | _ -> ()
+
+let write_allowance n =
+  match !write_budget with
+  | None -> None
+  | Some budget ->
+    if n <= budget then begin
+      write_budget := Some (budget - n);
+      None
+    end
+    else begin
+      write_budget := None;
+      Some budget
+    end
+
+(* {1 Daemon wrappers} *)
+
 let flaky g ~rate (d : Daemon.t) =
   {
     d with

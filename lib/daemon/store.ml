@@ -8,6 +8,7 @@ type t = {
   texts : (int, (string * float) list) Hashtbl.t;
   visual : (int, (string, float) Hashtbl.t) Hashtbl.t;
   mutable thesaurus : Mirror_thesaurus.Concepts.t option;
+  mutable journal : (string -> string -> unit) option;
 }
 
 let create () =
@@ -21,12 +22,40 @@ let create () =
     texts = Hashtbl.create 64;
     visual = Hashtbl.create 64;
     thesaurus = None;
+    journal = None;
   }
+
+let set_journal t j = t.journal <- j
+let log t tag payload = match t.journal with None -> () | Some f -> f tag payload
+
+(* Journal payload codecs.  Strings go through %S (OCaml literal
+   escapes) and term weights through %h (hex floats), both of which
+   round-trip exactly via Scanf. *)
+
+let encode_bag doc bag =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (string_of_int doc);
+  List.iter (fun (w, tf) -> Buffer.add_string buf (Printf.sprintf " %S %h" w tf)) bag;
+  Buffer.contents buf
+
+let decode_bag payload =
+  try
+    let ib = Scanf.Scanning.from_string payload in
+    let doc = Scanf.bscanf ib " %d" Fun.id in
+    let rec pairs acc =
+      if Scanf.Scanning.end_of_input ib then List.rev acc
+      else pairs (Scanf.bscanf ib " %S %h" (fun w tf -> (w, tf)) :: acc)
+    in
+    Ok (doc, pairs [])
+  with
+  | Scanf.Scan_failure m | Failure m -> Error m
+  | End_of_file -> Error "truncated store record"
 
 let register_doc t ~doc ~url =
   if not (Hashtbl.mem t.urls doc) then begin
     Hashtbl.add t.urls doc url;
-    t.docs_rev <- doc :: t.docs_rev
+    t.docs_rev <- doc :: t.docs_rev;
+    log t "doc" (Printf.sprintf "%d %S" doc url)
   end
 
 let url_of t doc = Hashtbl.find_opt t.urls doc
@@ -55,7 +84,10 @@ let model t ~space = Hashtbl.find_opt t.models space
 let clustered_spaces t =
   List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.models [])
 
-let put_text t ~doc bag = Hashtbl.replace t.texts doc bag
+let put_text t ~doc bag =
+  Hashtbl.replace t.texts doc bag;
+  log t "text" (encode_bag doc bag)
+
 let text t ~doc = Hashtbl.find_opt t.texts doc
 
 let add_visual_words t ~doc words =
@@ -71,7 +103,8 @@ let add_visual_words t ~doc words =
     (fun (w, tf) ->
       let prev = Option.value ~default:0.0 (Hashtbl.find_opt bag w) in
       Hashtbl.replace bag w (prev +. tf))
-    words
+    words;
+  log t "visual" (encode_bag doc words)
 
 let visual_words t ~doc =
   match Hashtbl.find_opt t.visual doc with
@@ -92,3 +125,21 @@ let evidence t =
         visual = visual_words t ~doc;
       })
     (docs t)
+
+let replay t tag payload =
+  let saved = t.journal in
+  t.journal <- None;
+  Fun.protect
+    ~finally:(fun () -> t.journal <- saved)
+    (fun () ->
+      match tag with
+      | "doc" -> (
+        try Scanf.sscanf payload " %d %S" (fun doc url -> register_doc t ~doc ~url) |> Result.ok
+        with
+        | Scanf.Scan_failure m | Failure m -> Error m
+        | End_of_file -> Error "truncated store record")
+      | "text" ->
+        Result.map (fun (doc, bag) -> Hashtbl.replace t.texts doc bag) (decode_bag payload)
+      | "visual" ->
+        Result.map (fun (doc, bag) -> add_visual_words t ~doc bag) (decode_bag payload)
+      | _ -> Error (Printf.sprintf "unknown store record tag %S" tag))

@@ -69,3 +69,18 @@ val thesaurus : t -> Mirror_thesaurus.Concepts.t option
 val evidence : t -> Mirror_thesaurus.Assoc.evidence list
 (** Per-document (text, visual) evidence for thesaurus construction,
     in document order. *)
+
+(** {1 Durability journal}
+
+    When a journal hook is installed, the CONTREP-relevant writes
+    ({!register_doc}, {!put_text}, {!add_visual_words}) emit an opaque
+    [(tag, payload)] record after applying, which the durability layer
+    appends to its write-ahead log; {!replay} applies such a record
+    back during crash recovery. *)
+
+val set_journal : t -> (string -> string -> unit) option -> unit
+(** Install (or clear) the journal hook. *)
+
+val replay : t -> string -> string -> (unit, string) result
+(** [replay t tag payload] re-applies a journaled record.  Replay
+    never re-journals.  Errors on a malformed or unknown record. *)

@@ -1,0 +1,423 @@
+module Storage = Mirror_core.Storage
+module Persist = Mirror_core.Persist
+module Mirror = Mirror_core.Mirror
+module Plancheck = Mirror_core.Plancheck
+module Expr = Mirror_core.Expr
+module Naive = Mirror_core.Naive
+module Eval = Mirror_core.Eval
+module Value = Mirror_core.Value
+module Faults = Mirror_daemon.Faults
+module Crc32 = Mirror_util.Crc32
+module Metrics = Mirror_util.Metrics
+module Trace = Mirror_util.Trace
+module Stringx = Mirror_util.Stringx
+
+let ( let* ) = Result.bind
+
+type config = { wal : Wal.config; checkpoint_every : int }
+
+let default_config = { wal = Wal.default_config; checkpoint_every = 0 }
+
+type recovery = {
+  replayed : int;
+  wal_end : Wal.replay_end;
+  feedback : (string * (string * bool) list) list;
+  store_ops : (string * string) list;
+}
+
+type t = {
+  dir : string;
+  config : config;
+  mir : Mirror.t;
+  mutable wal : Wal.t;
+  mutable checkpoint_lsn : int;
+  mutable since : int;
+  mutable in_checkpoint : bool;
+  mutable closed : bool;
+  mutable trace : Trace.t;
+}
+
+let mirror t = t.mir
+let storage t = Mirror.storage t.mir
+let set_trace t tr = t.trace <- tr
+
+(* {1 Layout} *)
+
+let meta_file dir = Filename.concat dir "CHECKPOINT"
+let wal_dir dir = Filename.concat dir "wal"
+let snap_name lsn = Printf.sprintf "snap.%d" lsn
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> ()
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* {1 The CHECKPOINT metadata file}
+
+   Three [key value] lines plus a [%crc] footer; written to a temp
+   file and renamed, which is the commit point of the whole checkpoint
+   protocol. *)
+
+let meta_body ~snap ~lsn ~next_store =
+  Printf.sprintf "snap %s\nlsn %d\nnext_store %d\n" snap lsn next_store
+
+let write_meta dir ~snap ~lsn ~next_store =
+  let body = meta_body ~snap ~lsn ~next_store in
+  let tmp = meta_file dir ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc body;
+      Printf.fprintf oc "%%crc %s\n" (Crc32.to_hex (Crc32.string body)));
+  tmp
+
+let read_meta dir =
+  match read_file (meta_file dir) with
+  | exception Sys_error e -> Error e
+  | src ->
+    let rec split_footer body = function
+      | [] | [ "" ] -> Error "CHECKPOINT is missing its %crc footer"
+      | (line :: rest) when Stringx.starts_with ~prefix:"%crc " line && (rest = [] || rest = [ "" ])
+        -> (
+        let body = String.concat "" (List.rev_map (fun l -> l ^ "\n") body) in
+        match Crc32.of_hex (String.trim (String.sub line 5 (String.length line - 5))) with
+        | None -> Error "CHECKPOINT has a malformed %crc footer"
+        | Some expect ->
+          if Crc32.string body <> expect then Error "CHECKPOINT checksum mismatch"
+          else Ok body)
+      | line :: rest -> split_footer (line :: body) rest
+    in
+    let* body = split_footer [] (String.split_on_char '\n' src) in
+    let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' body) in
+    let field key =
+      let prefix = key ^ " " in
+      match List.find_opt (Stringx.starts_with ~prefix) lines with
+      | Some l ->
+        Ok (String.sub l (String.length prefix) (String.length l - String.length prefix))
+      | None -> Error ("CHECKPOINT is missing field " ^ key)
+    in
+    let* snap = field "snap" in
+    let* lsn = field "lsn" in
+    let* next_store = field "next_store" in
+    (match (int_of_string_opt lsn, int_of_string_opt next_store) with
+    | Some lsn, Some next_store -> Ok (snap, lsn, next_store)
+    | _ -> Error "CHECKPOINT has non-numeric fields")
+
+(* {1 Checkpointing}
+
+   Protocol (each step bracketed by a crash point):
+   1. write the snapshot into [snap.<lsn>.tmp] and rename it in place;
+   2. write CHECKPOINT.tmp and rename it over CHECKPOINT — the commit;
+   3. delete old snapshots and every log segment, oldest first (every
+      logged record is now in the snapshot, and oldest-first keeps any
+      crash remnant a contiguous suffix the replayer accepts);
+   4. start a fresh segment at [lsn + 1].
+   A crash before 2 leaves the previous checkpoint authoritative; a
+   crash after 2 leaves at worst orphan files that the next
+   checkpoint's GC removes. *)
+
+let commit_checkpoint ~dir ~wal_config ~stor ~lsn ~old_wal =
+  Faults.crash_hit "checkpoint.begin";
+  let snap = snap_name lsn in
+  let snap_path = Filename.concat dir snap in
+  let tmp = snap_path ^ ".tmp" in
+  rm_rf tmp;
+  let* () = Persist.save stor ~dir:tmp in
+  Faults.crash_hit "checkpoint.snapshot";
+  if Sys.file_exists snap_path then rm_rf snap_path;
+  Sys.rename tmp snap_path;
+  Faults.crash_hit "checkpoint.rename";
+  let meta_tmp = write_meta dir ~snap ~lsn ~next_store:(Storage.store_base stor) in
+  Faults.crash_hit "checkpoint.meta";
+  Sys.rename meta_tmp (meta_file dir);
+  Faults.crash_hit "checkpoint.commit";
+  (match old_wal with Some w -> Wal.close w | None -> ());
+  Array.iter
+    (fun f ->
+      if Stringx.starts_with ~prefix:"snap." f && f <> snap then
+        rm_rf (Filename.concat dir f))
+    (Sys.readdir dir);
+  List.iter
+    (fun (_, path) -> try Sys.remove path with Sys_error _ -> ())
+    (Wal.segments ~dir:(wal_dir dir));
+  Faults.crash_hit "checkpoint.gc";
+  Ok (Wal.create ~config:wal_config ~dir:(wal_dir dir) ~start_lsn:(lsn + 1) (), lsn)
+
+let checkpoint t =
+  if t.closed then Error "durable store is closed"
+  else begin
+    t.in_checkpoint <- true;
+    Fun.protect
+      ~finally:(fun () -> t.in_checkpoint <- false)
+      (fun () ->
+        let t0 = Trace.now () in
+        Trace.enter t.trace "wal.checkpoint";
+        let fin result =
+          Trace.leave
+            ~attrs:[ ("lsn", string_of_int (Wal.next_lsn t.wal - 1)) ]
+            t.trace;
+          if Metrics.enabled () then begin
+            Metrics.incr "wal.checkpoint";
+            Metrics.observe "wal.checkpoint.ms" ((Trace.now () -. t0) *. 1000.)
+          end;
+          result
+        in
+        match
+          commit_checkpoint ~dir:t.dir ~wal_config:t.config.wal ~stor:(storage t)
+            ~lsn:(Wal.next_lsn t.wal - 1) ~old_wal:(Some t.wal)
+        with
+        | exception e ->
+          ignore (fin (Error ""));
+          raise e
+        | Error _ as e -> fin e
+        | Ok (wal, lsn) ->
+          t.wal <- wal;
+          t.checkpoint_lsn <- lsn;
+          t.since <- 0;
+          fin (Ok ()))
+  end
+
+(* {1 The journal hooks} *)
+
+let log_record t r =
+  let lsn = Wal.append t.wal (Record.encode r) in
+  Trace.event ~attrs:[ ("lsn", string_of_int lsn) ] t.trace "wal.append";
+  t.since <- t.since + 1;
+  if t.config.checkpoint_every > 0 && t.since >= t.config.checkpoint_every && not t.in_checkpoint
+  then
+    match checkpoint t with
+    | Ok () -> ()
+    | Error e -> failwith ("auto-checkpoint failed: " ^ e)
+
+let install_hooks t =
+  Storage.set_journal (storage t)
+    (Some
+       (function
+       | Storage.J_define (name, ty) -> log_record t (Record.Define (name, ty))
+       | Storage.J_replace (name, rows) -> log_record t (Record.Replace (name, rows))));
+  Mirror.set_feedback_hook t.mir
+    (Some (fun ~query ~judgements -> log_record t (Record.Feedback { query; judgements })))
+
+let store_journal t tag payload = log_record t (Record.Store_op { tag; payload })
+
+(* {1 Open / recover} *)
+
+let no_recovery = { replayed = 0; wal_end = Wal.Clean; feedback = []; store_ops = [] }
+
+let mk t_dir config mir wal ~checkpoint_lsn ~since =
+  let t =
+    {
+      dir = t_dir;
+      config;
+      mir;
+      wal;
+      checkpoint_lsn;
+      since;
+      in_checkpoint = false;
+      closed = false;
+      trace = Trace.null;
+    }
+  in
+  install_hooks t;
+  t
+
+let init_fresh ~dir ~(config : config) =
+  (match Sys.file_exists dir with
+  | false -> Sys.mkdir dir 0o755
+  | true -> if not (Sys.is_directory dir) then failwith (dir ^ " is not a directory"));
+  let mir = Mirror.create () in
+  let* wal, lsn =
+    commit_checkpoint ~dir ~wal_config:config.wal ~stor:(Mirror.storage mir) ~lsn:0
+      ~old_wal:None
+  in
+  Ok (mk dir config mir wal ~checkpoint_lsn:lsn ~since:0, no_recovery)
+
+let recover ~dir ~(config : config) =
+  let* snap, lsn, next_store = read_meta dir in
+  let snap_path = Filename.concat dir snap in
+  let* stor =
+    Result.map_error
+      (fun e -> Printf.sprintf "snapshot %s: %s" snap e)
+      (Persist.load ~dir:snap_path)
+  in
+  Storage.bump_store_base stor (next_store - 1);
+  let mir = Mirror.of_storage stor in
+  let replayed = ref 0 in
+  let feedback = ref [] in
+  let store_ops = ref [] in
+  let apply_err = ref None in
+  let apply rec_lsn payload =
+    if !apply_err = None then begin
+      let fail fmt = Printf.ksprintf (fun m -> apply_err := Some m) fmt in
+      match Record.decode payload with
+      | Error e -> fail "record %d: %s" rec_lsn e
+      | Ok r -> (
+        incr replayed;
+        match r with
+        | Record.Define (name, ty) -> (
+          match Storage.define stor ~name ty with
+          | Ok () -> ()
+          | Error e -> fail "redo of record %d (%s): %s" rec_lsn (Record.describe r) e)
+        | Record.Replace (name, rows) -> (
+          match Storage.load stor ~name rows with
+          | Ok (_ : int list) -> ()
+          | Error e -> fail "redo of record %d (%s): %s" rec_lsn (Record.describe r) e)
+        | Record.Feedback { query; judgements } ->
+          Mirror.replay_feedback mir ~query ~judgements;
+          feedback := (query, judgements) :: !feedback
+        | Record.Store_op { tag; payload } -> store_ops := (tag, payload) :: !store_ops)
+    end
+  in
+  let* next, wal_end = Wal.replay ~dir:(wal_dir dir) ~from_lsn:(lsn + 1) ~f:apply in
+  let* () =
+    match wal_end with
+    | Wal.Corrupt msg -> Error ("WAL corruption: " ^ msg)
+    | Wal.Clean | Wal.Torn _ -> Ok ()
+  in
+  let* () = match !apply_err with Some e -> Error e | None -> Ok () in
+  let recovery =
+    {
+      replayed = !replayed;
+      wal_end;
+      feedback = List.rev !feedback;
+      store_ops = List.rev !store_ops;
+    }
+  in
+  (* A replayed suffix or a torn tail leaves the log ahead of (or
+     damaged behind) the snapshot: fold it into a fresh checkpoint so
+     the store always restarts from a clean prefix.  The pre-commit
+     disk state is untouched until the new CHECKPOINT renames in, so a
+     crash during this re-checkpoint just recovers again. *)
+  if !replayed > 0 || wal_end <> Wal.Clean then begin
+    (* the log's last good record is [next - 1]: make the fresh
+       snapshot claim exactly that prefix *)
+    let* wal, ck_lsn =
+      commit_checkpoint ~dir ~wal_config:config.wal ~stor ~lsn:(next - 1) ~old_wal:None
+    in
+    Ok (mk dir config mir wal ~checkpoint_lsn:ck_lsn ~since:0, recovery)
+  end
+  else
+    let wal = Wal.create ~config:config.wal ~dir:(wal_dir dir) ~start_lsn:next () in
+    Ok (mk dir config mir wal ~checkpoint_lsn:lsn ~since:0, recovery)
+
+let open_ ?(config = default_config) ~dir () =
+  let t0 = Trace.now () in
+  let fresh =
+    (not (Sys.file_exists (meta_file dir))) && Wal.segments ~dir:(wal_dir dir) = []
+  in
+  let result =
+    try if fresh then init_fresh ~dir ~config else recover ~dir ~config with
+    | Sys_error e -> Error e
+    | Failure e -> Error e
+  in
+  if Metrics.enabled () then begin
+    Metrics.observe "wal.recovery.ms" ((Trace.now () -. t0) *. 1000.);
+    match result with
+    | Ok ((_ : t), r) -> Metrics.incr ~by:r.replayed "wal.replayed"
+    | Error (_ : string) -> ()
+  end;
+  result
+
+(* {1 Introspection} *)
+
+type status = {
+  next_lsn : int;
+  checkpoint_lsn : int;
+  since_checkpoint : int;
+  segments : int;
+  log_bytes : int;
+  snapshot : string;
+}
+
+let log_stats dir =
+  let segs = Wal.segments ~dir:(wal_dir dir) in
+  let bytes =
+    List.fold_left
+      (fun acc (_, path) ->
+        match Unix.stat path with
+        | { Unix.st_size; _ } -> acc + st_size
+        | exception Unix.Unix_error _ -> acc)
+      0 segs
+  in
+  (List.length segs, bytes)
+
+let status t =
+  let segments, log_bytes = log_stats t.dir in
+  {
+    next_lsn = Wal.next_lsn t.wal;
+    checkpoint_lsn = t.checkpoint_lsn;
+    since_checkpoint = t.since;
+    segments;
+    log_bytes;
+    snapshot = snap_name t.checkpoint_lsn;
+  }
+
+let inspect ~dir =
+  let* snap, lsn, (_ : int) = read_meta dir in
+  let* next, wal_end =
+    Wal.replay ~dir:(wal_dir dir) ~from_lsn:(lsn + 1) ~f:(fun (_ : int) (_ : string) -> ())
+  in
+  let segments, log_bytes = log_stats dir in
+  Ok
+    ( {
+        next_lsn = next;
+        checkpoint_lsn = lsn;
+        since_checkpoint = next - 1 - lsn;
+        segments;
+        log_bytes;
+        snapshot = snap;
+      },
+      wal_end )
+
+let certify t =
+  let stor = storage t in
+  let rec each = function
+    | [] -> Ok ()
+    | name :: rest -> (
+      let q = Expr.Extent name in
+      let* () =
+        Result.map_error (fun e -> Printf.sprintf "vet of extent %s: %s" name e)
+          (Plancheck.vet stor q)
+      in
+      let* flat =
+        Result.map_error (fun e -> Printf.sprintf "flattened read of %s: %s" name e)
+          (Eval.query_value stor q)
+      in
+      match Naive.eval stor q with
+      | exception Failure e | exception Invalid_argument e ->
+        Error (Printf.sprintf "naive read of %s: %s" name e)
+      | naive ->
+        if Value.equal flat naive then each rest
+        else
+          Error
+            (Printf.sprintf
+               "recovered extent %s diverges between flattened and naive evaluation" name))
+  in
+  each (Storage.extents stor)
+
+let close t =
+  if not t.closed then begin
+    (match checkpoint t with Ok () | (Error (_ : string)) -> ());
+    Storage.set_journal (storage t) None;
+    Mirror.set_feedback_hook t.mir None;
+    Wal.close t.wal;
+    t.closed <- true
+  end
+
+let abandon t =
+  if not t.closed then begin
+    Storage.set_journal (storage t) None;
+    Mirror.set_feedback_hook t.mir None;
+    (try Wal.close t.wal with Sys_error _ -> ());
+    t.closed <- true
+  end

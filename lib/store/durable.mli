@@ -1,0 +1,105 @@
+(** The durable metadata store: checkpoint + write-ahead log + redo
+    recovery around a {!Mirror_core.Mirror} database.
+
+    On-disk layout of a durable database directory:
+
+    {v
+    <dir>/CHECKPOINT     commit record: snapshot name, LSN, oid base
+    <dir>/snap.<lsn>/    Persist.save snapshot as of that LSN
+    <dir>/wal/           log segments (see Wal)
+    v}
+
+    The protocol follows the classic checkpoint+redo recipe: every
+    completed logical update appends one {!Record.t} to the log; a
+    checkpoint writes a fresh snapshot beside the old one and then
+    atomically renames the [CHECKPOINT] metadata file — the single
+    commit point — before garbage-collecting old snapshots and
+    segments.  {!open_} recovers by loading the snapshot the
+    [CHECKPOINT] names, redoing the log suffix, and (because a torn
+    tail or replayed records leave the log ahead of the snapshot)
+    checkpointing again, so an opened store always starts from a
+    clean prefix. *)
+
+type config = {
+  wal : Wal.config;
+  checkpoint_every : int;
+      (** auto-checkpoint after this many logged records; 0 = manual
+          checkpoints only *)
+}
+
+val default_config : config
+
+type recovery = {
+  replayed : int;  (** log records redone on top of the snapshot *)
+  wal_end : Wal.replay_end;  (** how the scanned log ended *)
+  feedback : (string * (string * bool) list) list;
+      (** replayed relevance judgements (query, judgements), oldest
+          first — storage-level adaptation was already redone, but a
+          caller that rebuilds session state (thesaurus, URL maps) can
+          re-apply them with {!Mirror_core.Mirror.replay_feedback} *)
+  store_ops : (string * string) list;
+      (** replayed daemon-store records, for
+          {!Mirror_daemon.Store.replay} into a rebuilt pipeline store *)
+}
+
+type t
+
+val open_ : ?config:config -> dir:string -> unit -> (t * recovery, string) result
+(** Open (creating or recovering) a durable database rooted at [dir].
+    After a clean shutdown the recovery is empty; after a crash it
+    reports what redo did.  [Error] means the directory is damaged
+    beyond the torn-tail failure model (checksum mismatch mid-log,
+    missing segment, unreadable snapshot) — recovery never silently
+    drops interior history. *)
+
+val mirror : t -> Mirror_core.Mirror.t
+(** The live database.  All mutations through it (Moa programs,
+    [Storage] loads, feedback) are journaled automatically. *)
+
+val storage : t -> Mirror_core.Storage.t
+(** Shorthand for [Mirror.storage (mirror t)]. *)
+
+val store_journal : t -> string -> string -> unit
+(** Journal hook for the daemon pipeline's metadata store: pass as
+    [?journal] to {!Mirror_core.Mirror.build_image_library}. *)
+
+val set_trace : t -> Mirror_util.Trace.t -> unit
+(** Attach a trace: checkpoints become ["wal.checkpoint"] spans and
+    each append a ["wal.append"] event (default {!Mirror_util.Trace.null}). *)
+
+val checkpoint : t -> (unit, string) result
+(** Snapshot now and truncate the log.  Crash points
+    ([checkpoint.begin|snapshot|rename|meta|commit|gc], see
+    {!Mirror_daemon.Faults.crash_hit}) bracket every step. *)
+
+type status = {
+  next_lsn : int;
+  checkpoint_lsn : int;
+  since_checkpoint : int;  (** records logged since the checkpoint *)
+  segments : int;
+  log_bytes : int;
+  snapshot : string;  (** current snapshot directory name *)
+}
+
+val status : t -> status
+
+val inspect : dir:string -> (status * Wal.replay_end, string) result
+(** Read-only view of a durable directory without opening it: parse
+    [CHECKPOINT], scan the log verifying every checksum, report how
+    the tail ends.  Mutates nothing — safe on a directory another
+    process owns. *)
+
+val certify : t -> (unit, string) result
+(** Post-recovery certification: statically vet the identity query of
+    every extent ({!Mirror_core.Plancheck.vet}) and differentially
+    execute it (flattened kernel vs naive object-at-a-time), so a
+    recovered database that would answer queries differently from its
+    logical contents is rejected. *)
+
+val close : t -> unit
+(** Checkpoint (best effort) and release the log. *)
+
+val abandon : t -> unit
+(** Release the log {e without} checkpointing, leaving the directory
+    exactly as a crash would.  Used by crash tests to drop a store
+    whose process "died"; the next {!open_} recovers it. *)

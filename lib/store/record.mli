@@ -1,0 +1,34 @@
+(** Logical write-ahead-log records and their binary codec.
+
+    The log is *logical*: each record describes one completed update
+    at the storage-manager level (extent DDL, whole-extent replacement
+    — the copying DML discipline of {!Mirror_core.Storage} makes that
+    the natural granularity), one relevance-feedback judgement, or one
+    opaque daemon-store write.  Redo is idempotent by construction:
+    [Replace] carries the complete post-state of the extent, so
+    applying a record twice (or applying it to a state that already
+    includes it) converges to the same database.
+
+    The codec round-trips exactly: floats travel as their IEEE-754
+    bits, strings length-prefixed, so a replayed database is
+    bit-for-bit the one that was logged. *)
+
+type t =
+  | Define of string * Mirror_core.Types.t  (** [define <name> as <ty>] *)
+  | Replace of string * Mirror_core.Value.t list
+      (** Full new contents of an extent (load / insert / delete). *)
+  | Feedback of { query : string; judgements : (string * bool) list }
+      (** A {!Mirror_core.Mirror.give_feedback} call. *)
+  | Store_op of { tag : string; payload : string }
+      (** A daemon metadata-store write ({!Mirror_daemon.Store}
+          journal record), kept opaque here. *)
+
+val encode : t -> string
+(** Serialise to the WAL payload form. *)
+
+val decode : string -> (t, string) result
+(** Parse a payload produced by {!encode}.  Total: malformed input
+    yields [Error], never an exception. *)
+
+val describe : t -> string
+(** One-line human rendering for [wal status] and diagnostics. *)

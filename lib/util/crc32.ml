@@ -1,0 +1,38 @@
+(* Table-driven CRC-32 (IEEE 802.3).  The running state is kept in the
+   finalised (post-inversion) form so [update_*] composes: the
+   pre/post conditioning is undone and redone around each chunk. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let mask = 0xFFFFFFFF
+let init = 0
+
+let update_bytes crc b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.update_bytes: slice out of range";
+  let t = Lazy.force table in
+  let c = ref (crc lxor mask) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor mask
+
+let update_string crc s =
+  update_bytes crc (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let string s = update_string init s
+let to_hex crc = Printf.sprintf "%08x" (crc land mask)
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    match int_of_string_opt ("0x" ^ s) with
+    | Some v when v >= 0 && v <= mask -> Some v
+    | _ -> None

@@ -1,0 +1,26 @@
+(** CRC-32 checksums (IEEE 802.3, reflected polynomial [0xEDB88320]).
+
+    Used for the integrity footer on catalog snapshots and for the
+    per-record checksums of the write-ahead log — both need a checksum
+    that detects torn writes and single-bit flips, computable
+    incrementally over chunks.  Values are 32-bit, carried in an OCaml
+    [int] (always non-negative). *)
+
+val init : int
+(** The running-state seed (pass to the first {!update_string}). *)
+
+val update_string : int -> string -> int
+(** Fold a chunk into a running checksum. *)
+
+val update_bytes : int -> Bytes.t -> pos:int -> len:int -> int
+(** Fold a byte slice into a running checksum. *)
+
+val string : string -> int
+(** One-shot checksum of a whole string:
+    [string s = update_string init s]. *)
+
+val to_hex : int -> string
+(** Fixed-width lower-case rendering ("cbf43926"). *)
+
+val of_hex : string -> int option
+(** Parse {!to_hex} output; [None] on malformed input. *)

@@ -1,0 +1,440 @@
+(* Crash-recovery property tests for the durable metadata store.
+
+   The central property: recovering a crashed durable database always
+   yields a state bit-for-bit equal to some prefix of the never-crashed
+   run of the same operation sequence — or fails with an explicit
+   corruption diagnostic.  Never a silently wrong database.
+
+   Exercised three ways: a torn-write sweep that crashes the WAL append
+   at every single byte offset of a fixed program; a deterministic
+   crash at each named checkpoint-protocol step; and a 500-seed fuzzer
+   mixing random programs with random fault injection. *)
+
+module Durable = Mirror_store.Durable
+module Wal = Mirror_store.Wal
+module Faults = Mirror_daemon.Faults
+module Mirror = Mirror_core.Mirror
+module Storage = Mirror_core.Storage
+module Eval = Mirror_core.Eval
+module Expr = Mirror_core.Expr
+module Types = Mirror_core.Types
+module Prng = Mirror_util.Prng
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> ()
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "mirror-recovery" ".db" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* Canonical rendering of a database's complete logical state: every
+   extent's name, type and contents (evaluated through the flattened
+   kernel).  Prefix-consistency below is string equality of these. *)
+let fingerprint st =
+  Storage.extents st
+  |> List.sort compare
+  |> List.map (fun name ->
+         let ty =
+           match Storage.extent_type st name with
+           | Some t -> Types.to_string t
+           | None -> "?"
+         in
+         let contents =
+           match Eval.query_value st (Expr.Extent name) with
+           | Ok v -> Mirror_core.Value.to_string v
+           | Error e -> "ERR " ^ e
+         in
+         Printf.sprintf "%s : %s = %s" name ty contents)
+  |> String.concat "\n"
+
+(* {1 Operation sequences} *)
+
+type op = Exec of string | Checkpoint
+
+let schema_src = "SET< TUPLE< Atomic<int>: a, SET< Atomic<int> > : s > >"
+
+(* Deterministic random program: defines, inserts, deletes and the
+   occasional explicit checkpoint.  Generated with explicit recursion
+   (not [List.init]) so the PRNG draws in a fixed order. *)
+let gen_ops g n =
+  let defined = ref [] in
+  let count = ref 0 in
+  let one () =
+    let roll = Prng.int g 100 in
+    if !defined = [] || roll < 15 then begin
+      incr count;
+      let name = Printf.sprintf "T%d" !count in
+      defined := name :: !defined;
+      Exec (Printf.sprintf "define %s as %s;" name schema_src)
+    end
+    else if roll < 70 then begin
+      let name = Prng.choose g (Array.of_list !defined) in
+      let a = Prng.int g 50 in
+      let rec draw k acc = if k = 0 then List.rev acc else draw (k - 1) (Prng.int g 20 :: acc) in
+      let s =
+        draw (1 + Prng.int g 3) [] |> List.map string_of_int |> String.concat ", "
+      in
+      Exec (Printf.sprintf "insert into %s tuple(a: %d, s: {%s});" name a s)
+    end
+    else if roll < 90 then begin
+      let name = Prng.choose g (Array.of_list !defined) in
+      Exec (Printf.sprintf "delete from %s where THIS.a = %d;" name (Prng.int g 50))
+    end
+    else Checkpoint
+  in
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (one () :: acc) in
+  go n []
+
+let apply_plain m = function
+  | Exec src -> ignore (ok (Mirror.exec_program m src))
+  | Checkpoint -> ()
+
+let apply_durable t = function
+  | Exec src -> ignore (ok (Mirror.exec_program (Durable.mirror t) src))
+  | Checkpoint -> ok (Durable.checkpoint t)
+
+(* Fingerprints of every prefix of [ops], from a never-crashed
+   in-memory run: element [i] is the state after the first [i] ops. *)
+let prefixes ops =
+  let m = Mirror.create () in
+  let acc = ref [ fingerprint (Mirror.storage m) ] in
+  List.iter
+    (fun op ->
+      apply_plain m op;
+      acc := fingerprint (Mirror.storage m) :: !acc)
+    ops;
+  List.rev !acc
+
+let check_prefix ~what fps fp =
+  if not (List.mem fp fps) then
+    Alcotest.failf "%s: recovered state is not a prefix of the crash-free run:\n%s" what fp
+
+(* Run [ops] against a fresh durable store in [dir] with faults already
+   armed; returns true if the injected crash fired.  The store is
+   abandoned (crash semantics) or closed cleanly accordingly. *)
+let run_until_crash ~dir ~arm ops =
+  match Durable.open_ ~dir () with
+  | Error e -> Alcotest.fail e
+  | Ok (t, _) ->
+    arm ();
+    let crashed =
+      match List.iter (apply_durable t) ops with
+      | () -> false
+      | exception Faults.Crash _ -> true
+    in
+    Faults.reset_faults ();
+    if crashed then Durable.abandon t else Durable.close t;
+    crashed
+
+let recover_and_check ~what ~dir fps =
+  match Durable.open_ ~dir () with
+  | Error e -> Alcotest.failf "%s: recovery failed: %s" what e
+  | Ok (t, _) ->
+    check_prefix ~what fps (fingerprint (Durable.storage t));
+    (match Durable.certify t with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s: certification failed: %s" what e);
+    Durable.close t
+
+(* {1 Torn-write sweep} *)
+
+(* Crash the log append at every byte offset of a small fixed program:
+   whatever frame boundary, header byte or payload byte the tear lands
+   on, recovery must land on an exact prefix. *)
+let test_torn_sweep () =
+  let ops =
+    [
+      Exec (Printf.sprintf "define T as %s;" schema_src);
+      Exec "insert into T tuple(a: 1, s: {1, 2});";
+      Exec "insert into T tuple(a: 2, s: {3});";
+      Exec "delete from T where THIS.a = 1;";
+    ]
+  in
+  let fps = prefixes ops in
+  (* Total log bytes of the complete run, from a clean rehearsal. *)
+  let total =
+    with_temp_dir (fun dir ->
+        match Durable.open_ ~dir () with
+        | Error e -> Alcotest.fail e
+        | Ok (t, _) ->
+          List.iter (apply_durable t) ops;
+          let bytes = (Durable.status t).Durable.log_bytes in
+          Durable.abandon t;
+          bytes)
+  in
+  Alcotest.(check bool) "rehearsal logged something" true (total > 0);
+  for bytes = 0 to total - 1 do
+    with_temp_dir (fun dir ->
+        let what = Printf.sprintf "torn at byte %d/%d" bytes total in
+        let crashed =
+          run_until_crash ~dir ~arm:(fun () -> Faults.arm_torn_write ~bytes) ops
+        in
+        if not crashed then Alcotest.failf "%s: no crash fired" what;
+        recover_and_check ~what ~dir fps)
+  done
+
+(* {1 Checkpoint-protocol crash points} *)
+
+let checkpoint_points =
+  [
+    "checkpoint.begin";
+    "checkpoint.snapshot";
+    "checkpoint.rename";
+    "checkpoint.meta";
+    "checkpoint.commit";
+    "checkpoint.gc";
+  ]
+
+(* Crash a checkpoint at each protocol step.  Every operation was
+   already logged, so whichever side of the commit point the crash
+   lands on, recovery must reproduce the full pre-checkpoint state. *)
+let test_checkpoint_crash_points () =
+  let ops =
+    [
+      Exec (Printf.sprintf "define T as %s;" schema_src);
+      Exec "insert into T tuple(a: 7, s: {4, 9});";
+      Exec "insert into T tuple(a: 8, s: {5});";
+    ]
+  in
+  let full = List.nth (prefixes ops) (List.length ops) in
+  List.iter
+    (fun point ->
+      with_temp_dir (fun dir ->
+          match Durable.open_ ~dir () with
+          | Error e -> Alcotest.fail e
+          | Ok (t, _) -> (
+            List.iter (apply_durable t) ops;
+            Faults.arm_crash point ~after:0;
+            (match Durable.checkpoint t with
+            | exception Faults.Crash _ -> ()
+            | Ok () -> Alcotest.failf "checkpoint did not crash at %s" point
+            | Error e -> Alcotest.failf "checkpoint errored at %s instead: %s" point e);
+            Faults.reset_faults ();
+            Durable.abandon t;
+            match Durable.open_ ~dir () with
+            | Error e -> Alcotest.failf "reopen after %s: %s" point e
+            | Ok (t2, _) ->
+              Alcotest.(check string)
+                (Printf.sprintf "crash at %s preserves the logged state" point)
+                full
+                (fingerprint (Durable.storage t2));
+              ok (Durable.certify t2);
+              Durable.close t2)))
+    checkpoint_points
+
+(* A second crash during the recovery's own re-checkpoint must not
+   brick the store either: recover, crash the recovery checkpoint at
+   its commit point, recover again. *)
+let test_double_crash () =
+  let ops =
+    [
+      Exec (Printf.sprintf "define T as %s;" schema_src);
+      Exec "insert into T tuple(a: 3, s: {6});";
+    ]
+  in
+  let fps = prefixes ops in
+  with_temp_dir (fun dir ->
+      let crashed =
+        run_until_crash ~dir ~arm:(fun () -> Faults.arm_torn_write ~bytes:80) ops
+      in
+      Alcotest.(check bool) "first crash fired" true crashed;
+      List.iter
+        (fun point ->
+          Faults.arm_crash point ~after:0;
+          (match Durable.open_ ~dir () with
+          | exception Faults.Crash _ -> ()
+          | Ok (t, _) ->
+            (* the tear may have landed between records, in which case
+               recovery has nothing to redo and never checkpoints *)
+            Durable.abandon t
+          | Error e -> Alcotest.failf "double crash at %s: %s" point e);
+          Faults.reset_faults ())
+        checkpoint_points;
+      recover_and_check ~what:"after repeated recovery crashes" ~dir fps)
+
+(* {1 Corruption detection} *)
+
+let wal_segments dir =
+  let wal_dir = Filename.concat dir "wal" in
+  Sys.readdir wal_dir |> Array.to_list |> List.sort compare
+  |> List.map (Filename.concat wal_dir)
+
+let flip_byte path pos =
+  let ic = open_in_bin path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string src in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+(* Build a store with a populated log (abandoned, not checkpointed). *)
+let build_dirty dir =
+  match Durable.open_ ~dir () with
+  | Error e -> Alcotest.fail e
+  | Ok (t, _) ->
+    List.iter (apply_durable t)
+      [
+        Exec (Printf.sprintf "define T as %s;" schema_src);
+        Exec "insert into T tuple(a: 1, s: {1});";
+        Exec "insert into T tuple(a: 2, s: {2});";
+      ];
+    Durable.abandon t
+
+let expect_open_error ~what ~needle dir =
+  match Durable.open_ ~dir () with
+  | Ok _ -> Alcotest.failf "%s: damage was not detected" what
+  | Error e ->
+    if not (contains ~needle e) then
+      Alcotest.failf "%s: diagnostic %S does not mention %S" what e needle
+
+let test_bitflip_detected () =
+  with_temp_dir (fun dir ->
+      build_dirty dir;
+      let seg = List.hd (wal_segments dir) in
+      (* byte 12 is inside the first record's payload: checksum must trip *)
+      flip_byte seg 12;
+      expect_open_error ~what:"payload bit flip" ~needle:"checksum" dir)
+
+let test_meta_corruption_detected () =
+  with_temp_dir (fun dir ->
+      build_dirty dir;
+      flip_byte (Filename.concat dir "CHECKPOINT") 5;
+      expect_open_error ~what:"checkpoint metadata flip" ~needle:"CHECKPOINT" dir)
+
+(* Tiny segments force a roll on every append; deleting an interior
+   segment leaves a gap in the LSN tiling, which must be flagged as
+   corruption, not silently replayed around. *)
+let test_missing_segment_detected () =
+  with_temp_dir (fun dir ->
+      let config =
+        {
+          Durable.default_config with
+          Durable.wal = { Wal.default_config with Wal.segment_bytes = 32 };
+        }
+      in
+      (match Durable.open_ ~config ~dir () with
+      | Error e -> Alcotest.fail e
+      | Ok (t, _) ->
+        List.iter (apply_durable t)
+          [
+            Exec (Printf.sprintf "define T as %s;" schema_src);
+            Exec "insert into T tuple(a: 1, s: {1});";
+            Exec "insert into T tuple(a: 2, s: {2});";
+          ];
+        Durable.abandon t);
+      (match wal_segments dir with
+      | _ :: middle :: _ :: _ -> Sys.remove middle
+      | segs -> Alcotest.failf "expected >= 3 segments, got %d" (List.length segs));
+      expect_open_error ~what:"missing interior segment" ~needle:"expected" dir)
+
+(* Dropping one interior byte misaligns every later frame: the scan
+   must flag damage rather than replay garbage. *)
+let test_interior_truncation_detected () =
+  with_temp_dir (fun dir ->
+      build_dirty dir;
+      let seg = List.hd (wal_segments dir) in
+      let ic = open_in_bin seg in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let dropped = String.sub src 0 20 ^ String.sub src 21 (String.length src - 21) in
+      let oc = open_out_bin seg in
+      output_string oc dropped;
+      close_out oc;
+      expect_open_error ~what:"interior byte drop" ~needle:"WAL corruption" dir)
+
+(* {1 Feedback and daemon-store records} *)
+
+let test_feedback_and_store_ops_replayed () =
+  with_temp_dir (fun dir ->
+      (match Durable.open_ ~dir () with
+      | Error e -> Alcotest.fail e
+      | Ok (t, _) ->
+        List.iter (apply_durable t)
+          [
+            Exec (Printf.sprintf "define T as %s;" schema_src);
+            Exec "insert into T tuple(a: 1, s: {1});";
+          ];
+        Mirror.give_feedback (Durable.mirror t) ~query:"sunset beach"
+          ~judgements:[ ("img1", true); ("img2", false) ];
+        Durable.store_journal t "doc" "7 \"img7\"";
+        Durable.abandon t);
+      match Durable.open_ ~dir () with
+      | Error e -> Alcotest.fail e
+      | Ok (t, r) ->
+        Alcotest.(check int) "all records replayed" 4 r.Durable.replayed;
+        Alcotest.(check (list (pair string (list (pair string bool)))))
+          "feedback replayed"
+          [ ("sunset beach", [ ("img1", true); ("img2", false) ]) ]
+          r.Durable.feedback;
+        Alcotest.(check (list (pair string string)))
+          "store ops replayed"
+          [ ("doc", "7 \"img7\"") ]
+          r.Durable.store_ops;
+        Durable.close t)
+
+(* {1 The 500-seed crash fuzzer} *)
+
+let test_crash_fuzz () =
+  for seed = 1 to 500 do
+    let g = Prng.create seed in
+    let ops = gen_ops g (3 + Prng.int g 10) in
+    let fps = prefixes ops in
+    let arm () =
+      match Prng.int g 3 with
+      | 0 -> Faults.arm_torn_write ~bytes:(Prng.int g 2000)
+      | 1 ->
+        Faults.arm_crash
+          (Prng.choose g (Array.of_list checkpoint_points))
+          ~after:(Prng.int g 2)
+      | _ -> ()
+    in
+    with_temp_dir (fun dir ->
+        let what = Printf.sprintf "seed %d" seed in
+        ignore (run_until_crash ~dir ~arm ops : bool);
+        recover_and_check ~what ~dir fps)
+  done
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "prefix-consistency",
+        [
+          Alcotest.test_case "torn write at every byte offset" `Quick test_torn_sweep;
+          Alcotest.test_case "crash at every checkpoint step" `Quick
+            test_checkpoint_crash_points;
+          Alcotest.test_case "crash during recovery's checkpoint" `Quick
+            test_double_crash;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "payload bit flip detected" `Quick test_bitflip_detected;
+          Alcotest.test_case "metadata corruption detected" `Quick
+            test_meta_corruption_detected;
+          Alcotest.test_case "missing interior segment detected" `Quick
+            test_missing_segment_detected;
+          Alcotest.test_case "interior truncation detected" `Quick
+            test_interior_truncation_detected;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "feedback and store ops surface" `Quick
+            test_feedback_and_store_ops_replayed;
+        ] );
+      ( "fuzz",
+        [ Alcotest.test_case "500-seed crash fuzzer" `Slow test_crash_fuzz ] );
+    ]

@@ -405,6 +405,39 @@ let test_json_nonfinite_and_errors () =
   | Ok _ -> Alcotest.fail "unexpected shape"
   | Error e -> Alcotest.failf "parse failed: %s" e
 
+(* {1 Crc32} *)
+
+module Crc32 = Mirror_util.Crc32
+
+(* Known vectors for CRC-32/ISO-HDLC (the IEEE 802.3 polynomial). *)
+let test_crc32_vectors () =
+  Alcotest.(check int) "empty string" 0 (Crc32.string "");
+  Alcotest.(check int) "check vector" 0xCBF43926 (Crc32.string "123456789");
+  Alcotest.(check int) "ascii phrase" 0x414FA339
+    (Crc32.string "The quick brown fox jumps over the lazy dog");
+  Alcotest.(check int) "all zero bytes" 0x2144DF1C (Crc32.string (String.make 4 '\000'))
+
+let test_crc32_incremental () =
+  let whole = Crc32.string "123456789" in
+  let chunked = Crc32.update_string (Crc32.update_string Crc32.init "1234") "56789" in
+  Alcotest.(check int) "chunked = one-shot" whole chunked;
+  let b = Bytes.of_string "xx123456789yy" in
+  Alcotest.(check int) "bytes slice" whole (Crc32.update_bytes Crc32.init b ~pos:2 ~len:9)
+
+let test_crc32_hex () =
+  Alcotest.(check string) "to_hex" "cbf43926" (Crc32.to_hex 0xCBF43926);
+  Alcotest.(check (option int)) "of_hex round trip" (Some 0xCBF43926)
+    (Crc32.of_hex "cbf43926");
+  Alcotest.(check (option int)) "of_hex rejects garbage" None (Crc32.of_hex "xyzw");
+  Alcotest.(check (option int)) "of_hex rejects short input" None (Crc32.of_hex "abc")
+
+let test_crc32_sensitivity () =
+  let base = Crc32.string "hello world" in
+  Alcotest.(check bool) "single bit flip changes checksum" true
+    (base <> Crc32.string "hello worle");
+  Alcotest.(check bool) "truncation changes checksum" true
+    (base <> Crc32.string "hello worl")
+
 (* {1 QCheck properties} *)
 
 let prop_lse_ge_max =
@@ -495,6 +528,14 @@ let () =
           Alcotest.test_case "round trip" `Quick test_json_round_trip;
           Alcotest.test_case "non-finite floats and parse errors" `Quick
             test_json_nonfinite_and_errors;
+        ] );
+      ( "crc32",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "incremental update" `Quick test_crc32_incremental;
+          Alcotest.test_case "hex round trip" `Quick test_crc32_hex;
+          Alcotest.test_case "bit flips and truncation detected" `Quick
+            test_crc32_sensitivity;
         ] );
       ( "properties",
         qc
