@@ -429,7 +429,10 @@ let print_status (s : Durable.status) =
   Printf.printf "next LSN         %d\n" s.Durable.next_lsn;
   Printf.printf "since checkpoint %d record(s)\n" s.Durable.since_checkpoint;
   Printf.printf "log              %d segment(s), %d byte(s)\n" s.Durable.segments
-    s.Durable.log_bytes
+    s.Durable.log_bytes;
+  match s.Durable.last_error with
+  | None -> ()
+  | Some e -> Printf.printf "last error       %s\n" e
 
 let wal_status_main dir =
   match Durable.inspect ~dir with

@@ -181,7 +181,8 @@ let save_file t path =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc body;
-      Printf.fprintf oc "%%crc %s\n" (Mirror_util.Crc32.to_hex (Mirror_util.Crc32.string body)));
+      Printf.fprintf oc "%%crc %s\n" (Mirror_util.Crc32.to_hex (Mirror_util.Crc32.string body));
+      Mirror_util.Fsx.fsync_out oc);
   Sys.rename tmp path
 
 let load_file path =

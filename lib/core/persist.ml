@@ -17,10 +17,12 @@ let save storage ~dir =
   | exception Sys_error e -> Error e
   | exception Failure e -> Error e
   | () ->
-    (* Both files go through temp-file + rename, so a crash mid-save
-       leaves the previous snapshot intact (each file individually;
-       multi-file atomicity is the checkpoint protocol's job, see
-       [Mirror_store.Durable]). *)
+    (* Both files go through temp-file + fsync + rename, so a crash
+       mid-save leaves the previous snapshot intact (each file
+       individually; multi-file atomicity is the checkpoint protocol's
+       job, see [Mirror_store.Durable]).  The directory fsync at the
+       end persists both renames — without it power loss could keep a
+       rename whose file contents never reached the disk. *)
     let schema = schema_file dir in
     let tmp = schema ^ ".tmp" in
     let oc = open_out tmp in
@@ -32,9 +34,11 @@ let save storage ~dir =
             match Storage.extent_type storage name with
             | Some ty -> Printf.fprintf oc "define %s as %s;\n" name (Types.to_string ty)
             | None -> ())
-          (Storage.extents storage));
+          (Storage.extents storage);
+        Mirror_util.Fsx.fsync_out oc);
     Sys.rename tmp schema;
     Catalog.save_file (Storage.catalog storage) (catalog_file dir);
+    Mirror_util.Fsx.fsync_dir dir;
     Ok ()
 
 let max_oid_in_catalog cat =

@@ -8,6 +8,7 @@ module Eval = Mirror_core.Eval
 module Value = Mirror_core.Value
 module Faults = Mirror_daemon.Faults
 module Crc32 = Mirror_util.Crc32
+module Fsx = Mirror_util.Fsx
 module Metrics = Mirror_util.Metrics
 module Trace = Mirror_util.Trace
 module Stringx = Mirror_util.Stringx
@@ -32,7 +33,15 @@ type t = {
   mutable wal : Wal.t;
   mutable checkpoint_lsn : int;
   mutable since : int;
+  mutable side : Record.t list;
+      (* Feedback/Store_op history, newest first.  [Persist.save] only
+         captures [Storage]; the effects of these records live in
+         session side state ([Mirror.t.adapt], the daemon store) that
+         the snapshot cannot see, so their full history is carried in
+         every snapshot's side-state file — otherwise checkpoint GC
+         would delete the only copy. *)
   mutable in_checkpoint : bool;
+  mutable last_error : string option;
   mutable closed : bool;
   mutable trace : Trace.t;
 }
@@ -78,7 +87,11 @@ let write_meta dir ~snap ~lsn ~next_store =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc body;
-      Printf.fprintf oc "%%crc %s\n" (Crc32.to_hex (Crc32.string body)));
+      Printf.fprintf oc "%%crc %s\n" (Crc32.to_hex (Crc32.string body));
+      (* the rename below is only a commit if these bytes hit the disk
+         first; without the fsync, power loss can persist the rename
+         over an unwritten file and brick the store *)
+      Fsx.fsync_out oc);
   tmp
 
 let read_meta dir =
@@ -113,35 +126,97 @@ let read_meta dir =
     | Some lsn, Some next_store -> Ok (snap, lsn, next_store)
     | _ -> Error "CHECKPOINT has non-numeric fields")
 
+(* {1 The snapshot side-state file}
+
+   [Persist.save] captures Storage (schema + catalog) only.  Feedback
+   and Store_op records act on state outside Storage — thesaurus
+   adaptation in [Mirror.t.adapt], the daemon pipeline store — which
+   recovery rebuilds by replaying the records themselves.  So that
+   checkpoint GC can still truncate the log, each snapshot carries the
+   full Feedback/Store_op history to date as [side.log] inside the
+   snapshot directory: WAL-framed records, written and fsynced before
+   the snapshot rename, hence covered by the CHECKPOINT commit point.
+   Recovery's history is then always (snapshot side state) ++ (side
+   records replayed from the log suffix). *)
+
+let side_file snap_dir = Filename.concat snap_dir "side.log"
+
+let write_side snap_dir side =
+  let oc = open_out_bin (side_file snap_dir) in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter (fun r -> output_bytes oc (Wal.frame (Record.encode r))) side;
+      Fsx.fsync_out oc)
+
+let read_side snap_dir =
+  match read_file (side_file snap_dir) with
+  | exception Sys_error _ when not (Sys.file_exists (side_file snap_dir)) ->
+    (* a bare [Persist.save] snapshot (no durable session) has no side
+       state; the file is present, if empty, on every snapshot this
+       module writes *)
+    Ok []
+  | exception Sys_error e -> Error ("snapshot side state: " ^ e)
+  | src ->
+    let* frames =
+      Result.map_error (fun e -> "snapshot side state: " ^ e) (Wal.parse_frames src)
+    in
+    List.fold_left
+      (fun acc payload ->
+        let* records = acc in
+        let* r =
+          Result.map_error (fun e -> "snapshot side state: " ^ e) (Record.decode payload)
+        in
+        match r with
+        | Record.Feedback _ | Record.Store_op _ -> Ok (r :: records)
+        | Record.Define _ | Record.Replace _ ->
+          Error "snapshot side state holds a storage record")
+      (Ok []) frames
+    |> Result.map List.rev
+
 (* {1 Checkpointing}
 
    Protocol (each step bracketed by a crash point):
-   1. write the snapshot into [snap.<lsn>.tmp] and rename it in place;
-   2. write CHECKPOINT.tmp and rename it over CHECKPOINT — the commit;
+   1. write the snapshot — Storage via [Persist.save] plus the
+      side-state file — into [snap.<lsn>.tmp], fsync, and rename it in
+      place;
+   2. write CHECKPOINT.tmp (fsynced) and rename it over CHECKPOINT,
+      then fsync the directory — the commit;
    3. delete old snapshots and every log segment, oldest first (every
-      logged record is now in the snapshot, and oldest-first keeps any
-      crash remnant a contiguous suffix the replayer accepts);
+      logged record is now covered by the snapshot — storage records
+      by the [Persist.save] state, side records by [side.log] — and
+      oldest-first keeps any crash remnant a contiguous suffix the
+      replayer accepts);
    4. start a fresh segment at [lsn + 1].
    A crash before 2 leaves the previous checkpoint authoritative; a
    crash after 2 leaves at worst orphan files that the next
    checkpoint's GC removes. *)
 
-let commit_checkpoint ~dir ~wal_config ~stor ~lsn ~old_wal =
+let commit_checkpoint ~dir ~wal_config ~stor ~side ~lsn ~old_wal =
   Faults.crash_hit "checkpoint.begin";
   let snap = snap_name lsn in
   let snap_path = Filename.concat dir snap in
   let tmp = snap_path ^ ".tmp" in
   rm_rf tmp;
   let* () = Persist.save stor ~dir:tmp in
+  write_side tmp side;
   Faults.crash_hit "checkpoint.snapshot";
   if Sys.file_exists snap_path then rm_rf snap_path;
   Sys.rename tmp snap_path;
+  Fsx.fsync_dir dir;
   Faults.crash_hit "checkpoint.rename";
   let meta_tmp = write_meta dir ~snap ~lsn ~next_store:(Storage.store_base stor) in
   Faults.crash_hit "checkpoint.meta";
   Sys.rename meta_tmp (meta_file dir);
+  (* the durable commit point: only after this fsync may anything the
+     old checkpoint and log cover be garbage-collected *)
+  Fsx.fsync_dir dir;
   Faults.crash_hit "checkpoint.commit";
-  (match old_wal with Some w -> Wal.close w | None -> ());
+  (* past the commit every old-log record is covered by the snapshot,
+     so a close failure on the outgoing writer loses nothing *)
+  (match old_wal with
+  | Some w -> ( try Wal.close w with Sys_error _ -> ())
+  | None -> ());
   Array.iter
     (fun f ->
       if Stringx.starts_with ~prefix:"snap." f && f <> snap then
@@ -174,8 +249,9 @@ let checkpoint t =
         in
         match
           commit_checkpoint ~dir:t.dir ~wal_config:t.config.wal ~stor:(storage t)
-            ~lsn:(Wal.next_lsn t.wal - 1) ~old_wal:(Some t.wal)
+            ~side:(List.rev t.side) ~lsn:(Wal.next_lsn t.wal - 1) ~old_wal:(Some t.wal)
         with
+        | exception Sys_error e -> fin (Error e)
         | exception e ->
           ignore (fin (Error ""));
           raise e
@@ -184,6 +260,7 @@ let checkpoint t =
           t.wal <- wal;
           t.checkpoint_lsn <- lsn;
           t.since <- 0;
+          t.last_error <- None;
           fin (Ok ()))
   end
 
@@ -191,13 +268,22 @@ let checkpoint t =
 
 let log_record t r =
   let lsn = Wal.append t.wal (Record.encode r) in
+  (match r with
+  | Record.Feedback _ | Record.Store_op _ -> t.side <- r :: t.side
+  | Record.Define _ | Record.Replace _ -> ());
   Trace.event ~attrs:[ ("lsn", string_of_int lsn) ] t.trace "wal.append";
   t.since <- t.since + 1;
   if t.config.checkpoint_every > 0 && t.since >= t.config.checkpoint_every && not t.in_checkpoint
   then
+    (* This hook runs inside Result-returning callers (Storage.define/
+       load, feedback) after their in-memory mutation applied, so an
+       auto-checkpoint failure must not raise through them.  The record
+       itself is already appended — durability holds, only the log
+       truncation failed — so stash the error ([status] surfaces it)
+       and let the next append or the close-time checkpoint retry. *)
     match checkpoint t with
     | Ok () -> ()
-    | Error e -> failwith ("auto-checkpoint failed: " ^ e)
+    | Error e -> t.last_error <- Some ("auto-checkpoint: " ^ e)
 
 let install_hooks t =
   Storage.set_journal (storage t)
@@ -214,7 +300,7 @@ let store_journal t tag payload = log_record t (Record.Store_op { tag; payload }
 
 let no_recovery = { replayed = 0; wal_end = Wal.Clean; feedback = []; store_ops = [] }
 
-let mk t_dir config mir wal ~checkpoint_lsn ~since =
+let mk t_dir config mir wal ~side ~checkpoint_lsn ~since =
   let t =
     {
       dir = t_dir;
@@ -223,7 +309,9 @@ let mk t_dir config mir wal ~checkpoint_lsn ~since =
       wal;
       checkpoint_lsn;
       since;
+      side = List.rev side;
       in_checkpoint = false;
+      last_error = None;
       closed = false;
       trace = Trace.null;
     }
@@ -237,10 +325,10 @@ let init_fresh ~dir ~(config : config) =
   | true -> if not (Sys.is_directory dir) then failwith (dir ^ " is not a directory"));
   let mir = Mirror.create () in
   let* wal, lsn =
-    commit_checkpoint ~dir ~wal_config:config.wal ~stor:(Mirror.storage mir) ~lsn:0
-      ~old_wal:None
+    commit_checkpoint ~dir ~wal_config:config.wal ~stor:(Mirror.storage mir) ~side:[]
+      ~lsn:0 ~old_wal:None
   in
-  Ok (mk dir config mir wal ~checkpoint_lsn:lsn ~since:0, no_recovery)
+  Ok (mk dir config mir wal ~side:[] ~checkpoint_lsn:lsn ~since:0, no_recovery)
 
 let recover ~dir ~(config : config) =
   let* snap, lsn, next_store = read_meta dir in
@@ -252,9 +340,24 @@ let recover ~dir ~(config : config) =
   in
   Storage.bump_store_base stor (next_store - 1);
   let mir = Mirror.of_storage stor in
+  (* The snapshot's side-state file restores the Feedback/Store_op
+     history the log no longer holds (their effects are invisible to
+     Persist); the log suffix then appends to it. *)
+  let* snap_side = read_side snap_path in
   let replayed = ref 0 in
   let feedback = ref [] in
   let store_ops = ref [] in
+  let side = ref [] in
+  let note_side r =
+    side := r :: !side;
+    match r with
+    | Record.Feedback { query; judgements } ->
+      Mirror.replay_feedback mir ~query ~judgements;
+      feedback := (query, judgements) :: !feedback
+    | Record.Store_op { tag; payload } -> store_ops := (tag, payload) :: !store_ops
+    | Record.Define _ | Record.Replace _ -> ()
+  in
+  List.iter note_side snap_side;
   let apply_err = ref None in
   let apply rec_lsn payload =
     if !apply_err = None then begin
@@ -272,10 +375,7 @@ let recover ~dir ~(config : config) =
           match Storage.load stor ~name rows with
           | Ok (_ : int list) -> ()
           | Error e -> fail "redo of record %d (%s): %s" rec_lsn (Record.describe r) e)
-        | Record.Feedback { query; judgements } ->
-          Mirror.replay_feedback mir ~query ~judgements;
-          feedback := (query, judgements) :: !feedback
-        | Record.Store_op { tag; payload } -> store_ops := (tag, payload) :: !store_ops)
+        | Record.Feedback _ | Record.Store_op _ -> note_side r)
     end
   in
   let* next, wal_end = Wal.replay ~dir:(wal_dir dir) ~from_lsn:(lsn + 1) ~f:apply in
@@ -298,17 +398,19 @@ let recover ~dir ~(config : config) =
      the store always restarts from a clean prefix.  The pre-commit
      disk state is untouched until the new CHECKPOINT renames in, so a
      crash during this re-checkpoint just recovers again. *)
+  let side = List.rev !side in
   if !replayed > 0 || wal_end <> Wal.Clean then begin
     (* the log's last good record is [next - 1]: make the fresh
        snapshot claim exactly that prefix *)
     let* wal, ck_lsn =
-      commit_checkpoint ~dir ~wal_config:config.wal ~stor ~lsn:(next - 1) ~old_wal:None
+      commit_checkpoint ~dir ~wal_config:config.wal ~stor ~side ~lsn:(next - 1)
+        ~old_wal:None
     in
-    Ok (mk dir config mir wal ~checkpoint_lsn:ck_lsn ~since:0, recovery)
+    Ok (mk dir config mir wal ~side ~checkpoint_lsn:ck_lsn ~since:0, recovery)
   end
   else
     let wal = Wal.create ~config:config.wal ~dir:(wal_dir dir) ~start_lsn:next () in
-    Ok (mk dir config mir wal ~checkpoint_lsn:lsn ~since:0, recovery)
+    Ok (mk dir config mir wal ~side ~checkpoint_lsn:lsn ~since:0, recovery)
 
 let open_ ?(config = default_config) ~dir () =
   let t0 = Trace.now () in
@@ -337,6 +439,7 @@ type status = {
   segments : int;
   log_bytes : int;
   snapshot : string;
+  last_error : string option;
 }
 
 let log_stats dir =
@@ -360,6 +463,7 @@ let status t =
     segments;
     log_bytes;
     snapshot = snap_name t.checkpoint_lsn;
+    last_error = t.last_error;
   }
 
 let inspect ~dir =
@@ -376,6 +480,7 @@ let inspect ~dir =
         segments;
         log_bytes;
         snapshot = snap;
+        last_error = None;
       },
       wal_end )
 
@@ -407,10 +512,13 @@ let certify t =
 
 let close t =
   if not t.closed then begin
+    (* A failed close-time checkpoint loses nothing: every record is
+       still in the log (plus the last snapshot's side state), so the
+       next open replays it. *)
     (match checkpoint t with Ok () | (Error (_ : string)) -> ());
     Storage.set_journal (storage t) None;
     Mirror.set_feedback_hook t.mir None;
-    Wal.close t.wal;
+    (try Wal.close t.wal with Sys_error _ -> ());
     t.closed <- true
   end
 

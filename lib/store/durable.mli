@@ -4,21 +4,27 @@
     On-disk layout of a durable database directory:
 
     {v
-    <dir>/CHECKPOINT     commit record: snapshot name, LSN, oid base
-    <dir>/snap.<lsn>/    Persist.save snapshot as of that LSN
-    <dir>/wal/           log segments (see Wal)
+    <dir>/CHECKPOINT          commit record: snapshot name, LSN, oid base
+    <dir>/snap.<lsn>/         Persist.save snapshot as of that LSN
+    <dir>/snap.<lsn>/side.log full Feedback/Store_op history to date
+    <dir>/wal/                log segments (see Wal)
     v}
 
     The protocol follows the classic checkpoint+redo recipe: every
     completed logical update appends one {!Record.t} to the log; a
     checkpoint writes a fresh snapshot beside the old one and then
     atomically renames the [CHECKPOINT] metadata file — the single
-    commit point — before garbage-collecting old snapshots and
-    segments.  {!open_} recovers by loading the snapshot the
-    [CHECKPOINT] names, redoing the log suffix, and (because a torn
-    tail or replayed records leave the log ahead of the snapshot)
-    checkpointing again, so an opened store always starts from a
-    clean prefix. *)
+    commit point, made durable by fsyncing file contents before each
+    rename and the directory after — before garbage-collecting old
+    snapshots and segments.  Storage records are covered by the
+    snapshot's [Persist.save] state; [Feedback]/[Store_op] records act
+    on session side state the snapshot cannot see, so their entire
+    history rides along in the snapshot's [side.log] and is never lost
+    to log truncation.  {!open_} recovers by loading the snapshot the
+    [CHECKPOINT] names, restoring the side-state history, redoing the
+    log suffix, and (because a torn tail or replayed records leave the
+    log ahead of the snapshot) checkpointing again, so an opened store
+    always starts from a clean prefix. *)
 
 type config = {
   wal : Wal.config;
@@ -33,13 +39,16 @@ type recovery = {
   replayed : int;  (** log records redone on top of the snapshot *)
   wal_end : Wal.replay_end;  (** how the scanned log ended *)
   feedback : (string * (string * bool) list) list;
-      (** replayed relevance judgements (query, judgements), oldest
-          first — storage-level adaptation was already redone, but a
-          caller that rebuilds session state (thesaurus, URL maps) can
-          re-apply them with {!Mirror_core.Mirror.replay_feedback} *)
+      (** the {e complete} relevance-judgement history (query,
+          judgements), oldest first: the snapshot's side state plus
+          any log suffix — storage-level adaptation was already
+          redone, but a caller that rebuilds session state (thesaurus,
+          URL maps) can re-apply it with
+          {!Mirror_core.Mirror.replay_feedback} *)
   store_ops : (string * string) list;
-      (** replayed daemon-store records, for
-          {!Mirror_daemon.Store.replay} into a rebuilt pipeline store *)
+      (** the complete daemon-store record history (same sourcing),
+          for {!Mirror_daemon.Store.replay} into a rebuilt pipeline
+          store *)
 }
 
 type t
@@ -79,6 +88,14 @@ type status = {
   segments : int;
   log_bytes : int;
   snapshot : string;  (** current snapshot directory name *)
+  last_error : string option;
+      (** most recent auto-checkpoint failure, if it has not been
+          cleared by a later successful checkpoint.  Auto-checkpoints
+          run inside journal hooks, whose Result-returning callers
+          must not see an exception for an operation that already
+          applied and logged; failures land here instead (the log
+          keeps everything, so nothing is lost — compaction is merely
+          deferred). *)
 }
 
 val status : t -> status

@@ -1,5 +1,6 @@
 module Crc32 = Mirror_util.Crc32
 module Faults = Mirror_daemon.Faults
+module Fsx = Mirror_util.Fsx
 module Metrics = Mirror_util.Metrics
 
 type config = { segment_bytes : int; fsync_batch : int }
@@ -33,20 +34,46 @@ type t = {
   mutable seg_bytes : int;
   mutable next : int;
   mutable unsynced : int;
+  mutable broken : string option;
 }
 
 let open_segment dir first_lsn =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  open_out_bin (Filename.concat dir (seg_name first_lsn))
+  let oc = open_out_bin (Filename.concat dir (seg_name first_lsn)) in
+  (* persist the segment's directory entry: data fsyncs on the fd
+     alone would not survive losing the file name itself *)
+  Fsx.fsync_dir dir;
+  oc
 
 let create ?(config = default_config) ~dir ~start_lsn () =
-  { dir; config; oc = open_segment dir start_lsn; seg_bytes = 0; next = start_lsn; unsynced = 0 }
+  {
+    dir;
+    config;
+    oc = open_segment dir start_lsn;
+    seg_bytes = 0;
+    next = start_lsn;
+    unsynced = 0;
+    broken = None;
+  }
 
 let next_lsn t = t.next
 
+let check_broken t =
+  match t.broken with Some m -> raise (Sys_error m) | None -> ()
+
+(* A failed fsync leaves the page cache in an unknown state (the
+   kernel may have dropped the dirty pages while reporting the error
+   once), so a later successful fsync proves nothing about earlier
+   appends.  The only sound reaction is to poison the writer: the
+   error propagates now and on every subsequent use. *)
 let sync t =
+  check_broken t;
   flush t.oc;
-  (try Unix.fsync (Unix.descr_of_out_channel t.oc) with Unix.Unix_error _ -> ());
+  (try Unix.fsync (Unix.descr_of_out_channel t.oc)
+   with Unix.Unix_error (err, _, _) ->
+     let m = "WAL fsync failed, log writer poisoned: " ^ Unix.error_message err in
+     t.broken <- Some m;
+     raise (Sys_error m));
   t.unsynced <- 0
 
 let roll t =
@@ -65,6 +92,7 @@ let frame payload =
   b
 
 let append t payload =
+  check_broken t;
   if t.seg_bytes >= t.config.segment_bytes then roll t;
   let b = frame payload in
   (match Faults.write_allowance (Bytes.length b) with
@@ -85,8 +113,32 @@ let append t payload =
   lsn
 
 let close t =
-  sync t;
-  close_out t.oc
+  match t.broken with
+  | Some _ -> close_out_noerr t.oc
+  | None ->
+    sync t;
+    close_out t.oc
+
+(* Strict scan of a framed byte string (no torn-tail allowance): used
+   for framed files that are written atomically, where any damage at
+   all is corruption rather than a crash shape. *)
+let parse_frames src =
+  let len = String.length src in
+  let rec go pos acc =
+    if pos = len then Ok (List.rev acc)
+    else if pos + 8 > len then Error "truncated frame header"
+    else
+      let rlen = Int32.to_int (String.get_int32_le src pos) in
+      let crc = Int32.to_int (String.get_int32_le src (pos + 4)) land 0xFFFFFFFF in
+      if rlen < 0 || rlen > max_record then
+        Error (Printf.sprintf "implausible frame length %d" rlen)
+      else if pos + 8 + rlen > len then Error "truncated frame payload"
+      else
+        let payload = String.sub src (pos + 8) rlen in
+        if Crc32.string payload <> crc then Error "frame checksum mismatch"
+        else go (pos + 8 + rlen) (payload :: acc)
+  in
+  go 0 []
 
 (* {1 Replay} *)
 

@@ -43,16 +43,34 @@ val append : t -> string -> int
 (** Append one record, returning its LSN.  The frame is flushed to the
     OS on every append and fsynced per {!config.fsync_batch}.  Honours
     {!Mirror_daemon.Faults.write_allowance}: a torn-write fault writes
-    a prefix of the frame and raises {!Mirror_daemon.Faults.Crash}. *)
+    a prefix of the frame and raises {!Mirror_daemon.Faults.Crash}.
+    Raises [Sys_error] on a poisoned writer (see {!sync}). *)
 
 val next_lsn : t -> int
 (** LSN the next {!append} will return. *)
 
 val sync : t -> unit
-(** Flush and fsync now, regardless of batching. *)
+(** Flush and fsync now, regardless of batching.  A failed fsync
+    raises [Sys_error] {e and poisons the writer} — after one failure
+    the kernel may have dropped the dirty pages while reporting the
+    error only once, so a later fsync succeeding proves nothing;
+    every subsequent {!append}/{!sync} raises too.  The unsynced
+    counter is {e not} reset on failure. *)
 
 val close : t -> unit
-(** Sync and close the current segment. *)
+(** Sync and close the current segment.  A poisoned writer is closed
+    without the final sync (its appends are not durable anyway). *)
+
+val frame : string -> bytes
+(** The on-disk framing of one payload:
+    [[u32 len][u32 crc32(payload)][payload]].  Exposed so other
+    framed files (the checkpoint side-state file) share the format. *)
+
+val parse_frames : string -> (string list, string) result
+(** Strictly decode a byte string of consecutive {!frame}s.  Unlike
+    {!replay} there is no torn-tail allowance: the input is expected
+    to have been written atomically, so any truncation or checksum
+    mismatch is an [Error]. *)
 
 (** {1 Replay} *)
 

@@ -387,6 +387,109 @@ let test_feedback_and_store_ops_replayed () =
           r.Durable.store_ops;
         Durable.close t)
 
+(* The snapshot only captures Storage; feedback and daemon-store
+   effects live in session side state.  Their records must survive
+   checkpoint GC (via the snapshot's side-state file) — the regression
+   here was: feedback, close (= checkpoint), open => empty history. *)
+
+let feedback_history = Alcotest.(list (pair string (list (pair string bool))))
+let store_op_history = Alcotest.(list (pair string string))
+
+let test_side_state_survives_checkpoint () =
+  with_temp_dir (fun dir ->
+      (match Durable.open_ ~dir () with
+      | Error e -> Alcotest.fail e
+      | Ok (t, _) ->
+        List.iter (apply_durable t)
+          [
+            Exec (Printf.sprintf "define T as %s;" schema_src);
+            Exec "insert into T tuple(a: 1, s: {1});";
+          ];
+        Mirror.give_feedback (Durable.mirror t) ~query:"before checkpoint"
+          ~judgements:[ ("img1", true) ];
+        Durable.store_journal t "doc" "1 \"img1\"";
+        ok (Durable.checkpoint t);
+        Mirror.give_feedback (Durable.mirror t) ~query:"after checkpoint"
+          ~judgements:[ ("img2", false) ];
+        Durable.close t);
+      (* two reopen cycles: the history must survive each one's
+         close-time checkpoint as well *)
+      for cycle = 1 to 2 do
+        match Durable.open_ ~dir () with
+        | Error e -> Alcotest.fail e
+        | Ok (t, r) ->
+          Alcotest.(check int)
+            (Printf.sprintf "cycle %d: clean open replays nothing" cycle)
+            0 r.Durable.replayed;
+          Alcotest.check feedback_history
+            (Printf.sprintf "cycle %d: feedback history survives" cycle)
+            [
+              ("before checkpoint", [ ("img1", true) ]);
+              ("after checkpoint", [ ("img2", false) ]);
+            ]
+            r.Durable.feedback;
+          Alcotest.check store_op_history
+            (Printf.sprintf "cycle %d: store-op history survives" cycle)
+            [ ("doc", "1 \"img1\"") ]
+            r.Durable.store_ops;
+          Durable.close t
+      done)
+
+(* Whichever side of the commit point a checkpoint crash lands on, the
+   feedback history must come back — from the old log, or from the new
+   snapshot's side-state file. *)
+let test_side_state_survives_checkpoint_crash () =
+  List.iter
+    (fun point ->
+      with_temp_dir (fun dir ->
+          (match Durable.open_ ~dir () with
+          | Error e -> Alcotest.fail e
+          | Ok (t, _) ->
+            apply_durable t (Exec (Printf.sprintf "define T as %s;" schema_src));
+            Mirror.give_feedback (Durable.mirror t) ~query:"q"
+              ~judgements:[ ("img1", true) ];
+            Faults.arm_crash point ~after:0;
+            (match Durable.checkpoint t with
+            | exception Faults.Crash _ -> ()
+            | Ok () -> Alcotest.failf "checkpoint did not crash at %s" point
+            | Error e -> Alcotest.failf "checkpoint errored at %s instead: %s" point e);
+            Faults.reset_faults ();
+            Durable.abandon t);
+          match Durable.open_ ~dir () with
+          | Error e -> Alcotest.failf "reopen after %s: %s" point e
+          | Ok (t, r) ->
+            Alcotest.check feedback_history
+              (Printf.sprintf "feedback survives a crash at %s" point)
+              [ ("q", [ ("img1", true) ]) ]
+              r.Durable.feedback;
+            Durable.close t))
+    checkpoint_points
+
+(* Auto-checkpoints GC the log mid-session; the side state must ride
+   through them just like explicit ones. *)
+let test_side_state_survives_auto_checkpoint () =
+  with_temp_dir (fun dir ->
+      let config = { Durable.default_config with Durable.checkpoint_every = 1 } in
+      (match Durable.open_ ~config ~dir () with
+      | Error e -> Alcotest.fail e
+      | Ok (t, _) ->
+        Mirror.give_feedback (Durable.mirror t) ~query:"q" ~judgements:[ ("img1", true) ];
+        List.iter (apply_durable t)
+          [
+            Exec (Printf.sprintf "define T as %s;" schema_src);
+            Exec "insert into T tuple(a: 1, s: {1});";
+          ];
+        Alcotest.(check (option string))
+          "no auto-checkpoint error" None (Durable.status t).Durable.last_error;
+        Durable.abandon t);
+      match Durable.open_ ~config ~dir () with
+      | Error e -> Alcotest.fail e
+      | Ok (t, r) ->
+        Alcotest.check feedback_history "feedback survives auto-checkpoints"
+          [ ("q", [ ("img1", true) ]) ]
+          r.Durable.feedback;
+        Durable.close t)
+
 (* {1 The 500-seed crash fuzzer} *)
 
 let test_crash_fuzz () =
@@ -434,6 +537,12 @@ let () =
         [
           Alcotest.test_case "feedback and store ops surface" `Quick
             test_feedback_and_store_ops_replayed;
+          Alcotest.test_case "side state survives checkpoint + reopen" `Quick
+            test_side_state_survives_checkpoint;
+          Alcotest.test_case "side state survives checkpoint crashes" `Quick
+            test_side_state_survives_checkpoint_crash;
+          Alcotest.test_case "side state survives auto-checkpoints" `Quick
+            test_side_state_survives_auto_checkpoint;
         ] );
       ( "fuzz",
         [ Alcotest.test_case "500-seed crash fuzzer" `Slow test_crash_fuzz ] );
