@@ -76,6 +76,30 @@ let () =
     (match Json.member "certified" e with
     | Some (Json.Bool true) -> ()
     | _ -> die "RECOVERY run was not certified"));
+  (* the CHAOS entry must show the fault schedules actually converged:
+     every schedule healed back to the failure-free store, and the
+     recovery machinery (dead-letter queue + redelivery) saw traffic *)
+  (match find "CHAOS" with
+  | None -> die "no entry for the chaos suite (CHAOS)"
+  | Some c ->
+    let int_field name =
+      match Option.bind (Json.member name c) Json.to_int with
+      | Some n -> n
+      | None -> die "CHAOS entry lacks %s" name
+    in
+    let schedules = int_field "schedules" in
+    if schedules <= 0 then die "CHAOS ran zero schedules";
+    if int_field "converged" <> schedules then
+      die "CHAOS: only %d/%d schedules converged" (int_field "converged") schedules;
+    ignore (int_field "dead_letters");
+    if int_field "redelivered" <= 0 then
+      die "CHAOS redelivered nothing (fault schedules exercised no recovery)";
+    List.iter
+      (fun f ->
+        match Option.bind (Json.member f c) Json.to_float with
+        | Some v when v >= 0.0 -> ()
+        | _ -> die "CHAOS entry lacks %s" f)
+      [ "rounds_p50"; "clean_ms"; "degraded_ms" ]);
   (* the VET entry must prove translation validation actually ran *)
   (match find "VET" with
   | None -> die "no entry for the workload vetting pass (VET)"

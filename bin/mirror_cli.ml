@@ -359,10 +359,16 @@ let load_demo ?journal m ~seed ~n =
   let scenes = Synth.corpus (Prng.create seed) ~n ~width:48 ~height:48 () in
   match Mirror.build_image_library m ?journal ~scenes () with
   | Ok report ->
+    let open Mirror_daemon in
     Printf.printf "pipeline done: %d daemons, %d rounds, %d dead letters\n"
-      (List.length report.Mirror_daemon.Orchestrator.stats)
-      report.Mirror_daemon.Orchestrator.rounds
-      (List.length report.Mirror_daemon.Orchestrator.dead_letters)
+      (List.length report.Orchestrator.stats)
+      report.Orchestrator.rounds
+      (List.length report.Orchestrator.dead_letters);
+    if not report.Orchestrator.quiescent then
+      Printf.printf "NOT QUIESCENT: %d message(s) still pending\n"
+        report.Orchestrator.pending;
+    if report.Orchestrator.degraded <> [] then
+      Printf.printf "DEGRADED: %s\n" (String.concat ", " report.Orchestrator.degraded)
   | Error e -> Printf.printf "demo build failed: %s\n" e
 
 let repl m =
@@ -585,9 +591,180 @@ let daemons_lint_cmd =
   let doc = "statically check the standard daemon set's topic graph" in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const daemons_lint_main $ const ())
 
+(* {2 daemons health / deadletters / redeliver}
+
+   Run the §5 ingest pipeline (optionally with injected faults) under
+   the supervision fabric and report on it.  The virtual clock makes
+   the whole exercise instantaneous and deterministic. *)
+
+let parse_flaky spec =
+  match String.index_opt spec ':' with
+  | None -> failwith (Printf.sprintf "bad --flaky %S (expected NAME:RATE)" spec)
+  | Some i -> (
+    let name = String.sub spec 0 i in
+    let rate = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match float_of_string_opt rate with
+    | Some r when r >= 0.0 && r <= 1.0 -> (name, r)
+    | _ -> failwith (Printf.sprintf "bad --flaky rate %S (expected 0..1)" rate))
+
+(* Build the faulted pipeline and run it; returns the orchestrator,
+   the report and the heal switches of the broken daemons. *)
+let run_faulted_pipeline ~images ~seed ~broken ~flaky =
+  let open Mirror_daemon in
+  let flaky = List.map parse_flaky flaky in
+  let g = Prng.create (seed + 1) in
+  let known = List.map (fun (d : Daemon.t) -> d.Daemon.name) (Standard.all ()) in
+  List.iter
+    (fun n ->
+      if not (List.mem n known) then failwith (Printf.sprintf "unknown daemon %S" n))
+    (broken @ List.map fst flaky);
+  let heals = ref [] in
+  let daemons =
+    List.map
+      (fun (d : Daemon.t) ->
+        if List.mem d.Daemon.name broken then begin
+          let d', heal = Faults.breakable d in
+          heals := heal :: !heals;
+          d'
+        end
+        else
+          match List.assoc_opt d.Daemon.name flaky with
+          | Some rate -> Faults.flaky (Prng.split g) ~rate d
+          | None -> d)
+      (Standard.all ())
+  in
+  let orch = Orchestrator.create ~daemons () in
+  let scenes = Synth.corpus (Prng.create seed) ~n:images ~width:32 ~height:32 () in
+  Array.iteri
+    (fun i s ->
+      let url = Printf.sprintf "img://%d" i in
+      let annotation = Option.map (String.concat " ") s.Synth.caption in
+      Orchestrator.ingest_image orch ~doc:i ~url ?annotation s.Synth.image)
+    scenes;
+  Orchestrator.complete_collection orch;
+  let report = Orchestrator.run orch in
+  (orch, report, !heals)
+
+let print_pipeline_summary (report : Mirror_daemon.Orchestrator.report) =
+  let open Mirror_daemon in
+  Printf.printf "rounds %d, quiescent %b, pending %d, dead letters %d\n"
+    report.Orchestrator.rounds report.Orchestrator.quiescent report.Orchestrator.pending
+    (List.length report.Orchestrator.dead_letters);
+  if report.Orchestrator.degraded <> [] then
+    Printf.printf "degraded: %s\n" (String.concat ", " report.Orchestrator.degraded)
+
+let daemons_health_main images seed broken flaky =
+  let open Mirror_daemon in
+  match run_faulted_pipeline ~images ~seed ~broken ~flaky with
+  | exception Failure e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | orch, report, _ ->
+    let sup = Orchestrator.supervisor orch in
+    let bus = (Orchestrator.ctx orch).Daemon.bus in
+    let t =
+      Mirror_util.Tablefmt.create
+        [
+          ("daemon", Mirror_util.Tablefmt.Left);
+          ("breaker", Mirror_util.Tablefmt.Left);
+          ("handled", Mirror_util.Tablefmt.Right);
+          ("failures", Mirror_util.Tablefmt.Right);
+          ("queued", Mirror_util.Tablefmt.Right);
+          ("dead", Mirror_util.Tablefmt.Right);
+        ]
+    in
+    List.iter
+      (fun (s : Orchestrator.daemon_stats) ->
+        let name = s.Orchestrator.name in
+        Mirror_util.Tablefmt.add_row t
+          [
+            name;
+            Supervisor.state_to_string (Supervisor.state sup name);
+            string_of_int s.Orchestrator.handled;
+            string_of_int s.Orchestrator.failures;
+            string_of_int (Bus.pending_for bus ~name);
+            string_of_int
+              (List.length
+                 (List.filter
+                    (fun (e : Deadletter.entry) -> String.equal e.Deadletter.daemon name)
+                    (Orchestrator.dead_letters orch)));
+          ])
+      report.Orchestrator.stats;
+    Mirror_util.Tablefmt.print t;
+    print_pipeline_summary report;
+    if report.Orchestrator.quiescent && report.Orchestrator.degraded = [] then 0 else 1
+
+let daemons_deadletters_main images seed broken flaky =
+  let open Mirror_daemon in
+  match run_faulted_pipeline ~images ~seed ~broken ~flaky with
+  | exception Failure e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | orch, report, _ ->
+    let letters = Orchestrator.dead_letters orch in
+    List.iter
+      (fun (e : Deadletter.entry) ->
+        let m = e.Deadletter.delivery.Bus.message in
+        Printf.printf "%-20s %-20s subject %-4d attempts %d  %s\n" e.Deadletter.daemon
+          m.Bus.topic m.Bus.subject e.Deadletter.delivery.Bus.attempts
+          (Deadletter.cause_to_string e.Deadletter.cause))
+      letters;
+    Printf.printf "%d dead letter(s)\n" (List.length letters);
+    print_pipeline_summary report;
+    if letters = [] then 0 else 1
+
+let daemons_redeliver_main images seed broken flaky =
+  let open Mirror_daemon in
+  match run_faulted_pipeline ~images ~seed ~broken ~flaky with
+  | exception Failure e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | orch, report, heals ->
+    print_pipeline_summary report;
+    List.iter (fun heal -> heal true) heals;
+    let n = Orchestrator.redeliver orch in
+    Printf.printf "healed %d daemon(s), redelivered %d message(s)\n" (List.length heals) n;
+    let report2 = Orchestrator.run orch in
+    print_pipeline_summary report2;
+    let left = List.length (Orchestrator.dead_letters orch) in
+    Printf.printf "%d dead letter(s) remaining\n" left;
+    if report2.Orchestrator.quiescent && left = 0 then 0 else 1
+
+let images_arg =
+  let doc = "Synthetic images to ingest." in
+  Arg.(value & opt int 6 & info [ "images" ] ~docv:"N" ~doc)
+
+let fault_seed_arg =
+  let doc = "Random seed for the corpus and fault injection." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let break_arg =
+  let doc = "Break daemon $(docv) (always fails) for the run; repeatable." in
+  Arg.(value & opt_all string [] & info [ "break" ] ~docv:"NAME" ~doc)
+
+let flaky_arg =
+  let doc = "Make daemon NAME fail with probability RATE; repeatable." in
+  Arg.(value & opt_all string [] & info [ "flaky" ] ~docv:"NAME:RATE" ~doc)
+
+let daemons_health_cmd =
+  let doc = "run the ingest pipeline under supervision and show per-daemon health" in
+  Cmd.v (Cmd.info "health" ~doc)
+    Term.(const daemons_health_main $ images_arg $ fault_seed_arg $ break_arg $ flaky_arg)
+
+let daemons_deadletters_cmd =
+  let doc = "run the ingest pipeline and list the dead-letter queue with causes" in
+  Cmd.v (Cmd.info "deadletters" ~doc)
+    Term.(const daemons_deadletters_main $ images_arg $ fault_seed_arg $ break_arg $ flaky_arg)
+
+let daemons_redeliver_cmd =
+  let doc = "run with faults, heal the broken daemons, replay the dead letters" in
+  Cmd.v (Cmd.info "redeliver" ~doc)
+    Term.(const daemons_redeliver_main $ images_arg $ fault_seed_arg $ break_arg $ flaky_arg)
+
 let daemons_cmd =
-  let doc = "daemon utilities (subcommand: lint)" in
-  Cmd.group (Cmd.info "daemons" ~doc) [ daemons_lint_cmd ]
+  let doc = "daemon utilities (subcommands: lint, health, deadletters, redeliver)" in
+  Cmd.group (Cmd.info "daemons" ~doc)
+    [ daemons_lint_cmd; daemons_health_cmd; daemons_deadletters_cmd; daemons_redeliver_cmd ]
 
 let explain_analyze_main db src =
   match storage_for db with

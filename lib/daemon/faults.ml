@@ -60,3 +60,26 @@ let flaky g ~rate (d : Daemon.t) =
 
 let broken (d : Daemon.t) =
   { d with Daemon.handle = (fun _ _ -> failwith failure_message) }
+
+let switched pred (d : Daemon.t) =
+  {
+    d with
+    Daemon.handle =
+      (fun ctx m -> if pred () then failwith failure_message else d.Daemon.handle ctx m);
+  }
+
+let breakable (d : Daemon.t) =
+  let down = ref true in
+  (switched (fun () -> !down) d, fun up -> down := not up)
+
+let crashing ~at_call (d : Daemon.t) =
+  if at_call < 1 then invalid_arg "Faults.crashing: at_call must be positive";
+  let calls = ref 0 in
+  {
+    d with
+    Daemon.handle =
+      (fun ctx m ->
+        incr calls;
+        if !calls = at_call then raise (Crash ("daemon " ^ d.Daemon.name))
+        else d.Daemon.handle ctx m);
+  }

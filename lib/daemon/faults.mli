@@ -11,6 +11,21 @@ val flaky : Mirror_util.Prng.t -> rate:float -> Daemon.t -> Daemon.t
 val broken : Daemon.t -> Daemon.t
 (** Always fails. *)
 
+val switched : (unit -> bool) -> Daemon.t -> Daemon.t
+(** Fails while the predicate returns true — outage windows for the
+    chaos suite (e.g. keyed to the orchestrator's virtual clock). *)
+
+val breakable : Daemon.t -> Daemon.t * (bool -> unit)
+(** A daemon with a health switch: starts {e down} (always failing);
+    call the returned function with [true] to heal it, [false] to
+    break it again — the redelivery scenario's "the party came back
+    up". *)
+
+val crashing : at_call:int -> Daemon.t -> Daemon.t
+(** Raises {!Crash} on exactly the [at_call]-th handled message (then
+    behaves normally) — the orchestrator treats this as a simulated
+    process death, not a retryable daemon failure. *)
+
 val failure_message : string
 (** The message carried by injected failures (stable for tests). *)
 

@@ -1,3 +1,24 @@
+module Clock = Mirror_util.Clock
+
+type config = {
+  ttl : float;
+  tick : float;
+  capacity : int option;
+  policy : Bus.overflow_policy;
+  breaker : Supervisor.config;
+  barriers : (string * string list) list;
+}
+
+let default_config =
+  {
+    ttl = 30.0;
+    tick = 1.0;
+    capacity = Some 256;
+    policy = Bus.Backpressure;
+    breaker = Supervisor.default_config;
+    barriers = [ ("collection.complete", [ "image.new"; "segments.ready" ]) ];
+  }
+
 type daemon_stats = {
   name : string;
   handled : int;
@@ -8,8 +29,11 @@ type daemon_stats = {
 
 type report = {
   rounds : int;
+  quiescent : bool;
+  pending : int;
+  degraded : string list;
   stats : daemon_stats list;
-  dead_letters : (string * Bus.message) list;
+  dead_letters : Deadletter.entry list;
 }
 
 type mutable_stats = {
@@ -23,16 +47,21 @@ type t = {
   context : Daemon.ctx;
   daemons : Daemon.t list;
   tallies : (string, mutable_stats) Hashtbl.t;
+  config : config;
+  clk : Clock.t;
+  sup : Supervisor.t;
+  dlq : Deadletter.t;
 }
 
 let initial_schema =
   "SET< TUPLE< Atomic<URL>: source, Atomic<Text>: annotation, Atomic<Image>: image > >"
 
-let create ?daemons () =
+let create ?daemons ?clock ?(seed = 7901) ?(config = default_config) () =
   let daemons = match daemons with Some ds -> ds | None -> Standard.all () in
+  let clk = match clock with Some c -> c | None -> Clock.virtual_ () in
   let context =
     {
-      Daemon.bus = Bus.create ();
+      Daemon.bus = Bus.create ?capacity:config.capacity ~policy:config.policy ();
       media = Media.create ();
       dict = Dictionary.create ();
       store = Store.create ();
@@ -48,9 +77,36 @@ let create ?daemons () =
       List.iter (fun topic -> Bus.subscribe context.Daemon.bus ~topic ~name:d.Daemon.name)
         d.Daemon.topics)
     daemons;
-  { context; daemons; tallies }
+  let dlq = Deadletter.create () in
+  (* Sheds under [Shed_oldest] are dead letters too: nothing leaves the
+     bus without an attributable record. *)
+  Bus.set_overflow_handler context.Daemon.bus
+    (Some
+       (fun name delivery ->
+         Deadletter.add dlq
+           { Deadletter.daemon = name; delivery; cause = Deadletter.Overflow;
+             at = Clock.now clk }));
+  let sup = Supervisor.create ~config:config.breaker ~clock:clk ~seed () in
+  { context; daemons; tallies; config; clk; sup; dlq }
 
 let ctx t = t.context
+let clock t = t.clk
+let supervisor t = t.sup
+let dead_letters t = Deadletter.entries t.dlq
+
+let redeliver ?daemon t =
+  let letters = Deadletter.take ?daemon t.dlq in
+  List.iter
+    (fun (e : Deadletter.entry) ->
+      Supervisor.reset t.sup e.Deadletter.daemon;
+      let d = e.Deadletter.delivery in
+      d.Bus.attempts <- 0;
+      d.Bus.deadline <- None;
+      Bus.requeue_delivery t.context.Daemon.bus ~name:e.Deadletter.daemon d;
+      if Mirror_util.Metrics.enabled () then
+        Mirror_util.Metrics.incr "deadletter.redelivered")
+    letters;
+  List.length letters
 
 let ingest_image t ~doc ~url ?annotation img =
   Media.put t.context.Daemon.media ~url img;
@@ -92,74 +148,175 @@ let formulated t =
                  let w = String.sub pair (i + 1) (String.length pair - i - 1) in
                  Option.map (fun w -> (c, w)) (float_of_string_opt w))))
 
+(* Exceptions that are not daemon failures but simulated process
+   deaths: never consume retry budget by swallowing them — requeue the
+   in-flight delivery and let the caller restart. *)
+let is_fatal = function
+  | Faults.Crash _ | Out_of_memory | Stack_overflow -> true
+  | _ -> false
+
 let run ?(max_retries = 2) ?(max_rounds = 1000) ?(trace = Mirror_util.Trace.null) t =
   let module Trace = Mirror_util.Trace in
   let module Metrics = Mirror_util.Metrics in
   let bus = t.context.Daemon.bus in
-  let dead = ref [] in
-  let attempts : (string * Bus.message, int) Hashtbl.t = Hashtbl.create 64 in
   let rounds = ref 0 in
+  let fatal : exn option ref = ref None in
+  let dead_before = Deadletter.count t.dlq in
+  let dead_count () = Deadletter.count t.dlq - dead_before in
+  let pending_daemons () =
+    List.fold_left
+      (fun acc (d : Daemon.t) -> acc + Bus.pending_for bus ~name:d.Daemon.name)
+      0 t.daemons
+  in
+  let add_dead name delivery cause =
+    Deadletter.add t.dlq
+      { Deadletter.daemon = name; delivery; cause; at = Clock.now t.clk };
+    if Metrics.enabled () then Metrics.incr "deadletter.count"
+  in
+  (* A barrier delivery is held while any awaited topic still has
+     in-flight deliveries or dead letters: the downstream daemon must
+     not consume its trigger before upstream work has resolved. *)
+  let barrier_held (m : Bus.message) =
+    match List.assoc_opt m.Bus.topic t.config.barriers with
+    | None -> false
+    | Some awaits ->
+      List.exists
+        (fun topic ->
+          Bus.pending_by_topic bus ~topic > 0 || Deadletter.exists_topic t.dlq topic)
+        awaits
+  in
+  Supervisor.set_listener t.sup
+    (Some
+       (fun name st ->
+         if Trace.is_on trace then
+           Trace.event trace "breaker"
+             ~attrs:[ ("daemon", name); ("state", Supervisor.state_to_string st) ]));
+  Fun.protect ~finally:(fun () -> Supervisor.set_listener t.sup None) @@ fun () ->
   Trace.enter trace "orchestrator.run";
-  while Bus.pending bus > 0 && !rounds < max_rounds do
+  let continue_ = ref (pending_daemons () > 0) in
+  while !continue_ && !fatal = None && !rounds < max_rounds do
     incr rounds;
     Trace.enter trace (Printf.sprintf "round %d" !rounds);
+    let attempts_this_round = ref 0 in
+    let dead_at_round_start = dead_count () in
     List.iter
       (fun (d : Daemon.t) ->
-        let tally = Hashtbl.find t.tallies d.Daemon.name in
-        let handled_before = tally.m_handled in
-        (* handle at most the messages present at round start, so a
-           daemon whose output feeds its own inbox cannot monopolise a
-           round (the rounds guard then catches livelock) *)
-        let rec drain budget =
-          if budget = 0 then ()
-          else
-            match Bus.fetch bus ~name:d.Daemon.name with
-            | None -> ()
-            | Some m ->
-            let m_on = Metrics.enabled () in
-            let w0 = if m_on then Trace.now () else 0.0 in
-            let t0 = Sys.time () in
-            (match d.Daemon.handle t.context m with
-            | out ->
-              tally.m_cpu <- tally.m_cpu +. (Sys.time () -. t0);
-              tally.m_handled <- tally.m_handled + 1;
-              tally.m_produced <- tally.m_produced + List.length out;
-              if m_on then begin
-                Metrics.incr ("daemon." ^ d.Daemon.name ^ ".handled");
-                Metrics.observe ("daemon." ^ d.Daemon.name ^ ".ms")
-                  (1000.0 *. (Trace.now () -. w0))
-              end;
-              List.iter (Bus.publish bus) out
-            | exception _ ->
-              tally.m_cpu <- tally.m_cpu +. (Sys.time () -. t0);
-              tally.m_failures <- tally.m_failures + 1;
-              if m_on then Metrics.incr ("daemon." ^ d.Daemon.name ^ ".failures");
-              let key = (d.Daemon.name, m) in
-              let tries = Option.value ~default:0 (Hashtbl.find_opt attempts key) in
-              if tries < max_retries then begin
-                Hashtbl.replace attempts key (tries + 1);
-                Bus.requeue bus ~name:d.Daemon.name m
-              end
-              else dead := (d.Daemon.name, m) :: !dead);
-              drain (budget - 1)
-        in
-        let budget = Bus.queued bus ~name:d.Daemon.name in
-        if budget > 0 && Trace.is_on trace then begin
-          Trace.enter trace d.Daemon.name;
-          drain budget;
-          Trace.leave ~rows:(tally.m_handled - handled_before) trace
-        end
-        else drain budget)
+        if !fatal = None then begin
+          let name = d.Daemon.name in
+          let tally = Hashtbl.find t.tallies name in
+          let handled_before = tally.m_handled in
+          let now = Clock.now t.clk in
+          (* Stamp fresh deliveries with their deadline; expire overdue
+             ones into the dead-letter queue. *)
+          let expired =
+            Bus.sweep bus ~name ~keep:(fun (dv : Bus.delivery) ->
+                match dv.Bus.deadline with
+                | None ->
+                  dv.Bus.deadline <- Some (now +. t.config.ttl);
+                  true
+                | Some dl -> dl > now)
+          in
+          List.iter
+            (fun dv ->
+              add_dead name dv
+                (Deadletter.Expired
+                   (Supervisor.state_to_string (Supervisor.state t.sup name))))
+            expired;
+          if Metrics.enabled () then
+            Metrics.observe ("daemon." ^ name ^ ".depth")
+              (float_of_int (Bus.queued bus ~name));
+          (* Handle at most the messages present at round start (so a
+             daemon whose output feeds its own inbox cannot monopolise
+             a round), gated by the breaker: open = skip, half-open =
+             one probe delivery. *)
+          let budget =
+            match Supervisor.state t.sup name with
+            | Supervisor.Open _ -> 0
+            | Supervisor.Half_open -> min 1 (Bus.queued bus ~name)
+            | Supervisor.Closed -> Bus.queued bus ~name
+          in
+          let rec drain budget =
+            if budget > 0 && !fatal = None && Supervisor.allow t.sup name then
+              match Bus.fetch_delivery bus ~name with
+              | None -> ()
+              | Some dv ->
+                if barrier_held dv.Bus.message then
+                  (* Put it back and stop: the trigger waits for
+                     upstream work to resolve. *)
+                  Bus.requeue_delivery bus ~name dv
+                else begin
+                  dv.Bus.attempts <- dv.Bus.attempts + 1;
+                  incr attempts_this_round;
+                  let m_on = Metrics.enabled () in
+                  let w0 = if m_on then Trace.now () else 0.0 in
+                  let t0 = Sys.time () in
+                  (match d.Daemon.handle t.context dv.Bus.message with
+                  | out ->
+                    tally.m_cpu <- tally.m_cpu +. (Sys.time () -. t0);
+                    tally.m_handled <- tally.m_handled + 1;
+                    tally.m_produced <- tally.m_produced + List.length out;
+                    Supervisor.success t.sup name;
+                    if m_on then begin
+                      Metrics.incr ("daemon." ^ name ^ ".handled");
+                      Metrics.observe ("daemon." ^ name ^ ".ms")
+                        (1000.0 *. (Trace.now () -. w0))
+                    end;
+                    List.iter (Bus.publish bus) out
+                  | exception e when is_fatal e ->
+                    tally.m_cpu <- tally.m_cpu +. (Sys.time () -. t0);
+                    tally.m_failures <- tally.m_failures + 1;
+                    Bus.requeue_delivery bus ~name dv;
+                    fatal := Some e
+                  | exception e ->
+                    tally.m_cpu <- tally.m_cpu +. (Sys.time () -. t0);
+                    tally.m_failures <- tally.m_failures + 1;
+                    Supervisor.failure t.sup name;
+                    if m_on then Metrics.incr ("daemon." ^ name ^ ".failures");
+                    if dv.Bus.attempts <= max_retries then
+                      Bus.requeue_delivery bus ~name dv
+                    else add_dead name dv (Deadletter.Failed (Printexc.to_string e)));
+                  drain (budget - 1)
+                end
+          in
+          if budget > 0 && Trace.is_on trace then begin
+            Trace.enter trace name;
+            drain budget;
+            Trace.leave ~rows:(tally.m_handled - handled_before) trace
+          end
+          else drain budget
+        end)
       t.daemons;
-    Trace.leave trace
+    let dead_delta = dead_count () - dead_at_round_start in
+    Trace.leave
+      ~attrs:[ ("attempts", string_of_int !attempts_this_round);
+               ("dead", string_of_int dead_delta) ]
+      trace;
+    if Clock.is_virtual t.clk then Clock.advance t.clk t.config.tick;
+    (* Keep pumping while the round did something, or while an open
+       breaker guards pending work (advancing time will half-open it,
+       or the backlog will expire).  Anything else is a stall no amount
+       of rounds can fix — stop and report it honestly. *)
+    let can_unblock () =
+      List.exists
+        (fun (d : Daemon.t) ->
+          Bus.pending_for bus ~name:d.Daemon.name > 0
+          && Supervisor.state t.sup d.Daemon.name <> Supervisor.Closed)
+        t.daemons
+    in
+    continue_ :=
+      pending_daemons () > 0
+      && (!attempts_this_round > 0 || dead_delta > 0 || can_unblock ())
   done;
+  let pending = pending_daemons () in
   Trace.leave
     ~attrs:
       [
         ("rounds", string_of_int !rounds);
-        ("dead_letters", string_of_int (List.length !dead));
+        ("pending", string_of_int pending);
+        ("dead_letters", string_of_int (dead_count ()));
       ]
     trace;
+  (match !fatal with Some e -> raise e | None -> ());
   let stats =
     List.map
       (fun (d : Daemon.t) ->
@@ -173,4 +330,19 @@ let run ?(max_retries = 2) ?(max_rounds = 1000) ?(trace = Mirror_util.Trace.null
         })
       t.daemons
   in
-  { rounds = !rounds; stats; dead_letters = List.rev !dead }
+  let degraded =
+    List.filter_map
+      (fun (d : Daemon.t) ->
+        let name = d.Daemon.name in
+        if
+          Supervisor.state t.sup name <> Supervisor.Closed
+          || Deadletter.for_daemon t.dlq name <> []
+        then Some name
+        else None)
+      t.daemons
+  in
+  let dead_letters =
+    let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+    drop dead_before (Deadletter.entries t.dlq)
+  in
+  { rounds = !rounds; quiescent = pending = 0; pending; degraded; stats; dead_letters }

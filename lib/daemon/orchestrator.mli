@@ -2,9 +2,46 @@
 
     Owns the bus/media/dictionary/store context, ingests footage
     (publishing the corresponding messages) and then pumps the bus in
-    rounds until the daemons go quiescent.  Failed deliveries are
-    retried a bounded number of times and then dead-lettered — a party
-    in an open architecture may simply be down. *)
+    rounds until the daemons go quiescent — under supervision: every
+    daemon has a {!Supervisor} circuit breaker, every delivery a retry
+    budget and a deadline, and everything undeliverable lands in a
+    {!Deadletter} queue with its cause, from which {!redeliver} can
+    replay it once the target is healthy again.
+
+    Time is injectable ({!Mirror_util.Clock}); by default a virtual
+    clock advances one tick per round, so breaker backoff and message
+    deadlines are deterministic and tests never sleep.
+
+    Failure taxonomy: an exception from a handler is a {e daemon}
+    failure — retried, then dead-lettered with the exception text.
+    {!Faults.Crash}, [Out_of_memory] and [Stack_overflow] are {e not}
+    daemon failures: the in-flight delivery is requeued and the
+    exception re-raised to the caller (the supervision analogue of a
+    process crash — state survives in [t]; call {!run} again to
+    restart). *)
+
+type config = {
+  ttl : float;
+      (** Message deadline: a delivery still queued [ttl] clock
+          seconds after it was first considered is dead-lettered as
+          expired (so a downed daemon's backlog drains to the
+          dead-letter queue instead of burning retry attempts). *)
+  tick : float;  (** Virtual-clock advance per round. *)
+  capacity : int option;  (** Per-subscriber bus queue bound. *)
+  policy : Bus.overflow_policy;
+  breaker : Supervisor.config;
+  barriers : (string * string list) list;
+      (** [(topic, awaits)]: a delivery on [topic] is held while any
+          [awaits] topic has pending deliveries or dead letters.  The
+          default holds ["collection.complete"] until segmentation
+          (["image.new"]) and feature extraction (["segments.ready"])
+          have resolved, so the clusterer never runs on a partial
+          feature store. *)
+}
+
+val default_config : config
+(** ttl 30s, tick 1s, capacity 256, [Backpressure], default breaker,
+    the ["collection.complete"] barrier. *)
 
 type daemon_stats = {
   name : string;
@@ -16,19 +53,49 @@ type daemon_stats = {
 
 type report = {
   rounds : int;
-  stats : daemon_stats list;  (** In daemon registration order. *)
-  dead_letters : (string * Bus.message) list;  (** (daemon, message). *)
+  quiescent : bool;
+      (** True when no deliveries remain queued for any daemon.  A
+          false report is honest about why: [pending] counts the
+          backlog (livelock guard hit, breaker still open, or a
+          barrier held by dead letters). *)
+  pending : int;  (** Deliveries still queued when the run stopped. *)
+  degraded : string list;
+      (** Daemons that ended the run unhealthy: breaker not closed,
+          or dead letters addressed to them.  Empty for a clean run. *)
+  stats : daemon_stats list;  (** In daemon registration order;
+          cumulative across runs of the same orchestrator. *)
+  dead_letters : Deadletter.entry list;  (** Added during this run. *)
 }
 
 type t
 
-val create : ?daemons:Daemon.t list -> unit -> t
+val create :
+  ?daemons:Daemon.t list ->
+  ?clock:Mirror_util.Clock.t ->
+  ?seed:int ->
+  ?config:config ->
+  unit ->
+  t
 (** Fresh context with the given daemons subscribed ([Standard.all] by
     default) and the ["ImageLibrary"] extent registered in the
-    dictionary. *)
+    dictionary.  [clock] defaults to a fresh virtual clock; [seed]
+    (default 7901) drives the breakers' deterministic jitter. *)
 
 val ctx : t -> Daemon.ctx
 (** The underlying context (media server, store, dictionary, bus). *)
+
+val clock : t -> Mirror_util.Clock.t
+val supervisor : t -> Supervisor.t
+
+val dead_letters : t -> Deadletter.entry list
+(** The full dead-letter queue, oldest first (persists across runs). *)
+
+val redeliver : ?daemon:string -> t -> int
+(** Drain the dead-letter queue (all of it, or one daemon's) back
+    onto the bus with fresh retry budgets and deadlines, force-closing
+    the target breakers — the operator's "the daemon is healthy again"
+    signal.  Returns the number of redelivered messages; follow with
+    {!run} to process them. *)
 
 val ingest_image :
   t -> doc:int -> url:string -> ?annotation:string -> Mirror_mm.Image.t -> unit
@@ -37,7 +104,8 @@ val ingest_image :
     is supplied). *)
 
 val complete_collection : t -> unit
-(** Announce ["collection.complete"] — unblocks the clusterer. *)
+(** Announce ["collection.complete"] — unblocks the clusterer once
+    the barrier releases. *)
 
 val formulate : t -> string -> unit
 (** Post a ["query.formulate"] request for the given text on behalf of
@@ -49,11 +117,21 @@ val formulated : t -> (string * float) list option
 
 val run :
   ?max_retries:int -> ?max_rounds:int -> ?trace:Mirror_util.Trace.t -> t -> report
-(** Pump messages until quiescence.  [max_retries] (default 2) extra
-    attempts per message per daemon; [max_rounds] (default 1000)
-    guards against livelock.  [trace] records an ["orchestrator.run"]
-    span with one child per round and, under each round, one span per
-    daemon that handled messages (rows = messages handled).  When the
-    {!Mirror_util.Metrics} registry is enabled, per-daemon
-    ["daemon.<name>.handled"/".failures"] counters and a
-    ["daemon.<name>.ms"] latency histogram are recorded. *)
+(** Pump messages until quiescence, the livelock guard, or a stall no
+    amount of time can fix.  [max_retries] (default 2) extra attempts
+    per {e delivery} (each enqueued copy has its own budget);
+    [max_rounds] (default 1000) guards against livelock.  Daemons
+    whose breaker is open are skipped (their backlog waits, then
+    expires); a half-open breaker admits a single probe delivery.
+
+    [trace] records an ["orchestrator.run"] span with one child per
+    round, per-daemon spans beneath, and zero-duration ["breaker"]
+    events on breaker transitions.  When the {!Mirror_util.Metrics}
+    registry is enabled, per-daemon
+    ["daemon.<name>.handled"/".failures"/".ms"/".depth"] metrics,
+    ["breaker.<name>.opened"/".half_open"/".closed"] counters and the
+    ["bus.*"] counters are recorded.
+
+    @raise Faults.Crash (and re-raises [Out_of_memory] /
+    [Stack_overflow]) after requeueing the in-flight delivery — see
+    the failure taxonomy above. *)

@@ -103,13 +103,22 @@ let formulation_daemon =
           [ msg ~payload:[ ("text", text); ("concepts", encoded) ] reply m.Bus.subject ])
       | _ -> failwith "query formulation: missing text/reply payload")
 
+(* Builds on "contrep.ready"; also refreshes on late "annotation.indexed"
+   arrivals (e.g. annotations redelivered after an indexer outage), so a
+   recovered pipeline converges to the same thesaurus a failure-free run
+   builds.  Before the first build, annotation arrivals are ignored —
+   the "contrep.ready" build will see their evidence anyway. *)
 let thesaurus_daemon =
-  Daemon.make ~name:"thesaurus" ~topics:[ "contrep.ready" ] ~publishes:[ "thesaurus.ready" ]
-    (fun ctx m ->
-      ignore m;
-      let th = Mirror_thesaurus.Concepts.build (Store.evidence ctx.Daemon.store) in
-      Store.put_thesaurus ctx.Daemon.store th;
-      [ msg "thesaurus.ready" (-1) ])
+  Daemon.make ~name:"thesaurus"
+    ~topics:[ "contrep.ready"; "annotation.indexed" ]
+    ~publishes:[ "thesaurus.ready" ] (fun ctx m ->
+      if m.Bus.topic = "annotation.indexed" && Store.thesaurus ctx.Daemon.store = None then
+        []
+      else begin
+        let th = Mirror_thesaurus.Concepts.build (Store.evidence ctx.Daemon.store) in
+        Store.put_thesaurus ctx.Daemon.store th;
+        [ msg "thesaurus.ready" (-1) ]
+      end)
 
 let all ?(seed = 20259) () =
   segmenter ()

@@ -43,7 +43,10 @@ val formulation_daemon : Daemon.t
 
 val thesaurus_daemon : Daemon.t
 (** Reacts to ["contrep.ready"]; builds the concept thesaurus from the
-    store's evidence. *)
+    store's evidence.  Also reacts to ["annotation.indexed"], but only
+    once a thesaurus exists: late annotations (redelivered after an
+    indexer outage) trigger a rebuild so the recovered pipeline
+    converges to the failure-free thesaurus. *)
 
 val all : ?seed:int -> unit -> Daemon.t list
 (** The full §5.1 environment: segmenter, six feature daemons,

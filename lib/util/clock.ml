@@ -1,0 +1,14 @@
+type t = Wall | Virtual of float ref
+
+let wall = Wall
+let virtual_ ?(at = 0.0) () = Virtual (ref at)
+let now = function Wall -> Unix.gettimeofday () | Virtual r -> !r
+
+let advance t dt =
+  match t with
+  | Wall -> invalid_arg "Clock.advance: cannot advance the wall clock"
+  | Virtual r ->
+    if dt < 0.0 then invalid_arg "Clock.advance: negative delta";
+    r := !r +. dt
+
+let is_virtual = function Wall -> false | Virtual _ -> true

@@ -1,0 +1,24 @@
+(** Injectable time source.
+
+    Components that schedule work in the future (circuit-breaker
+    backoff, message deadlines) take a [Clock.t] instead of reading
+    wall time directly, so tests drive time explicitly and never
+    sleep.  A virtual clock only moves when {!advance} is called; the
+    wall clock delegates to the real time-of-day clock. *)
+
+type t
+
+val wall : t
+(** The real time-of-day clock ({!now} returns Unix epoch seconds). *)
+
+val virtual_ : ?at:float -> unit -> t
+(** A fresh virtual clock, reading [at] (default 0.0) until advanced. *)
+
+val now : t -> float
+(** Current reading in seconds. *)
+
+val advance : t -> float -> unit
+(** Move a virtual clock forward.
+    @raise Invalid_argument on the wall clock or a negative delta. *)
+
+val is_virtual : t -> bool

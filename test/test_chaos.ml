@@ -1,0 +1,182 @@
+(* Seeded chaos suite for the supervision fabric.
+
+   Each schedule wraps the standard daemon set in a random mix of
+   faults — flaky failure rates, outage windows that last until the
+   harness heals them, and one-shot simulated process crashes — then
+   drives the full ingest pipeline and checks three invariants:
+
+   (a) accounting: every delivery enqueued for a daemon is eventually
+       handled, dead-lettered with a cause, or still pending (nothing
+       vanishes);
+   (b) honesty: a run either reaches quiescence or reports a positive
+       backlog (never "quiescent" with work outstanding);
+   (c) convergence: once the faults are healed and the dead letters
+       redelivered, the store equals the failure-free run's store.
+
+   Everything is deterministic: the orchestrator runs on a virtual
+   clock and every random choice comes from a seeded Prng, so any
+   failing schedule is reproducible by its seed alone. *)
+
+module Prng = Mirror_util.Prng
+module Synth = Mirror_mm.Synth
+module Bus = Mirror_daemon.Bus
+module Daemon = Mirror_daemon.Daemon
+module Store = Mirror_daemon.Store
+module Standard = Mirror_daemon.Standard
+module Faults = Mirror_daemon.Faults
+module Orchestrator = Mirror_daemon.Orchestrator
+module Deadletter = Mirror_daemon.Deadletter
+
+let schedules = 500
+
+(* One tiny corpus shared by every schedule: the suite exercises the
+   supervision fabric, not the media pipeline, so the images are as
+   small as the daemons accept. *)
+let scenes = Synth.corpus (Prng.create 97) ~n:2 ~width:16 ~height:16 ~annotated_fraction:0.8 ()
+
+let ingest orch =
+  Array.iteri
+    (fun i (s : Synth.scene) ->
+      let url = Printf.sprintf "chaos://%d" i in
+      let annotation = Option.map (String.concat " ") s.Synth.caption in
+      Orchestrator.ingest_image orch ~doc:i ~url ?annotation s.Synth.image)
+    scenes;
+  Orchestrator.complete_collection orch
+
+(* Run to completion, restarting after simulated process deaths
+   (orchestrator state survives a Faults.Crash; re-running resumes). *)
+let run_with_restarts orch =
+  let rec attempt n =
+    match Orchestrator.run orch with
+    | report -> (report, n)
+    | exception Faults.Crash _ when n < 20 -> attempt (n + 1)
+  in
+  attempt 0
+
+let digest orch =
+  let store = (Orchestrator.ctx orch).Daemon.store in
+  let per_doc =
+    List.map
+      (fun doc ->
+        ( doc,
+          Option.map List.length (Store.segments store ~doc),
+          Store.text store ~doc,
+          List.sort compare (Store.visual_words store ~doc) ))
+      (Store.docs store)
+  in
+  (per_doc, Store.clustered_spaces store, Store.thesaurus store)
+
+let baseline =
+  lazy
+    (let orch = Orchestrator.create () in
+     ingest orch;
+     let report, _ = run_with_restarts orch in
+     assert report.Orchestrator.quiescent;
+     digest orch)
+
+(* Invariant (a): per daemon, deliveries in = handled + dead + pending. *)
+let check_accounting ~seed orch (report : Orchestrator.report) =
+  let bus = (Orchestrator.ctx orch).Daemon.bus in
+  List.iter
+    (fun (s : Orchestrator.daemon_stats) ->
+      let name = s.Orchestrator.name in
+      let delivered = Bus.delivered_to bus ~name in
+      let dead =
+        List.length
+          (List.filter
+             (fun (e : Deadletter.entry) -> e.Deadletter.daemon = name)
+             (Orchestrator.dead_letters orch))
+      in
+      let pending = Bus.pending_for bus ~name in
+      if delivered <> s.Orchestrator.handled + dead + pending then
+        Alcotest.failf
+          "schedule %d: %s loses deliveries: %d in <> %d handled + %d dead + %d pending"
+          seed name delivered s.Orchestrator.handled dead pending)
+    report.Orchestrator.stats
+
+(* Build one random fault schedule over the standard daemon set.
+   [healed] flips to true when the harness declares the outage over;
+   every fault is transient with respect to it. *)
+let schedule_daemons g ~healed =
+  let crashes = ref 0 in
+  let daemons =
+    List.map
+      (fun (d : Daemon.t) ->
+        match Prng.int g 5 with
+        | 0 ->
+          let rate = 0.2 +. Prng.float g 0.6 in
+          let gd = Prng.split g in
+          Faults.switched (fun () -> (not !healed) && Prng.float gd 1.0 < rate) d
+        | 1 -> Faults.switched (fun () -> not !healed) d
+        | 2 when !crashes < 2 ->
+          (* one-shot simulated process death partway through *)
+          incr crashes;
+          Faults.crashing ~at_call:(1 + Prng.int g 3) d
+        | _ -> d)
+      (Standard.all ())
+  in
+  daemons
+
+let run_schedule seed =
+  let g = Prng.create (0x5EED + (seed * 7919)) in
+  let healed = ref false in
+  let orch = Orchestrator.create ~daemons:(schedule_daemons g ~healed) () in
+  ingest orch;
+  let report, restarts = run_with_restarts orch in
+  (* (b) honesty *)
+  if report.Orchestrator.quiescent && report.Orchestrator.pending > 0 then
+    Alcotest.failf "schedule %d: claims quiescence with %d pending" seed
+      report.Orchestrator.pending;
+  if (not report.Orchestrator.quiescent) && report.Orchestrator.pending = 0 then
+    Alcotest.failf "schedule %d: claims a backlog it does not have" seed;
+  (* (a) accounting after the faulted run *)
+  check_accounting ~seed orch report;
+  (* heal, redeliver, and drain to convergence *)
+  healed := true;
+  let rec recover n =
+    ignore (Orchestrator.redeliver orch);
+    let r, _ = run_with_restarts orch in
+    if
+      n < 10
+      && ((not r.Orchestrator.quiescent) || Orchestrator.dead_letters orch <> [])
+    then recover (n + 1)
+    else r
+  in
+  let final = recover 0 in
+  if not final.Orchestrator.quiescent then
+    Alcotest.failf "schedule %d: never quiesced after healing" seed;
+  if Orchestrator.dead_letters orch <> [] then
+    Alcotest.failf "schedule %d: dead letters survived redelivery" seed;
+  check_accounting ~seed orch final;
+  (* (c) convergence *)
+  if digest orch <> Lazy.force baseline then
+    Alcotest.failf "schedule %d: store did not converge to the failure-free state" seed;
+  ignore restarts
+
+let test_chaos_schedules () =
+  for seed = 0 to schedules - 1 do
+    run_schedule seed
+  done
+
+(* A schedule with no faults at all must look exactly like the
+   baseline — guards the harness itself. *)
+let test_chaos_null_schedule () =
+  let orch = Orchestrator.create () in
+  ingest orch;
+  let report, restarts = run_with_restarts orch in
+  Alcotest.(check int) "no restarts" 0 restarts;
+  Alcotest.(check bool) "quiescent" true report.Orchestrator.quiescent;
+  Alcotest.(check int) "no dead letters" 0 (List.length report.Orchestrator.dead_letters);
+  Alcotest.(check bool) "digest matches baseline" true (digest orch = Lazy.force baseline)
+
+let () =
+  Alcotest.run "mirror_chaos"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "null schedule" `Quick test_chaos_null_schedule;
+          Alcotest.test_case
+            (Printf.sprintf "%d seeded fault schedules" schedules)
+            `Quick test_chaos_schedules;
+        ] );
+    ]

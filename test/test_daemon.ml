@@ -10,6 +10,9 @@ module Daemon = Mirror_daemon.Daemon
 module Standard = Mirror_daemon.Standard
 module Faults = Mirror_daemon.Faults
 module Orchestrator = Mirror_daemon.Orchestrator
+module Supervisor = Mirror_daemon.Supervisor
+module Deadletter = Mirror_daemon.Deadletter
+module Clock = Mirror_util.Clock
 
 (* {1 Bus} *)
 
@@ -50,6 +53,102 @@ let test_bus_requeue () =
   Bus.requeue b ~name:"d" m;
   Alcotest.(check int) "pending again" 1 (Bus.pending b);
   Alcotest.(check int) "requeue is not a publication" 1 (Bus.published b)
+
+(* A requeued message goes to the back of the queue, behind messages
+   published while it was out being handled. *)
+let test_bus_requeue_ordering () =
+  let b = Bus.create () in
+  Bus.subscribe b ~topic:"t" ~name:"d";
+  Bus.publish b { Bus.topic = "t"; subject = 1; payload = [] };
+  let m = Option.get (Bus.fetch b ~name:"d") in
+  Bus.publish b { Bus.topic = "t"; subject = 2; payload = [] };
+  Bus.publish b { Bus.topic = "t"; subject = 3; payload = [] };
+  Bus.requeue b ~name:"d" m;
+  let order = List.init 3 (fun _ -> (Option.get (Bus.fetch b ~name:"d")).Bus.subject) in
+  Alcotest.(check (list int)) "requeue behind fresh publishes" [ 2; 3; 1 ] order
+
+(* Two identical messages are two deliveries: distinct sequence ids,
+   independent attempt counters. *)
+let test_bus_independent_deliveries () =
+  let b = Bus.create () in
+  Bus.subscribe b ~topic:"t" ~name:"d";
+  let m = { Bus.topic = "t"; subject = 1; payload = [] } in
+  Bus.publish b m;
+  Bus.publish b m;
+  let d1 = Option.get (Bus.fetch_delivery b ~name:"d") in
+  let d2 = Option.get (Bus.fetch_delivery b ~name:"d") in
+  Alcotest.(check bool) "distinct seq" true (d1.Bus.seq <> d2.Bus.seq);
+  d1.Bus.attempts <- 5;
+  Alcotest.(check int) "budgets independent" 0 d2.Bus.attempts
+
+let test_bus_backpressure () =
+  let b = Bus.create ~capacity:2 () in
+  Bus.subscribe b ~topic:"t" ~name:"d";
+  for i = 1 to 4 do
+    Bus.publish b { Bus.topic = "t"; subject = i; payload = [] }
+  done;
+  Alcotest.(check int) "queue at capacity" 2 (Bus.queued b ~name:"d");
+  Alcotest.(check int) "overflow stalled" 2 (Bus.stalled b ~name:"d");
+  Alcotest.(check int) "stall counter" 2 (Bus.stalls b);
+  Alcotest.(check int) "nothing shed" 0 (Bus.shed b);
+  (* draining admits stalled deliveries in order; nothing is lost *)
+  let order = List.init 4 (fun _ -> (Option.get (Bus.fetch b ~name:"d")).Bus.subject) in
+  Alcotest.(check (list int)) "fifo across stall" [ 1; 2; 3; 4 ] order;
+  Alcotest.(check int) "all delivered" 4 (Bus.delivered_to b ~name:"d")
+
+let test_bus_shed_oldest () =
+  let b = Bus.create ~capacity:2 ~policy:Bus.Shed_oldest () in
+  let shed = ref [] in
+  Bus.set_overflow_handler b (Some (fun name d -> shed := (name, d.Bus.message.Bus.subject) :: !shed));
+  Bus.subscribe b ~topic:"t" ~name:"d";
+  for i = 1 to 4 do
+    Bus.publish b { Bus.topic = "t"; subject = i; payload = [] }
+  done;
+  Alcotest.(check (list (pair string int))) "oldest evicted to the handler"
+    [ ("d", 1); ("d", 2) ] (List.rev !shed);
+  Alcotest.(check int) "shed counter" 2 (Bus.shed b);
+  let order = List.init 2 (fun _ -> (Option.get (Bus.fetch b ~name:"d")).Bus.subject) in
+  Alcotest.(check (list int)) "newest survive" [ 3; 4 ] order
+
+(* {1 Circuit breaker} *)
+
+let test_breaker_lifecycle () =
+  let clk = Clock.virtual_ () in
+  let sup = Supervisor.create ~clock:clk ~seed:1 () in
+  Alcotest.(check bool) "starts closed" true (Supervisor.allow sup "d");
+  Supervisor.failure sup "d";
+  Supervisor.failure sup "d";
+  Alcotest.(check bool) "below threshold stays closed" true (Supervisor.allow sup "d");
+  Supervisor.failure sup "d";
+  Alcotest.(check bool) "third strike opens" false (Supervisor.allow sup "d");
+  let deadline = Option.get (Supervisor.waiting_until sup "d") in
+  Alcotest.(check bool) "backoff in the future" true (deadline > Clock.now clk);
+  Clock.advance clk (deadline -. Clock.now clk +. 0.1);
+  Alcotest.(check bool) "half-open admits a probe" true (Supervisor.allow sup "d");
+  Supervisor.success sup "d";
+  Alcotest.(check bool) "probe success closes" true (Supervisor.allow sup "d");
+  Alcotest.(check int) "failure streak reset" 0 (Supervisor.failures sup "d")
+
+let test_breaker_reopen_backs_off_longer () =
+  let clk = Clock.virtual_ () in
+  let sup = Supervisor.create ~clock:clk ~seed:1 () in
+  let open_and_measure () =
+    for _ = 1 to 3 do Supervisor.failure sup "d" done;
+    ignore (Supervisor.allow sup "d");
+    let deadline = Option.get (Supervisor.waiting_until sup "d") in
+    let wait = deadline -. Clock.now clk in
+    Clock.advance clk (wait +. 0.1);
+    ignore (Supervisor.allow sup "d") (* half-open *);
+    wait
+  in
+  let w1 = open_and_measure () in
+  (* the half-open probe fails: re-trip from half-open with doubled backoff *)
+  Supervisor.failure sup "d";
+  Alcotest.(check bool) "re-tripped" false (Supervisor.allow sup "d");
+  let w2 = (Option.get (Supervisor.waiting_until sup "d")) -. Clock.now clk in
+  Alcotest.(check bool)
+    (Printf.sprintf "backoff grows (%.2f -> %.2f)" w1 w2)
+    true (w2 > w1)
 
 (* {1 Dictionary} *)
 
@@ -119,7 +218,9 @@ let test_orchestrator_livelock_guard () =
   let orch = Orchestrator.create ~daemons:[ chatter ] () in
   Bus.publish (Orchestrator.ctx orch).Daemon.bus { Bus.topic = "noise"; subject = 0; payload = [] };
   let report = Orchestrator.run ~max_rounds:5 orch in
-  Alcotest.(check int) "stopped at the guard" 5 report.Orchestrator.rounds
+  Alcotest.(check int) "stopped at the guard" 5 report.Orchestrator.rounds;
+  Alcotest.(check bool) "honest about not quiescing" false report.Orchestrator.quiescent;
+  Alcotest.(check bool) "backlog reported" true (report.Orchestrator.pending > 0)
 
 (* {1 Full pipeline (figure 1)} *)
 
@@ -223,11 +324,174 @@ let test_pipeline_broken_daemon_dead_letters () =
   Alcotest.(check int) "every annotation dead-lettered" annotated
     (List.length report.Orchestrator.dead_letters);
   List.iter
-    (fun (name, _) -> Alcotest.(check string) "right daemon" "annotation-indexer" name)
+    (fun (e : Deadletter.entry) ->
+      Alcotest.(check string) "right daemon" "annotation-indexer" e.Deadletter.daemon)
     report.Orchestrator.dead_letters;
-  (* the rest of the pipeline still completed *)
+  (* the rest of the pipeline still completed, in declared degraded mode *)
   let store = (Orchestrator.ctx orch).Daemon.store in
-  Alcotest.(check bool) "clustering still ran" true (Store.clustered_spaces store <> [])
+  Alcotest.(check bool) "clustering still ran" true (Store.clustered_spaces store <> []);
+  Alcotest.(check bool) "run quiesced despite the outage" true report.Orchestrator.quiescent;
+  Alcotest.(check (list string)) "degraded daemon named" [ "annotation-indexer" ]
+    report.Orchestrator.degraded;
+  (* degraded-mode economics: the breaker sheds the downed daemon's
+     backlog instead of burning max_retries attempts per message *)
+  let ai =
+    List.find (fun s -> s.Orchestrator.name = "annotation-indexer") report.Orchestrator.stats
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "breaker capped attempts (%d)" ai.Orchestrator.failures)
+    true
+    (ai.Orchestrator.failures < 2 * annotated)
+
+(* Acceptance: a degraded run is cheap even with a generous retry
+   budget — the breaker opens after a few strikes and the backlog
+   expires instead of being retried max_retries times each. *)
+let test_degraded_run_is_cheap () =
+  let daemons =
+    List.map
+      (fun (d : Daemon.t) ->
+        if d.Daemon.name = "annotation-indexer" then Faults.broken d else d)
+      (Standard.all ())
+  in
+  let orch, scenes = build_pipeline ~daemons () in
+  let max_retries = 50 in
+  let report = Orchestrator.run ~max_retries orch in
+  let annotated =
+    Array.to_list scenes |> List.filter (fun s -> s.Synth.caption <> None) |> List.length
+  in
+  let ai =
+    List.find (fun s -> s.Orchestrator.name = "annotation-indexer") report.Orchestrator.stats
+  in
+  Alcotest.(check bool) "completed degraded" true report.Orchestrator.quiescent;
+  Alcotest.(check bool)
+    (Printf.sprintf "attempts far below the retry budget (%d << %d)" ai.Orchestrator.failures
+       (max_retries * annotated))
+    true
+    (ai.Orchestrator.failures * 5 < max_retries * annotated);
+  (* the shed backlog is accounted for: expired into the dead-letter
+     queue, not silently dropped *)
+  Alcotest.(check int) "backlog dead-lettered" annotated
+    (List.length report.Orchestrator.dead_letters);
+  Alcotest.(check bool) "expiries recorded with cause" true
+    (List.exists
+       (fun (e : Deadletter.entry) ->
+         match e.Deadletter.cause with Deadletter.Expired _ -> true | _ -> false)
+       report.Orchestrator.dead_letters)
+
+(* Acceptance: heal the daemon, redeliver, and the store converges to
+   the failure-free outcome — including the thesaurus, which refreshes
+   on the late annotations. *)
+let test_redeliver_after_heal_converges () =
+  (* failure-free reference *)
+  let ref_orch, _ = build_pipeline () in
+  ignore (Orchestrator.run ref_orch);
+  let ref_store = (Orchestrator.ctx ref_orch).Daemon.store in
+  (* same corpus with the annotation indexer down *)
+  let heal = ref ignore in
+  let daemons =
+    List.map
+      (fun (d : Daemon.t) ->
+        if d.Daemon.name = "annotation-indexer" then begin
+          let d', h = Faults.breakable d in
+          heal := h;
+          d'
+        end
+        else d)
+      (Standard.all ())
+  in
+  let orch, scenes = build_pipeline ~daemons () in
+  let report = Orchestrator.run orch in
+  Alcotest.(check bool) "first run is degraded" true (report.Orchestrator.degraded <> []);
+  Alcotest.(check bool) "dead letters accumulated" true
+    (Orchestrator.dead_letters orch <> []);
+  (* the party comes back up *)
+  !heal true;
+  let redelivered = Orchestrator.redeliver orch in
+  Alcotest.(check bool) "redelivery replays the backlog" true (redelivered > 0);
+  let report2 = Orchestrator.run orch in
+  Alcotest.(check bool) "healed run quiesces" true report2.Orchestrator.quiescent;
+  Alcotest.(check (list string)) "no longer degraded" [] report2.Orchestrator.degraded;
+  Alcotest.(check int) "dead-letter queue drained" 0
+    (List.length (Orchestrator.dead_letters orch));
+  (* store converged to the failure-free outcome *)
+  let store = (Orchestrator.ctx orch).Daemon.store in
+  Array.iteri
+    (fun doc s ->
+      let expect = s.Synth.caption <> None in
+      Alcotest.(check bool) (Printf.sprintf "text doc %d converged" doc) expect
+        (Store.text store ~doc <> None);
+      Alcotest.(check bool) (Printf.sprintf "text doc %d identical" doc) true
+        (Store.text store ~doc = Store.text ref_store ~doc))
+    scenes;
+  Alcotest.(check bool) "thesaurus rebuilt over the late annotations" true
+    (Store.thesaurus store = Store.thesaurus ref_store)
+
+(* Under a fixed flaky seed with no retry budget, dead letters arrive
+   in delivery order, each with a cause, and nothing is lost: every
+   delivery is either handled or dead-lettered. *)
+let test_flaky_dead_letter_ordering () =
+  let g = Prng.create 11 in
+  let sink =
+    Faults.flaky g ~rate:0.5 (Daemon.make ~name:"sink" ~topics:[ "t" ] (fun _ _ -> []))
+  in
+  let orch = Orchestrator.create ~daemons:[ sink ] () in
+  let bus = (Orchestrator.ctx orch).Daemon.bus in
+  for i = 0 to 19 do
+    Bus.publish bus { Bus.topic = "t"; subject = i; payload = [] }
+  done;
+  let report = Orchestrator.run ~max_retries:0 orch in
+  let dead = report.Orchestrator.dead_letters in
+  Alcotest.(check bool) "seed injects some failures" true (dead <> []);
+  let sink_stats = List.find (fun s -> s.Orchestrator.name = "sink") report.Orchestrator.stats in
+  Alcotest.(check int) "handled + dead = delivered" 20
+    (sink_stats.Orchestrator.handled + List.length dead);
+  (* oldest-first: both the record timestamps and the delivery seqs
+     are nondecreasing down the queue *)
+  let rec monotone = function
+    | (a : Deadletter.entry) :: (b : Deadletter.entry) :: tl ->
+      a.Deadletter.at <= b.Deadletter.at
+      && a.Deadletter.delivery.Bus.seq < b.Deadletter.delivery.Bus.seq
+      && monotone (b :: tl)
+    | _ -> true
+  in
+  Alcotest.(check bool) "dead letters ordered oldest-first" true (monotone dead);
+  (* every record carries a cause: exhausted budget or expiry behind
+     the tripped breaker — never an uncaused overflow *)
+  List.iter
+    (fun (e : Deadletter.entry) ->
+      match e.Deadletter.cause with
+      | Deadletter.Failed _ | Deadletter.Expired _ -> ()
+      | Deadletter.Overflow -> Alcotest.fail "unexpected overflow cause")
+    dead
+
+(* Identical messages published twice must carry independent retry
+   budgets: both deliveries are retried to exhaustion and both are
+   dead-lettered (a shared budget would dead-letter only one). *)
+let test_duplicate_message_budgets () =
+  let failing =
+    Daemon.make ~name:"sink" ~topics:[ "t" ] (fun _ _ -> failwith "nope")
+  in
+  let orch = Orchestrator.create ~daemons:[ failing ] () in
+  let bus = (Orchestrator.ctx orch).Daemon.bus in
+  let m = { Bus.topic = "t"; subject = 7; payload = [] } in
+  Bus.publish bus m;
+  Bus.publish bus m;
+  let report = Orchestrator.run ~max_retries:1 orch in
+  Alcotest.(check int) "both duplicates dead-lettered" 2
+    (List.length report.Orchestrator.dead_letters);
+  List.iter
+    (fun (e : Deadletter.entry) ->
+      Alcotest.(check int) "full budget spent per delivery" 2 e.Deadletter.delivery.Bus.attempts;
+      match e.Deadletter.cause with
+      | Deadletter.Failed reason ->
+        let contains s sub =
+          let n = String.length s and m = String.length sub in
+          let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+          at 0
+        in
+        Alcotest.(check bool) "cause carries the exception text" true (contains reason "nope")
+      | c -> Alcotest.fail ("expected Failed, got " ^ Deadletter.cause_to_string c))
+    report.Orchestrator.dead_letters
 
 let test_missing_media_dead_letters () =
   let orch = Orchestrator.create () in
@@ -238,7 +502,9 @@ let test_missing_media_dead_letters () =
     { Bus.topic = "image.new"; subject = 0; payload = [ ("url", "http://gone") ] };
   let report = Orchestrator.run ~max_retries:1 orch in
   Alcotest.(check bool) "segmenter dead-letters the message" true
-    (List.exists (fun (name, _) -> name = "segmenter") report.Orchestrator.dead_letters)
+    (List.exists
+       (fun (e : Deadletter.entry) -> e.Deadletter.daemon = "segmenter")
+       report.Orchestrator.dead_letters)
 
 let test_query_formulation_round_trip () =
   let orch, _ = build_pipeline () in
@@ -277,6 +543,15 @@ let () =
           Alcotest.test_case "drop counter" `Quick test_bus_drop_counter;
           Alcotest.test_case "fifo order" `Quick test_bus_fifo;
           Alcotest.test_case "requeue" `Quick test_bus_requeue;
+          Alcotest.test_case "requeue ordering" `Quick test_bus_requeue_ordering;
+          Alcotest.test_case "independent deliveries" `Quick test_bus_independent_deliveries;
+          Alcotest.test_case "backpressure" `Quick test_bus_backpressure;
+          Alcotest.test_case "shed oldest" `Quick test_bus_shed_oldest;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "breaker lifecycle" `Quick test_breaker_lifecycle;
+          Alcotest.test_case "reopen backs off longer" `Quick test_breaker_reopen_backs_off_longer;
         ] );
       ("dictionary", [ Alcotest.test_case "register/evolve/history" `Quick test_dictionary ]);
       ( "store",
@@ -298,6 +573,10 @@ let () =
           Alcotest.test_case "annotations indexed" `Quick test_pipeline_annotations_indexed;
           Alcotest.test_case "flaky daemon retries" `Quick test_pipeline_flaky_daemon_retries;
           Alcotest.test_case "broken daemon dead-letters" `Quick test_pipeline_broken_daemon_dead_letters;
+          Alcotest.test_case "degraded run is cheap" `Quick test_degraded_run_is_cheap;
+          Alcotest.test_case "flaky dead-letter ordering" `Quick test_flaky_dead_letter_ordering;
+          Alcotest.test_case "redeliver after heal converges" `Quick test_redeliver_after_heal_converges;
+          Alcotest.test_case "duplicate message budgets" `Quick test_duplicate_message_budgets;
           Alcotest.test_case "stats shape" `Quick test_pipeline_stats_shape;
           Alcotest.test_case "missing media dead-letters" `Quick test_missing_media_dead_letters;
           Alcotest.test_case "interactive query formulation" `Quick test_query_formulation_round_trip;

@@ -438,6 +438,33 @@ let test_crc32_sensitivity () =
   Alcotest.(check bool) "truncation changes checksum" true
     (base <> Crc32.string "hello worl")
 
+(* {1 Clock} *)
+
+let test_clock_virtual () =
+  let c = Mirror_util.Clock.virtual_ () in
+  Alcotest.(check bool) "virtual" true (Mirror_util.Clock.is_virtual c);
+  Alcotest.(check (float 0.0)) "starts at zero" 0.0 (Mirror_util.Clock.now c);
+  Mirror_util.Clock.advance c 2.5;
+  Mirror_util.Clock.advance c 1.5;
+  Alcotest.(check (float 1e-9)) "advances" 4.0 (Mirror_util.Clock.now c);
+  let c7 = Mirror_util.Clock.virtual_ ~at:7.0 () in
+  Alcotest.(check (float 1e-9)) "custom origin" 7.0 (Mirror_util.Clock.now c7)
+
+let test_clock_wall () =
+  let c = Mirror_util.Clock.wall in
+  Alcotest.(check bool) "not virtual" false (Mirror_util.Clock.is_virtual c);
+  let t0 = Mirror_util.Clock.now c in
+  Alcotest.(check bool) "monotone enough" true (Mirror_util.Clock.now c >= t0);
+  Alcotest.check_raises "cannot advance wall time"
+    (Invalid_argument "Clock.advance: cannot advance the wall clock") (fun () ->
+      Mirror_util.Clock.advance c 1.0)
+
+let test_clock_advance_negative () =
+  let c = Mirror_util.Clock.virtual_ () in
+  Alcotest.check_raises "time only moves forward"
+    (Invalid_argument "Clock.advance: negative delta") (fun () ->
+      Mirror_util.Clock.advance c (-1.0))
+
 (* {1 QCheck properties} *)
 
 let prop_lse_ge_max =
@@ -509,6 +536,12 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "arity check" `Quick test_table_arity_check;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "virtual clock" `Quick test_clock_virtual;
+          Alcotest.test_case "wall clock" `Quick test_clock_wall;
+          Alcotest.test_case "negative advance" `Quick test_clock_advance_negative;
         ] );
       ( "trace",
         [
