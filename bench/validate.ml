@@ -100,16 +100,30 @@ let () =
         | Some v when v >= 0.0 -> ()
         | _ -> die "CHAOS entry lacks %s" f)
       [ "rounds_p50"; "clean_ms"; "degraded_ms" ]);
-  (* the VET entry must prove translation validation actually ran *)
+  (* the VET entry must prove translation validation and the effect
+     analysis actually ran — and that the corpus is hazard-free *)
   (match find "VET" with
   | None -> die "no entry for the workload vetting pass (VET)"
-  | Some v -> (
-    match
+  | Some v ->
+    let counter name =
       Option.bind (Json.member "metrics" v) (fun m ->
-          Option.bind (Json.member "counters" m) (Json.member "moacheck.envelope_checks"))
-    with
+          Option.bind (Json.member "counters" m) (Json.member name))
+    in
+    (match counter "moacheck.envelope_checks" with
     | Some (Json.Int n) when n > 0 -> ()
     | Some (Json.Int _) -> die "VET ran zero envelope checks"
-    | _ -> die "VET entry lacks the moacheck.envelope_checks counter"));
+    | _ -> die "VET entry lacks the moacheck.envelope_checks counter");
+    (match counter "effcheck.plans" with
+    | Some (Json.Int n) when n > 0 -> ()
+    | Some (Json.Int _) -> die "VET analyzed zero plans with effcheck"
+    | _ -> die "VET entry lacks the effcheck.plans counter");
+    (match counter "effcheck.partitions" with
+    | Some (Json.Int n) when n > 0 -> ()
+    | Some (Json.Int _) -> die "VET found zero safe partitions"
+    | _ -> die "VET entry lacks the effcheck.partitions counter");
+    (match counter "effcheck.hazards" with
+    | Some (Json.Int 0) -> ()
+    | Some (Json.Int n) -> die "VET found %d effcheck hazard(s) over the corpus" n
+    | _ -> die "VET entry lacks the effcheck.hazards counter"));
   Printf.printf "BENCH_core.json ok: %d experiment entries (%s)\n" (List.length entries)
     (String.concat ", " (List.filter_map entry_id entries))

@@ -26,6 +26,7 @@ module Storage = Mirror_core.Storage
 module Optimize = Mirror_core.Optimize
 module Flatten = Mirror_core.Flatten
 module Plancheck = Mirror_core.Plancheck
+module Lintreport = Mirror_core.Lintreport
 module Moacheck = Mirror_core.Moacheck
 module Moaprop = Mirror_core.Moaprop
 module Corpus = Mirror_core.Corpus
@@ -111,41 +112,15 @@ let print_result = function
 
 (* {1 Static analysis (lint / explain --check)} *)
 
-(* Both layers of static checking over one query: the Moa-level shape
-   analyzer (Moacheck) on the logical expression, then — via
-   Plancheck.vet — typechecking, plan verification and translation
-   validation of the flattening, then the MIL-level lint pass over the
-   optimized bundle.  Returns 0 when no error-severity problem was
-   found. *)
-let lint_expr st src expr =
-  match Plancheck.vet st expr with
-  | Error e ->
-    Printf.printf "FAIL  %s\n  %s\n" src e;
-    1
-  | Ok () -> (
-    match Flatten.compile st (Optimize.rewrite expr) with
-    | exception Flatten.Unsupported e ->
-      Printf.printf "FAIL  %s\n  flatten: %s\n" src e;
-      1
-    | shape ->
-      let moa_diags = Moacheck.lint (Moacheck.env_of_storage st) expr in
-      let moa_errors = Moaprop.errors moa_diags in
-      let shape = Shape.map Milopt.rewrite shape in
-      let env = Plancheck.env_of_storage st in
-      let diags = Plancheck.lint_shape env shape in
-      let errors = List.filter (fun d -> d.Milcheck.severity = Milcheck.Error) diags in
-      let failed = moa_errors <> [] || errors <> [] in
-      Printf.printf "%s  %s\n" (if failed then "FAIL" else "ok  ") src;
-      List.iter (fun d -> Printf.printf "  moa: %s\n" (Moaprop.diag_to_string d)) moa_diags;
-      List.iter (fun d -> Printf.printf "  mil: %s\n" (Milcheck.diag_to_string d)) diags;
-      if failed then 1 else 0)
-
+(* All three layers of static checking over one query — the Moa-level
+   shape analyzer (Moacheck), the MIL-level envelope lint (Milcheck via
+   Plancheck.vet and lint_shape) and the effect-and-aliasing hazard
+   lint (Effcheck) — through the shared Lintreport backend.  Returns 0
+   when no error-severity problem was found. *)
 let lint_query st src =
-  match Parser.parse_expr src with
-  | Error e ->
-    Printf.printf "FAIL  %s\n  parse: %s\n" src e;
-    1
-  | Ok expr -> lint_expr st src expr
+  let q = Lintreport.check_src st src in
+  Lintreport.print_query q;
+  if q.Lintreport.failed then 1 else 0
 
 let storage_for db =
   Mirror_core.Bootstrap.ensure ();
@@ -214,8 +189,13 @@ let lint_durable queries =
               1
             | Ok () -> report_sweep ~suffix:" against a recovered durable store" srcs failures))))
 
-let lint_main db queries durable =
-  if durable then lint_durable queries
+let lint_main db queries durable json =
+  if durable then
+    if json then begin
+      Printf.eprintf "error: --json cannot be combined with --durable\n";
+      1
+    end
+    else lint_durable queries
   else
     match storage_for db with
     | exception Failure e ->
@@ -223,8 +203,14 @@ let lint_main db queries durable =
       1
     | st ->
       let srcs = if queries = [] then Corpus.queries else queries in
-      let failures = List.fold_left (fun acc src -> acc + lint_query st src) 0 srcs in
-      report_sweep ~suffix:"" srcs failures
+      if json then begin
+        let report = Lintreport.sweep st srcs in
+        print_endline (Mirror_util.Jsonx.to_string (Lintreport.to_json report));
+        if report.Lintreport.failures = 0 then 0 else 1
+      end
+      else
+        let failures = List.fold_left (fun acc src -> acc + lint_query st src) 0 srcs in
+        report_sweep ~suffix:"" srcs failures
 
 let explain_main check db src =
   match storage_for db with
@@ -545,10 +531,17 @@ let check_arg =
   let doc = "Also verify the bundle, run the differential checker and print each BAT's inferred property envelope." in
   Arg.(value & flag & info [ "check" ] ~doc)
 
+let lint_json_arg =
+  let doc =
+    "Emit one machine-readable JSON report (schema mirror-lint/v1) with every \
+     diagnostic of all three analyzer layers instead of text lines."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let lint_cmd =
-  let doc = "statically check Moa queries (plan verifier + lint pass)" in
+  let doc = "statically check Moa queries (plan verifier + lint + effect analysis)" in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(const lint_main $ db_arg $ lint_queries_arg $ lint_durable_arg)
+    Term.(const lint_main $ db_arg $ lint_queries_arg $ lint_durable_arg $ lint_json_arg)
 
 (* {1 wal command group} *)
 

@@ -188,6 +188,7 @@ module VEC = struct
 
   let foreign_ops = []
   let foreign_sigs = []
+  let foreign_effects = []
 
   (* Sound defaults for the Moa-level analyzer: claim nothing about
      operator results or the flattened bundle. *)

@@ -43,10 +43,72 @@ type stats = {
   mutable rows_produced : int;
 }
 
+let children = function
+  | Get _ | Lit _ -> []
+  | Reverse p
+  | Mirror p
+  | Mark (p, _)
+  | NumberHead (p, _)
+  | NumberTail (p, _)
+  | Project (p, _)
+  | Calc1 (_, p)
+  | CalcConst (_, p, _)
+  | ConstCalc (_, _, p)
+  | SelectCmp (p, _, _)
+  | SelectRange (p, _, _)
+  | SelectBool p
+  | Unique p
+  | UniqueHead p
+  | GroupAggr (_, p)
+  | AggrAll (_, p)
+  | SortTail (p, _)
+  | Slice (p, _, _)
+  | TopN (p, _, _) ->
+    [ p ]
+  | Calc2 (_, l, r)
+  | Join (l, r)
+  | LeftOuterJoin (l, r, _)
+  | Semijoin (l, r)
+  | Antijoin (l, r)
+  | Kunion (l, r)
+  | PairUnion (l, r)
+  | PairDiff (l, r)
+  | PairInter (l, r)
+  | Append (l, r) ->
+    [ l; r ]
+  | GroupRank { link; key; _ } -> [ link; key ]
+  | Foreign { args; _ } -> args
+
+(* {1 Plan hashing}
+
+   Every plan-keyed table (the CSE memo, the analyzer walks) needs a
+   hash consistent with structural equality.  [Hashtbl.hash] bounds its
+   traversal, so it is O(1) on arbitrarily deep plans; the collisions
+   this causes between plans that differ only below the bound are
+   resolved by the equality check, and structural comparison
+   short-circuits on physically shared subterms — exactly the shape a
+   CSE'd DAG has, where a memo probe is usually made with the very node
+   that populated the table.  The alternative — a full structural hash
+   cached per node in a physical-identity ephemeron table — measured
+   ~50x slower on a 3000-node operator chain: every node of a uniform
+   chain has the same bounded physical-identity hash, so the cache
+   itself degenerates to a single bucket of ephemeron probes. *)
+
+let hash : t -> int = Hashtbl.hash
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  (* Physical identity short-circuits the structural comparison, so
+     probing with the very node that populated the table is O(1). *)
+  let equal a b = a == b || a = b
+  let hash = hash
+end)
+
 type session = {
   catalog : Catalog.t;
   foreign : foreign_fn;
-  memo : (t, Bat.t) Hashtbl.t;
+  memo : Bat.t Tbl.t;
   cse : bool;
   st : stats;
   tr : Mirror_util.Trace.t;
@@ -60,7 +122,7 @@ let session ?(cse = true) ?(trace = Mirror_util.Trace.null) ?(foreign = no_forei
   {
     catalog;
     foreign;
-    memo = Hashtbl.create 128;
+    memo = Tbl.create 128;
     cse;
     st = { evaluated = 0; memo_hits = 0; rows_produced = 0 };
     tr = trace;
@@ -68,6 +130,8 @@ let session ?(cse = true) ?(trace = Mirror_util.Trace.null) ?(foreign = no_forei
 
 let stats s = s.st
 let trace s = s.tr
+let catalog s = s.catalog
+let cse_enabled s = s.cse
 
 let op_name = function
   | Get _ -> "get"
@@ -105,7 +169,7 @@ let op_name = function
   | Foreign { name; _ } -> "foreign:" ^ name
 
 let rec eval s plan =
-  match if s.cse then Hashtbl.find_opt s.memo plan else None with
+  match if s.cse then Tbl.find_opt s.memo plan else None with
   | Some b ->
     s.st.memo_hits <- s.st.memo_hits + 1;
     if Mirror_util.Trace.is_on s.tr then
@@ -135,7 +199,7 @@ let rec eval s plan =
       Mirror_util.Metrics.incr ("mil.op." ^ name);
       Mirror_util.Metrics.incr ~by:(Bat.count b) ("mil.rows." ^ name)
     end;
-    if s.cse then Hashtbl.add s.memo plan b;
+    if s.cse then Tbl.add s.memo plan b;
     b
 
 and eval_raw s plan =

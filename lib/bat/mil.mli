@@ -107,6 +107,31 @@ val profile : session -> (string * float * int) list
 val size : t -> int
 (** Number of operator nodes (tree size, before sharing). *)
 
+val children : t -> t list
+(** Direct subplans, in evaluation order (the order {!exec} evaluates
+    them and the order analyzer slot paths [:l]/[:r]/[:0]… follow). *)
+
+val hash : t -> int
+(** Structural hash of a plan, consistent with structural equality.
+    Bounded traversal, so O(1) even on arbitrarily deep plans;
+    collisions between plans that differ only below the bound are
+    resolved by the table's equality check, which short-circuits on
+    physically shared subterms. *)
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed by plans under structural equality, using
+    {!val-hash} and an equality with a physical-identity fast path.
+    This is what the executor's memo table and the analyzers' per-node
+    tables use: CSE equates structurally equal subplans, and probing
+    with the very node that populated the table costs one pointer
+    comparison. *)
+
+val catalog : session -> Catalog.t
+(** The catalog the session was opened on. *)
+
+val cse_enabled : session -> bool
+(** Whether the session consults its memo table. *)
+
 val op_name : t -> string
 (** Short operator name ("join", "foreign:getbl", …) as used in
     profiles and diagnostics. *)

@@ -25,7 +25,7 @@ let errors ds = List.filter (fun d -> d.severity = Error) ds
 
 type ctx = {
   env : env;
-  memo : (Mil.t, P.t) Hashtbl.t;
+  memo : P.t Mil.Tbl.t;
   mutable diags : diag list;  (* reverse emission order *)
 }
 
@@ -148,11 +148,11 @@ let reset_tail p tty =
 let hi_at_most p n = match p.P.card.P.hi with Some h -> h <= n | None -> false
 
 let rec infer_at ctx path plan =
-  match Hashtbl.find_opt ctx.memo plan with
+  match Mil.Tbl.find_opt ctx.memo plan with
   | Some p -> p
   | None ->
     let p = P.normalize (infer_raw ctx path plan) in
-    Hashtbl.add ctx.memo plan p;
+    Mil.Tbl.add ctx.memo plan p;
     p
 
 and infer_raw ctx path plan =
@@ -518,7 +518,7 @@ and pair_mismatch (l : P.t) (r : P.t) =
   (match (l.P.hty, r.P.hty) with Some a, Some b -> a <> b | _ -> false)
   || match (l.P.tty, r.P.tty) with Some a, Some b -> a <> b | _ -> false
 
-let fresh_ctx env = { env; memo = Hashtbl.create 64; diags = [] }
+let fresh_ctx env = { env; memo = Mil.Tbl.create 64; diags = [] }
 
 let infer env plan =
   let ctx = fresh_ctx env in
@@ -536,7 +536,7 @@ let lint env plan =
   ignore (infer_at ctx (Mil.op_name plan) plan);
   let inference = List.rev ctx.diags in
   let smells = ref [] in
-  let seen = Hashtbl.create 64 in
+  let seen = Mil.Tbl.create 64 in
   let add severity path node fmt =
     Printf.ksprintf
       (fun message ->
@@ -544,9 +544,9 @@ let lint env plan =
       fmt
   in
   let rec walk path parent_empty node =
-    if not (Hashtbl.mem seen node) then begin
-      Hashtbl.add seen node ();
-      let prop = try Hashtbl.find ctx.memo node with Not_found -> P.unknown in
+    if not (Mil.Tbl.mem seen node) then begin
+      Mil.Tbl.add seen node ();
+      let prop = try Mil.Tbl.find ctx.memo node with Not_found -> P.unknown in
       let empty = P.is_empty prop in
       if empty && not parent_empty then
         add Warning path node "statically empty — the subplan is dead";

@@ -85,7 +85,22 @@ let swap p =
 
 (* {1 Actual properties of a materialised BAT} *)
 
-let column_facts col =
+(* Columns are immutable once built, so the (key, dense, sorted)
+   verdict of a column never changes and is cached against the
+   column's physical identity.  Corpus-wide lint calls [of_bat] on the
+   same catalog columns once per query; the weak cache makes each
+   column's O(n) scan happen once overall, and dropping the last
+   reference to a column drops its cache entry. *)
+module Colcache = Ephemeron.K1.Make (struct
+  type t = Column.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let facts_cache : (bool * bool * bool) Colcache.t = Colcache.create 256
+
+let scan_column_facts col =
   let n = Column.length col in
   let key = ref true and sorted = ref true and dense = ref true in
   (match col with
@@ -117,6 +132,14 @@ let column_facts col =
       if Hashtbl.mem seen v then key := false else Hashtbl.add seen v ()
     done);
   (!key, !dense && Column.ty col = Atom.TOid, !sorted)
+
+let column_facts col =
+  match Colcache.find_opt facts_cache col with
+  | Some f -> f
+  | None ->
+    let f = scan_column_facts col in
+    Colcache.add facts_cache col f;
+    f
 
 let of_bat b =
   let hkey, hdense, hsorted = column_facts (Bat.head b) in

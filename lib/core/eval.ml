@@ -20,15 +20,15 @@ type report = {
 
 type reifier = {
   lookup : Mil.t -> Bat.t;
-  atom_idx : (Mil.t, (int, Atom.t) Hashtbl.t) Hashtbl.t;
-  link_idx : (Mil.t, (int, int list) Hashtbl.t) Hashtbl.t;
+  atom_idx : (int, Atom.t) Hashtbl.t Mil.Tbl.t;
+  link_idx : (int, int list) Hashtbl.t Mil.Tbl.t;
 }
 
 let make_reifier lookup =
-  { lookup; atom_idx = Hashtbl.create 16; link_idx = Hashtbl.create 16 }
+  { lookup; atom_idx = Mil.Tbl.create 16; link_idx = Mil.Tbl.create 16 }
 
 let atom_index r plan =
-  match Hashtbl.find_opt r.atom_idx plan with
+  match Mil.Tbl.find_opt r.atom_idx plan with
   | Some idx -> idx
   | None ->
     let bat = r.lookup plan in
@@ -37,12 +37,12 @@ let atom_index r plan =
     Array.iteri
       (fun i key -> if not (Hashtbl.mem idx key) then Hashtbl.add idx key (Bat.tail_at bat i))
       heads;
-    Hashtbl.add r.atom_idx plan idx;
+    Mil.Tbl.add r.atom_idx plan idx;
     idx
 
 (* tail oid -> head oids in row order *)
 let link_index r plan =
-  match Hashtbl.find_opt r.link_idx plan with
+  match Mil.Tbl.find_opt r.link_idx plan with
   | Some idx -> idx
   | None ->
     let bat = r.lookup plan in
@@ -55,7 +55,7 @@ let link_index r plan =
       Hashtbl.replace idx key
         (heads.(i) :: Option.value ~default:[] (Hashtbl.find_opt idx key))
     done;
-    Hashtbl.add r.link_idx plan idx;
+    Mil.Tbl.add r.link_idx plan idx;
     idx
 
 let rec reify_at r shape ctx =
@@ -141,14 +141,34 @@ let query ?(cse = true) ?(optimize = true) ?(specialize = true) ?(check = false)
             ~foreign:(Extension.foreign_dispatch (Storage.eval_env storage))
             (Storage.catalog storage)
         in
+        (* Under [check], the checked executor verifies each node's
+           envelope and — when the memo table is on — the effect
+           sanitizer first evaluates the node through the same session
+           (so the checked pass gets memo hits) while verifying its
+           observed aliasing against the Effcheck signature. *)
+        let sanitizer =
+          if check && cse then
+            Some (Mirror_bat.Effcheck.sanitizer (Plancheck.effcheck_env ()) session)
+          else None
+        in
         let lookup =
-          if check then
-            Mirror_bat.Milcheck.exec_checked (Plancheck.env_of_storage storage) session
+          if check then (
+            let checked =
+              Mirror_bat.Milcheck.exec_checked (Plancheck.env_of_storage storage) session
+            in
+            fun plan ->
+              (match sanitizer with
+              | Some san -> ignore (Mirror_bat.Effcheck.exec san plan)
+              | None -> ());
+              checked plan)
           else Mil.exec session
         in
         match
           Trace.with_span trace "execute" (fun () ->
               let value = reify ~lookup shape in
+              (match sanitizer with
+              | Some san -> Mirror_bat.Effcheck.finish san
+              | None -> ());
               let stats = Mil.stats session in
               Trace.attr trace "evaluated" (string_of_int stats.Mil.evaluated);
               Trace.attr trace "memo_hits" (string_of_int stats.Mil.memo_hits);
@@ -167,6 +187,7 @@ let query ?(cse = true) ?(optimize = true) ?(specialize = true) ?(check = false)
             }
         | exception Failure msg -> Error msg
         | exception Invalid_argument msg -> Error msg
+        | exception Mirror_bat.Effcheck.Violation msg -> Error ("effect sanitizer: " ^ msg)
         | exception Mil.Unbound name ->
           Error (Printf.sprintf "plan referenced the unbound catalog name %S" name))))
 
@@ -201,9 +222,27 @@ let explain_analyze ?(optimize = true) ?(cse = true) storage expr =
   | Ok report ->
     let buf = Buffer.create 1024 in
     Buffer.add_string buf
-      (Printf.sprintf "result type: %s\nplan: %d bats, %d nodes; executed %d, memo hits %d\n\n"
+      (Printf.sprintf "result type: %s\nplan: %d bats, %d nodes; executed %d, memo hits %d\n"
          (Types.to_string report.result_type)
          report.plan_bats report.plan_nodes report.evaluated report.memo_hits);
+    (* effect-and-aliasing verdict over the same (optimised) bundle:
+       how much of the DAG a domain-parallel executor could run
+       concurrently *)
+    (match Flatten.compile storage (if optimize then Optimize.rewrite expr else expr) with
+    | exception _ -> ()
+    | shape ->
+      let shape = if optimize then Shape.map Mirror_bat.Milopt.rewrite shape else shape in
+      let v =
+        Mirror_bat.Effcheck.analyze (Plancheck.effcheck_env ()) (Plancheck.shape_plans shape)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "parallelism: %d safe partition%s over %d distinct operators (%d shared columns, %d hazards)\n"
+           v.Mirror_bat.Effcheck.partitions
+           (if v.Mirror_bat.Effcheck.partitions = 1 then "" else "s")
+           v.Mirror_bat.Effcheck.nodes v.Mirror_bat.Effcheck.shared_columns
+           (List.length v.Mirror_bat.Effcheck.hazards)));
+    Buffer.add_char buf '\n';
     Buffer.add_string buf (Trace.render trace);
     (* per-operator rollup over the executor spans only *)
     let exec_spans =

@@ -401,6 +401,14 @@ module E = struct
         } );
     ]
 
+  (* Both operators build fresh (ctx, belief) columns from the space's
+     statistics; they never alias or touch their argument columns. *)
+  let foreign_effects =
+    [
+      ("contrep_getbl", Mirror_bat.Effcheck.pure_foreign);
+      ("contrep_getblnet", Mirror_bat.Effcheck.pure_foreign);
+    ]
+
   (* Bounds on the per-occurrence tf values, when the receiver's
      element envelope states them. *)
   let tf_bounds = function

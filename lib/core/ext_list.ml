@@ -202,6 +202,7 @@ module E = struct
 
   let foreign_ops = []
   let foreign_sigs = []
+  let foreign_effects = []
 
   let op_envelope ~op ~args ~ty ~top =
     match (op, args) with

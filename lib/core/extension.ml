@@ -78,6 +78,7 @@ module type S = sig
     (string * (eval_env -> args:Mirror_bat.Bat.t list -> meta:string list -> Mirror_bat.Bat.t)) list
 
   val foreign_sigs : (string * Mirror_bat.Milprop.foreign_sig) list
+  val foreign_effects : (string * Mirror_bat.Effcheck.foreign_eff) list
 
   val op_envelope :
     op:string -> args:Moaprop.t list -> ty:Types.t -> top:(Types.t -> Moaprop.t) -> Moaprop.t
@@ -133,6 +134,12 @@ let foreign_signature name =
   Hashtbl.fold
     (fun _ (module E : S) acc ->
       match acc with Some _ -> acc | None -> List.assoc_opt name E.foreign_sigs)
+    by_name None
+
+let foreign_effect name =
+  Hashtbl.fold
+    (fun _ (module E : S) acc ->
+      match acc with Some _ -> acc | None -> List.assoc_opt name E.foreign_effects)
     by_name None
 
 let foreign_dispatch env ~name ~args ~meta =

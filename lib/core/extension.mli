@@ -126,6 +126,15 @@ module type S = sig
       name in {!foreign_ops} should be covered; an operator without a
       signature is rejected by verification. *)
 
+  val foreign_effects : (string * Mirror_bat.Effcheck.foreign_eff) list
+  (** Effect declarations for the same operators — purity, whether
+      result columns may alias argument columns, whether arguments may
+      be mutated — consulted by the {!Mirror_bat.Effcheck} analyzer and
+      sanitizer.  An operator without a declaration is treated as
+      worst-case (aliases and mutates everything) and flagged as an
+      error by the hazard lint; well-behaved operators declare
+      {!Mirror_bat.Effcheck.pure_foreign}. *)
+
   val op_envelope :
     op:string -> args:Moaprop.t list -> ty:Types.t -> top:(Types.t -> Moaprop.t) -> Moaprop.t
   (** Logical envelope of an operator application, given the envelopes
@@ -187,3 +196,8 @@ val foreign_signature : string -> Mirror_bat.Milprop.foreign_sig option
 (** The registry-declared static signature of a physical operator,
     searched across every registered extension — the [foreign] half of
     a {!Mirror_bat.Milcheck.env}. *)
+
+val foreign_effect : string -> Mirror_bat.Effcheck.foreign_eff option
+(** The registry-declared effect of a physical operator, searched
+    across every registered extension — the [foreign] half of an
+    {!Mirror_bat.Effcheck.env}. *)

@@ -1,0 +1,50 @@
+(** Structured lint results over queries — the shared backend of the
+    CLI's [lint] command (text and [--json] output) and the test
+    suite's schema checks.
+
+    One {!query} record carries everything all three analyzer layers
+    said about one query: the Moa-level shape lint ({!Moacheck}), the
+    MIL-level envelope lint ({!Mirror_bat.Milcheck}) and the
+    effect-and-aliasing hazards ({!Mirror_bat.Effcheck}), plus the
+    Effcheck parallelism verdict (distinct nodes, safe partitions,
+    shared column slots). *)
+
+type query = {
+  src : string;  (** The query text as given. *)
+  error : string option;
+      (** A pipeline-stage failure (parse, or any {!Plancheck.vet}
+          stage); when set, the diagnostic lists are empty. *)
+  moa : Moaprop.diag list;
+  mil : Mirror_bat.Milcheck.diag list;
+  eff : Mirror_bat.Milcheck.diag list;  (** Effcheck hazards. *)
+  nodes : int;  (** Distinct plan-DAG nodes after CSE. *)
+  partitions : int;  (** Provably independent node groups. *)
+  shared_columns : int;
+  failed : bool;
+      (** [error] set, any error-severity [moa]/[mil] diagnostic, or
+          {e any} Effcheck hazard — the effect layer is strict so the
+          corpus gate catches new hazards of every severity. *)
+}
+
+type t = { queries : query list; failures : int }
+
+val check : Storage.t -> src:string -> Expr.t -> query
+(** Vet and lint one parsed query ([src] is carried through for
+    reporting). *)
+
+val check_src : Storage.t -> string -> query
+(** Parse then {!check}; a parse failure becomes the [error] field. *)
+
+val sweep : Storage.t -> string list -> t
+(** {!check_src} over a query list, counting failures. *)
+
+val to_json : t -> Mirror_util.Jsonx.t
+(** Machine-readable report, schema ["mirror-lint/v1"]:
+    [{ schema; checked; failures; queries: [{ src; failed; error;
+    nodes; partitions; shared_columns; diagnostics: [{ layer
+    ("moa"|"mil"|"eff"); severity ("error"|"warning"|"hint"); path; op;
+    message }] }] }]. *)
+
+val print_query : query -> unit
+(** The CLI's human-readable rendering: an [ok]/[FAIL] line followed by
+    one indented [moa:]/[mil:]/[eff:] line per diagnostic. *)

@@ -2,9 +2,12 @@ module Mil = Mirror_bat.Mil
 module Milopt = Mirror_bat.Milopt
 module Milcheck = Mirror_bat.Milcheck
 module Milprop = Mirror_bat.Milprop
+module Effcheck = Mirror_bat.Effcheck
 
 let env_of_storage storage =
   Milcheck.env_of_catalog ~foreign:Extension.foreign_signature (Storage.catalog storage)
+
+let effcheck_env () = Effcheck.env ~foreign:Extension.foreign_effect ()
 
 let shape_plans shape =
   let acc = ref [] in
@@ -120,6 +123,13 @@ let vet ?(specialize = true) storage expr =
         match verify_shape env shape with
         | Error ds -> Error ("verify: " ^ diags_to_string ds)
         | Ok () -> (
-          match Moacheck.validate storage expr shape with
-          | Error ds -> Error ("validate: " ^ moa_diags_to_string ds)
-          | Ok () -> differential ~specialize storage expr))))
+          let verdict = Effcheck.analyze (effcheck_env ()) (shape_plans shape) in
+          let errors =
+            List.filter (fun d -> d.Milcheck.severity = Milcheck.Error) verdict.Effcheck.hazards
+          in
+          match errors with
+          | _ :: _ -> Error ("effcheck: " ^ diags_to_string errors)
+          | [] -> (
+            match Moacheck.validate storage expr shape with
+            | Error ds -> Error ("validate: " ^ moa_diags_to_string ds)
+            | Ok () -> differential ~specialize storage expr)))))

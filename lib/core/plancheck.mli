@@ -14,6 +14,10 @@ val env_of_storage : Storage.t -> Mirror_bat.Milcheck.env
 (** Analyzer environment over a storage manager's catalog, with
     [Foreign] signatures resolved through {!Extension.foreign_signature}. *)
 
+val effcheck_env : unit -> Mirror_bat.Effcheck.env
+(** Effect-analysis environment with [Foreign] effect declarations
+    resolved through {!Extension.foreign_effect}. *)
+
 val shape_plans : Extension.planshape -> Mirror_bat.Mil.t list
 (** The bundle's plans in {!Shape.iter} order. *)
 
@@ -37,9 +41,11 @@ val differential :
 
 val vet : ?specialize:bool -> Storage.t -> Expr.t -> (unit, string) result
 (** Full static vetting of one query: typecheck, {!Moacheck.verify} the
-    logical envelope, compile, verify the bundle, run
-    {!Moacheck.validate} (translation validation of the flattening),
-    then the differential checker.  [Ok ()] means every stage passed. *)
+    logical envelope, compile, verify the bundle, run the
+    {!Mirror_bat.Effcheck} aliasing analysis (failing on hazard
+    errors), run {!Moacheck.validate} (translation validation of the
+    flattening), then the differential checker.  [Ok ()] means every
+    stage passed. *)
 
 val diags_to_string : Mirror_bat.Milcheck.diag list -> string
 (** Diagnostics joined with ["; "]. *)

@@ -167,6 +167,7 @@ module MSET = struct
 
   let foreign_ops = []
   let foreign_sigs = []
+  let foreign_effects = []
 
   (* Sound defaults for the Moa-level analyzer: claim nothing about
      operator results or the flattened bundle. *)

@@ -29,6 +29,7 @@ module Mil = Mirror_bat.Mil
 module Milcheck = Mirror_bat.Milcheck
 module Milopt = Mirror_bat.Milopt
 module Milprop = Mirror_bat.Milprop
+module Effcheck = Mirror_bat.Effcheck
 
 let plans_to_generate = 500
 let max_pool_rows = 1000 (* plans producing more rows are tested but not pooled *)
@@ -330,9 +331,26 @@ let check_trace catalog plan b =
           failf plan "span %S has no row count" s.Trace.name)
       () sp
 
+(* property (d): the effect analyzer finds no hazards in kernel-only
+   plans, and the runtime sanitizer — fed every generated plan through
+   one shared CSE session, so cross-plan physical sharing accumulates —
+   accepts the observed aliasing and produces the same result *)
+let check_effects eenv san plan b =
+  (match Effcheck.lint eenv plan with
+  | [] -> ()
+  | ds ->
+    failf plan "effect hazards on a kernel-only plan: %s"
+      (String.concat "; " (List.map Milcheck.diag_to_string ds)));
+  match Effcheck.exec san plan with
+  | sb ->
+    if not (Bat.equal b sb) then failf plan "sanitized execution changed the result"
+  | exception Effcheck.Violation msg -> failf plan "effect sanitizer: %s" msg
+
 let test_fuzz () =
   let catalog = fixture () in
   let env = Milcheck.env_of_catalog catalog in
+  let eenv = Effcheck.env () in
+  let san = Effcheck.sanitizer eenv (Mil.session catalog) in
   let g = Prng.create 20260807 in
   let seed_pool =
     List.map
@@ -348,11 +366,16 @@ let test_fuzz () =
     let b = check_envelope env catalog plan in
     check_rewrite catalog plan b;
     check_trace catalog plan b;
+    check_effects eenv san plan b;
     if Bat.count b <= max_pool_rows then begin
       pool := { plan; hty; tty } :: !pool;
       incr pooled
     end
   done;
+  (match Effcheck.finish san with
+  | () -> ()
+  | exception Effcheck.Violation msg ->
+    Alcotest.failf "effect sanitizer (final fingerprint pass): %s" msg);
   Alcotest.(check bool)
     (Printf.sprintf "pool kept growing (%d of %d plans pooled)" !pooled plans_to_generate)
     true

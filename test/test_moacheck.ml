@@ -203,6 +203,7 @@ module Brk : Extension.S = struct
   let restore _ ~recurse:_ ~path:_ ~ty_args:_ = failwith "BRK is not storable"
   let foreign_ops = []
   let foreign_sigs = []
+  let foreign_effects = []
 
   let prop_flat ~ctx ~prop:_ ~meta:_ ~nbats ~nsubs =
     (List.init nbats (fun _ -> None), List.init nsubs (fun _ -> (Moaprop.Unknown, ctx)))
