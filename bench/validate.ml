@@ -125,5 +125,29 @@ let () =
     | Some (Json.Int 0) -> ()
     | Some (Json.Int n) -> die "VET found %d effcheck hazard(s) over the corpus" n
     | _ -> die "VET entry lacks the effcheck.hazards counter"));
+  (* the PARALLEL entry must prove the morsel kernel's determinism
+     contract (parallel digests bitwise equal to sequential at every
+     domain count); actual speedup is only demanded where it is
+     physically possible — the entry records the host's core count *)
+  (match find "PARALLEL" with
+  | None -> die "no entry for the parallel-kernel experiment (PARALLEL)"
+  | Some p ->
+    (match Json.member "digests_equal" p with
+    | Some (Json.Bool true) -> ()
+    | Some (Json.Bool false) -> die "PARALLEL digests differ from sequential"
+    | _ -> die "PARALLEL entry lacks digests_equal");
+    let cores =
+      match Option.bind (Json.member "cores" p) Json.to_int with
+      | Some n when n > 0 -> n
+      | _ -> die "PARALLEL entry lacks cores"
+    in
+    (match Option.bind (Json.member "operators" p) Json.to_list with
+    | Some (_ :: _) -> ()
+    | _ -> die "PARALLEL entry has no operator rows");
+    match Option.bind (Json.member "speedup_4" p) Json.to_float with
+    | Some s ->
+      if cores >= 4 && s < 1.0 then
+        die "PARALLEL speedup at 4 domains is %.2fx on a %d-core host" s cores
+    | None -> die "PARALLEL entry lacks speedup_4");
   Printf.printf "BENCH_core.json ok: %d experiment entries (%s)\n" (List.length entries)
     (String.concat ", " (List.filter_map entry_id entries))

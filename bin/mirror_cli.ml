@@ -484,6 +484,19 @@ let wal_recover_main dir =
 
 open Cmdliner
 
+let domains_arg =
+  let doc =
+    "Size of the domain pool for morsel-parallel operator execution (1 = fully \
+     sequential, capped at 64).  Only plan partitions the effect analysis proves \
+     safe run parallel; results are identical at any setting."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+(* evaluates before the command body via [$]-application order, so the
+   default pool is sized when the command runs *)
+let domains_term =
+  Term.(const (fun n -> Mirror_bat.Parkernel.set_domains n) $ domains_arg)
+
 let eval_arg =
   let doc = "Evaluate $(docv) (a ;-separated Moa program) and exit." in
   Arg.(value & opt (some string) None & info [ "e"; "eval" ] ~docv:"PROGRAM" ~doc)
@@ -541,7 +554,9 @@ let lint_json_arg =
 let lint_cmd =
   let doc = "statically check Moa queries (plan verifier + lint + effect analysis)" in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(const lint_main $ db_arg $ lint_queries_arg $ lint_durable_arg $ lint_json_arg)
+    Term.(
+      const (fun () -> lint_main)
+      $ domains_term $ db_arg $ lint_queries_arg $ lint_durable_arg $ lint_json_arg)
 
 (* {1 wal command group} *)
 
@@ -780,19 +795,24 @@ let explain_analyze_main db src =
 
 let explain_analyze_cmd =
   let doc = "execute a query under a trace: span tree with per-operator time, rows and memo hits" in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const explain_analyze_main $ db_arg $ explain_query_arg)
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const (fun () -> explain_analyze_main) $ domains_term $ db_arg $ explain_query_arg)
 
 let explain_cmd =
   let doc = "show the compiled MIL plan bundle of a query (subcommand: analyze)" in
   Cmd.group
-    ~default:Term.(const explain_main $ check_arg $ db_arg $ explain_query_arg)
+    ~default:
+      Term.(const (fun () -> explain_main) $ domains_term $ check_arg $ db_arg $ explain_query_arg)
     (Cmd.info "explain" ~doc)
     [ explain_analyze_cmd ]
 
 let cmd =
   let doc = "the Mirror multimedia DBMS shell" in
   let info = Cmd.info "mirror" ~doc in
-  Cmd.group ~default:Term.(const main $ eval_arg $ demo_arg $ seed_arg $ durable_arg) info
+  Cmd.group
+    ~default:
+      Term.(const (fun () -> main) $ domains_term $ eval_arg $ demo_arg $ seed_arg $ durable_arg)
+    info
     [ lint_cmd; explain_cmd; daemons_cmd; wal_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -27,6 +27,29 @@ module Ibuf = struct
     b.a.(b.n) <- v;
     b.n <- b.n + 1
 
+  let get b i = b.a.(i)
+  let set b i v = b.a.(i) <- v
+  let len b = b.n
+  let finish b = Array.sub b.a 0 b.n
+end
+
+(* Growable float vector for unboxed aggregate accumulators. *)
+module Fbuf = struct
+  type t = { mutable a : float array; mutable n : int }
+
+  let create () = { a = Array.make 16 0.0; n = 0 }
+
+  let push b v =
+    if b.n = Array.length b.a then begin
+      let fresh = Array.make (2 * b.n) 0.0 in
+      Array.blit b.a 0 fresh 0 b.n;
+      b.a <- fresh
+    end;
+    b.a.(b.n) <- v;
+    b.n <- b.n + 1
+
+  let get b i = b.a.(i)
+  let set b i v = b.a.(i) <- v
   let finish b = Array.sub b.a 0 b.n
 end
 
@@ -332,12 +355,33 @@ let number_tail b base = { hd = Column.dense base (count b); tl = b.tl }
 let project b a = { hd = b.hd; tl = Column.const a (count b) }
 
 let calc1 op b =
-  let n = count b in
-  let out = Column.make (unop_result_ty op (tty b)) n in
-  for i = 0 to n - 1 do
-    Column.set out i (apply_unop op (tail_at b i))
-  done;
-  { hd = b.hd; tl = out }
+  let fast =
+    match (op, b.tl) with
+    | Not, Column.B a -> Some (Column.B (Array.map not a))
+    | Neg, Column.I a -> Some (Column.I (Array.map (fun x -> -x) a))
+    | Neg, Column.F a -> Some (Column.F (Array.map (fun x -> -.x) a))
+    | Abs, Column.I a -> Some (Column.I (Array.map abs a))
+    | Abs, Column.F a -> Some (Column.F (Array.map Float.abs a))
+    | ToFlt, Column.I a -> Some (Column.F (Array.map Float.of_int a))
+    | ToFlt, Column.F a -> Some (Column.F (Array.copy a))
+    | Log, Column.I a -> Some (Column.F (Array.map (fun x -> log (Float.of_int x)) a))
+    | Log, Column.F a -> Some (Column.F (Array.map log a))
+    | Exp, Column.I a -> Some (Column.F (Array.map (fun x -> exp (Float.of_int x)) a))
+    | Exp, Column.F a -> Some (Column.F (Array.map exp a))
+    | Sqrt, Column.I a -> Some (Column.F (Array.map (fun x -> sqrt (Float.of_int x)) a))
+    | Sqrt, Column.F a -> Some (Column.F (Array.map sqrt a))
+    | _ -> None
+  in
+  match fast with
+  | Some out -> { hd = b.hd; tl = out }
+  | None ->
+    (* unsupported operand types: boxed loop for its error reporting *)
+    let n = count b in
+    let out = Column.make (unop_result_ty op (tty b)) n in
+    for i = 0 to n - 1 do
+      Column.set out i (apply_unop op (tail_at b i))
+    done;
+    { hd = b.hd; tl = out }
 
 let calc_const op b a =
   let fast =
@@ -445,16 +489,29 @@ let unique b =
   take b (Ibuf.finish keep)
 
 let unique_head b =
-  let seen = AtomTbl.create (count b) in
-  let keep = Ibuf.create () in
-  for i = 0 to count b - 1 do
-    let h = head_at b i in
-    if not (AtomTbl.mem seen h) then begin
-      AtomTbl.add seen h ();
-      Ibuf.push keep i
-    end
-  done;
-  take b (Ibuf.finish keep)
+  match b.hd with
+  | Column.I hs | Column.O hs ->
+    let seen = Hashtbl.create (Array.length hs) in
+    let keep = Ibuf.create () in
+    Array.iteri
+      (fun i h ->
+        if not (Hashtbl.mem seen h) then begin
+          Hashtbl.add seen h ();
+          Ibuf.push keep i
+        end)
+      hs;
+    take b (Ibuf.finish keep)
+  | _ ->
+    let seen = AtomTbl.create (count b) in
+    let keep = Ibuf.create () in
+    for i = 0 to count b - 1 do
+      let h = head_at b i in
+      if not (AtomTbl.mem seen h) then begin
+        AtomTbl.add seen h ();
+        Ibuf.push keep i
+      end
+    done;
+    take b (Ibuf.finish keep)
 
 (* {1 Selections} *)
 
@@ -480,10 +537,24 @@ let select_cmp b c a =
   | _ -> select_indices (fun i -> apply_cmp c (tail_at b i) a) b
 
 let select_range b lo hi =
-  select_indices (fun i ->
-      let t = tail_at b i in
-      Atom.compare lo t <= 0 && Atom.compare t hi <= 0)
-    b
+  match (b.tl, lo, hi) with
+  | (Column.I arr | Column.O arr), (Atom.Int l | Atom.Oid l), (Atom.Int h | Atom.Oid h)
+    when Atom.type_of lo = Column.ty b.tl && Atom.type_of hi = Column.ty b.tl ->
+    select_indices (fun i -> l <= arr.(i) && arr.(i) <= h) b
+  | Column.F arr, Atom.Flt l, Atom.Flt h ->
+    select_indices
+      (fun i -> Float.compare l arr.(i) <= 0 && Float.compare arr.(i) h <= 0)
+      b
+  | Column.S arr, Atom.Str l, Atom.Str h ->
+    select_indices
+      (fun i -> String.compare l arr.(i) <= 0 && String.compare arr.(i) h <= 0)
+      b
+  | _ ->
+    select_indices
+      (fun i ->
+        let t = tail_at b i in
+        Atom.compare lo t <= 0 && Atom.compare t hi <= 0)
+      b
 
 let select_bool b =
   match b.tl with
@@ -737,11 +808,14 @@ let calc2 op l r =
 
 let calc2_pos op l r =
   if count l <> count r then invalid_arg "Bat.calc2_pos: length mismatch";
-  let out = Column.make (binop_result_ty op (tty l) (tty r)) (count l) in
-  for i = 0 to count l - 1 do
-    Column.set out i (apply_binop op (tail_at l i) (tail_at r i))
-  done;
-  { hd = l.hd; tl = out }
+  match calc_pos_tails op l.tl r.tl with
+  | Some out -> { hd = l.hd; tl = out }
+  | None ->
+    let out = Column.make (binop_result_ty op (tty l) (tty r)) (count l) in
+    for i = 0 to count l - 1 do
+      Column.set out i (apply_binop op (tail_at l i) (tail_at r i))
+    done;
+    { hd = l.hd; tl = out }
 
 (* {1 Grouping and aggregation} *)
 
@@ -792,72 +866,164 @@ let aggr_result_ty op ty =
   | Avg -> Atom.TFlt
   | Sum | Prod | Min | Max -> ty
 
-let group_aggr op b =
-  let keys = Column.Builder.create (hty b) in
-  let accs = ref (Array.make 16 { cnt = 0; v = None; fsum = 0.0 }) in
-  let nslots = ref 0 in
-  let new_slot () =
-    let s = !nslots in
-    if s = Array.length !accs then begin
-      let fresh = Array.make (2 * s) { cnt = 0; v = None; fsum = 0.0 } in
-      Array.blit !accs 0 fresh 0 s;
-      accs := fresh
-    end;
-    !accs.(s) <- { cnt = 0; v = None; fsum = 0.0 };
-    incr nslots;
-    s
+(* Slot lookup for unboxed int/oid grouping keys: when the key range is
+   a small window the slot map is a flat array (Monet-style) instead of
+   a hash table. *)
+let int_slot_lookup hs =
+  let n = Array.length hs in
+  let lo = ref max_int and hi = ref min_int in
+  Array.iter
+    (fun h ->
+      if h < !lo then lo := h;
+      if h > !hi then hi := h)
+    hs;
+  if n > 0 && !hi - !lo < (4 * n) + 64 then begin
+    let table = Array.make (!hi - !lo + 1) (-1) in
+    let base = !lo in
+    (* slot or -1: an option here would box once per row *)
+    ((fun h -> table.(h - base)), fun h s -> table.(h - base) <- s)
+  end
+  else begin
+    let tbl = Hashtbl.create n in
+    ( (fun h -> match Hashtbl.find_opt tbl h with Some s -> s | None -> -1),
+      fun h s -> Hashtbl.add tbl h s )
+  end
+
+(* Grouped aggregation over int/oid heads: one constructor match per
+   column, then monomorphic loops over unboxed keys and accumulators.
+   Only operand combinations without a typed kernel fall back to the
+   boxed atom loop (non-numeric tails keep its error behavior). *)
+let group_aggr_int_head op b hs =
+  let n = Array.length hs in
+  let find_slot, add_slot = int_slot_lookup hs in
+  let keys = Ibuf.create () in
+  let mk_keys ka =
+    match Column.ty b.hd with Atom.TOid -> Column.O ka | _ -> Column.I ka
   in
-  (match b.hd with
-  | Column.I hs | Column.O hs ->
-    (* unboxed grouping keys; when the key range is a small window the
-       slot map is a flat array (Monet-style) instead of a hash table *)
-    let n = Array.length hs in
-    let lo = ref max_int and hi = ref min_int in
-    Array.iter
-      (fun h ->
-        if h < !lo then lo := h;
-        if h > !hi then hi := h)
-      hs;
-    let slot_lookup =
-      if n > 0 && !hi - !lo < (4 * n) + 64 then begin
-        let table = Array.make (!hi - !lo + 1) (-1) in
-        let base = !lo in
-        ( (fun h -> if table.(h - base) >= 0 then Some table.(h - base) else None),
-          fun h s -> table.(h - base) <- s )
-      end
+  let int_kernel value comb =
+    let vals = Ibuf.create () in
+    for i = 0 to n - 1 do
+      let h = hs.(i) in
+      let s = find_slot h in
+      if s >= 0 then Ibuf.set vals s (comb (Ibuf.get vals s) (value i))
       else begin
-        let tbl = Hashtbl.create n in
-        ((fun h -> Hashtbl.find_opt tbl h), fun h s -> Hashtbl.add tbl h s)
+        add_slot h (Ibuf.len keys);
+        Ibuf.push keys h;
+        Ibuf.push vals (value i)
       end
+    done;
+    Column.I (Ibuf.finish vals)
+  in
+  (* [init] seeds a fresh group's accumulator: first value for min/max,
+     [0.0 +. v] for sums (matching the long-standing 0-seeded float
+     accumulation of the boxed path bit for bit). *)
+  let flt_kernel init value comb =
+    let vals = Fbuf.create () in
+    for i = 0 to n - 1 do
+      let h = hs.(i) in
+      let s = find_slot h in
+      if s >= 0 then Fbuf.set vals s (comb (Fbuf.get vals s) (value i))
+      else begin
+        add_slot h (Ibuf.len keys);
+        Ibuf.push keys h;
+        Fbuf.push vals (init i)
+      end
+    done;
+    Column.F (Fbuf.finish vals)
+  in
+  let fast =
+    match (op, b.tl) with
+    | Count, _ -> Some (int_kernel (fun _ -> 1) ( + ))
+    | Sum, Column.I ts -> Some (int_kernel (Array.get ts) ( + ))
+    | Min, Column.I ts -> Some (int_kernel (Array.get ts) min)
+    | Max, Column.I ts -> Some (int_kernel (Array.get ts) max)
+    | Prod, Column.I ts -> Some (int_kernel (Array.get ts) ( * ))
+    | Sum, Column.F ts ->
+      Some (flt_kernel (fun i -> 0.0 +. ts.(i)) (Array.get ts) ( +. ))
+    | Min, Column.F ts -> Some (flt_kernel (Array.get ts) (Array.get ts) Float.min)
+    | Max, Column.F ts -> Some (flt_kernel (Array.get ts) (Array.get ts) Float.max)
+    | Avg, (Column.I _ | Column.F _) ->
+      let value =
+        match b.tl with
+        | Column.F ts -> Array.get ts
+        | Column.I ts -> fun i -> Float.of_int ts.(i)
+        | _ -> assert false
+      in
+      let sums = Fbuf.create () and cnts = Ibuf.create () in
+      for i = 0 to n - 1 do
+        let h = hs.(i) in
+        let s = find_slot h in
+        if s >= 0 then begin
+          Fbuf.set sums s (Fbuf.get sums s +. value i);
+          Ibuf.set cnts s (Ibuf.get cnts s + 1)
+        end
+        else begin
+          add_slot h (Ibuf.len keys);
+          Ibuf.push keys h;
+          Fbuf.push sums (0.0 +. value i);
+          Ibuf.push cnts 1
+        end
+      done;
+      let g = Ibuf.len keys in
+      Some
+        (Column.F
+           (Array.init g (fun s -> Fbuf.get sums s /. Float.of_int (Ibuf.get cnts s))))
+    | _ -> None
+  in
+  match fast with
+  | Some tl -> { hd = mk_keys (Ibuf.finish keys); tl }
+  | None ->
+    let accs = ref (Array.make 16 { cnt = 0; v = None; fsum = 0.0 }) in
+    let nslots = ref 0 in
+    let new_slot () =
+      let s = !nslots in
+      if s = Array.length !accs then begin
+        let fresh = Array.make (2 * s) { cnt = 0; v = None; fsum = 0.0 } in
+        Array.blit !accs 0 fresh 0 s;
+        accs := fresh
+      end;
+      !accs.(s) <- { cnt = 0; v = None; fsum = 0.0 };
+      incr nslots;
+      s
     in
-    let find_slot, add_slot = slot_lookup in
-    let slot_at i h =
-      match find_slot h with
-      | Some s -> s
-      | None ->
-        let s = new_slot () in
-        add_slot h s;
-        Column.Builder.add keys (Column.get b.hd i);
-        s
-    in
-    (* typed accumulation for the numeric aggregates *)
-    (match (op, b.tl) with
-    | Sum, Column.F ts | Avg, Column.F ts ->
-      Array.iteri
-        (fun i h ->
-          let acc = !accs.(slot_at i h) in
-          acc.cnt <- acc.cnt + 1;
-          acc.fsum <- acc.fsum +. ts.(i))
-        hs
-    | Count, _ ->
-      Array.iteri
-        (fun i h ->
-          let acc = !accs.(slot_at i h) in
-          acc.cnt <- acc.cnt + 1)
-        hs
-    | _ ->
-      Array.iteri (fun i h -> aggr_step op !accs.(slot_at i h) (tail_at b i)) hs)
+    for i = 0 to n - 1 do
+      let h = hs.(i) in
+      let s =
+        let s = find_slot h in
+        if s >= 0 then s
+        else begin
+          let s = new_slot () in
+          add_slot h s;
+          Ibuf.push keys h;
+          s
+        end
+      in
+      aggr_step op !accs.(s) (tail_at b i)
+    done;
+    let out = Column.make (aggr_result_ty op (tty b)) !nslots in
+    for s = 0 to !nslots - 1 do
+      Column.set out s (aggr_finish op !accs.(s))
+    done;
+    { hd = mk_keys (Ibuf.finish keys); tl = out }
+
+let group_aggr op b =
+  match b.hd with
+  | Column.I hs | Column.O hs -> group_aggr_int_head op b hs
   | _ ->
+    let keys = Column.Builder.create (hty b) in
+    let accs = ref (Array.make 16 { cnt = 0; v = None; fsum = 0.0 }) in
+    let nslots = ref 0 in
+    let new_slot () =
+      let s = !nslots in
+      if s = Array.length !accs then begin
+        let fresh = Array.make (2 * s) { cnt = 0; v = None; fsum = 0.0 } in
+        Array.blit !accs 0 fresh 0 s;
+        accs := fresh
+      end;
+      !accs.(s) <- { cnt = 0; v = None; fsum = 0.0 };
+      incr nslots;
+      s
+    in
     let slot_of = AtomTbl.create (count b) in
     iter
       (fun h t ->
@@ -871,22 +1037,93 @@ let group_aggr op b =
             s
         in
         aggr_step op !accs.(slot) t)
-      b);
-  let out = Column.make (aggr_result_ty op (tty b)) !nslots in
-  for s = 0 to !nslots - 1 do
-    Column.set out s (aggr_finish op !accs.(s))
-  done;
-  { hd = Column.Builder.finish keys; tl = out }
+      b;
+    let out = Column.make (aggr_result_ty op (tty b)) !nslots in
+    for s = 0 to !nslots - 1 do
+      Column.set out s (aggr_finish op !accs.(s))
+    done;
+    { hd = Column.Builder.finish keys; tl = out }
 
 let aggr_all op b =
-  if count b = 0 then
+  let n = count b in
+  if n = 0 then
     match aggr_neutral op (tty b) with
     | Some v -> v
     | None -> invalid_arg "Bat.aggr_all: empty input for min/max/avg"
   else begin
-    let acc = { cnt = 0; v = None; fsum = 0.0 } in
-    iter (fun _ t -> aggr_step op acc t) b;
-    aggr_finish op acc
+    (* monomorphic folds for the numeric tails; the boxed loop remains
+       for compare-based min/max over strings/bools/oids *)
+    let fast =
+      match (op, b.tl) with
+      | Count, _ -> Some (Atom.Int n)
+      | Sum, Column.I ts ->
+        let s = ref ts.(0) in
+        for i = 1 to n - 1 do
+          s := !s + ts.(i)
+        done;
+        Some (Atom.Int !s)
+      | Prod, Column.I ts ->
+        let s = ref ts.(0) in
+        for i = 1 to n - 1 do
+          s := !s * ts.(i)
+        done;
+        Some (Atom.Int !s)
+      | Min, Column.I ts ->
+        let s = ref ts.(0) in
+        for i = 1 to n - 1 do
+          s := min !s ts.(i)
+        done;
+        Some (Atom.Int !s)
+      | Max, Column.I ts ->
+        let s = ref ts.(0) in
+        for i = 1 to n - 1 do
+          s := max !s ts.(i)
+        done;
+        Some (Atom.Int !s)
+      | Sum, Column.F ts ->
+        let s = ref ts.(0) in
+        for i = 1 to n - 1 do
+          s := !s +. ts.(i)
+        done;
+        Some (Atom.Flt !s)
+      | Prod, Column.F ts ->
+        let s = ref ts.(0) in
+        for i = 1 to n - 1 do
+          s := !s *. ts.(i)
+        done;
+        Some (Atom.Flt !s)
+      | Min, Column.F ts ->
+        let s = ref ts.(0) in
+        for i = 1 to n - 1 do
+          s := Float.min !s ts.(i)
+        done;
+        Some (Atom.Flt !s)
+      | Max, Column.F ts ->
+        let s = ref ts.(0) in
+        for i = 1 to n - 1 do
+          s := Float.max !s ts.(i)
+        done;
+        Some (Atom.Flt !s)
+      | Avg, Column.I ts ->
+        let s = ref 0.0 in
+        for i = 0 to n - 1 do
+          s := !s +. Float.of_int ts.(i)
+        done;
+        Some (Atom.Flt (!s /. Float.of_int n))
+      | Avg, Column.F ts ->
+        let s = ref 0.0 in
+        for i = 0 to n - 1 do
+          s := !s +. ts.(i)
+        done;
+        Some (Atom.Flt (!s /. Float.of_int n))
+      | _ -> None
+    in
+    match fast with
+    | Some v -> v
+    | None ->
+      let acc = { cnt = 0; v = None; fsum = 0.0 } in
+      iter (fun _ t -> aggr_step op acc t) b;
+      aggr_finish op acc
   end
 
 let group_rank ?(desc = false) ~link key =

@@ -139,6 +139,7 @@ type verdict = {
   shared_columns : int;
   partitions : int;
   hazards : Milcheck.diag list;
+  safe : Mil.t -> bool;
 }
 
 let slot_path path i n k =
@@ -335,7 +336,21 @@ let analyze env plans =
     Hashtbl.length roots
   in
   let hazards = List.rev !hazards in
-  let v = { nodes = !next_id; shared_columns; partitions; hazards } in
+  (* A node is parallel-safe when its whole partition is effect-free:
+     no write effects, no impure operators, no undeclared foreigns.
+     Nodes outside the analyzed plans are unknown, hence unsafe. *)
+  let unsafe_roots = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      if i.eff.writes <> [] || i.eff.impure <> None || i.eff.undeclared then
+        Hashtbl.replace unsafe_roots (find i.id) ())
+    all;
+  let safe plan =
+    match Mil.Tbl.find_opt infos plan with
+    | Some i -> not (Hashtbl.mem unsafe_roots (find i.id))
+    | None -> false
+  in
+  let v = { nodes = !next_id; shared_columns; partitions; hazards; safe } in
   if Mirror_util.Metrics.enabled () then begin
     Mirror_util.Metrics.incr ~by:(List.length plans) "effcheck.plans";
     Mirror_util.Metrics.incr ~by:v.nodes "effcheck.nodes";

@@ -106,6 +106,12 @@ type verdict = {
       (** Mutation-under-sharing and undeclared-effect errors,
           effectful-op-under-memoization and non-commutable-reordering
           warnings. *)
+  safe : Mil.t -> bool;
+      (** [safe plan] holds when [plan] is a node of the analyzed
+          bundle whose whole partition is effect-free (no writes, no
+          impure operators, no undeclared foreigns) — the static
+          licence for the executor to run that node's operator
+          data-parallel ({!Parkernel}).  Unknown plans are unsafe. *)
 }
 
 val analyze : env -> Mil.t list -> verdict

@@ -41,6 +41,8 @@ type stats = {
   mutable evaluated : int;
   mutable memo_hits : int;
   mutable rows_produced : int;
+  mutable par_ops : int;
+  mutable par_morsels : int;
 }
 
 let children = function
@@ -105,6 +107,8 @@ module Tbl = Hashtbl.Make (struct
   let hash = hash
 end)
 
+type par = { pool : Parkernel.pool; safe : t -> bool }
+
 type session = {
   catalog : Catalog.t;
   foreign : foreign_fn;
@@ -112,20 +116,22 @@ type session = {
   cse : bool;
   st : stats;
   tr : Mirror_util.Trace.t;
+  par : par option;
 }
 
 let no_foreign ~name ~args:_ ~meta:_ =
   failwith (Printf.sprintf "Mil: unknown foreign operator %S" name)
 
-let session ?(cse = true) ?(trace = Mirror_util.Trace.null) ?(foreign = no_foreign)
+let session ?(cse = true) ?(trace = Mirror_util.Trace.null) ?(foreign = no_foreign) ?par
     catalog =
   {
     catalog;
     foreign;
     memo = Tbl.create 128;
     cse;
-    st = { evaluated = 0; memo_hits = 0; rows_produced = 0 };
+    st = { evaluated = 0; memo_hits = 0; rows_produced = 0; par_ops = 0; par_morsels = 0 };
     tr = trace;
+    par;
   }
 
 let stats s = s.st
@@ -167,6 +173,34 @@ let op_name = function
   | Slice _ -> "slice"
   | TopN _ -> "topn"
   | Foreign { name; _ } -> "foreign:" ^ name
+
+(* Attribute a parallel execution to the operator's open trace span
+   and the session counters.  Only the main domain gets here — workers
+   never touch Trace or Metrics. *)
+let note_par s pool (st : Parkernel.runstat) =
+  s.st.par_ops <- s.st.par_ops + 1;
+  s.st.par_morsels <- s.st.par_morsels + st.morsels;
+  if Mirror_util.Trace.is_on s.tr then
+    Mirror_util.Trace.attr s.tr "par"
+      (Printf.sprintf "%dd/%dm" (Parkernel.size pool) st.morsels);
+  if Mirror_util.Metrics.enabled () then begin
+    Mirror_util.Metrics.incr "mil.par.ops";
+    Mirror_util.Metrics.incr ~by:st.morsels "mil.par.morsels"
+  end
+
+(* Run the operator data-parallel when the session has a pool, Effcheck
+   proved this node's partition effect-free, and the parallel kernel
+   has a deterministic typed path for the operands; otherwise fall back
+   to the sequential kernel. *)
+let try_par s plan seq par_fn =
+  match s.par with
+  | Some { pool; safe } when safe plan -> (
+    match par_fn pool with
+    | Some (r, st) ->
+      note_par s pool st;
+      r
+    | None -> seq ())
+  | _ -> seq ()
 
 let rec eval s plan =
   match if s.cse then Tbl.find_opt s.memo plan else None with
@@ -215,14 +249,40 @@ and eval_raw s plan =
   | NumberHead (p, base) -> Bat.number_head (eval s p) base
   | NumberTail (p, base) -> Bat.number_tail (eval s p) base
   | Project (p, a) -> Bat.project (eval s p) a
-  | Calc1 (op, p) -> Bat.calc1 op (eval s p)
-  | CalcConst (op, p, a) -> Bat.calc_const op (eval s p) a
-  | ConstCalc (op, a, p) -> Bat.const_calc op a (eval s p)
-  | Calc2 (op, l, r) -> Bat.calc2 op (eval s l) (eval s r)
-  | SelectCmp (p, c, a) -> Bat.select_cmp (eval s p) c a
-  | SelectRange (p, lo, hi) -> Bat.select_range (eval s p) lo hi
-  | SelectBool p -> Bat.select_bool (eval s p)
-  | Join (l, r) -> Bat.join (eval s l) (eval s r)
+  | Calc1 (op, p) ->
+    let b = eval s p in
+    try_par s plan (fun () -> Bat.calc1 op b) (fun pool -> Parkernel.calc1 pool op b)
+  | CalcConst (op, p, a) ->
+    let b = eval s p in
+    try_par s plan
+      (fun () -> Bat.calc_const op b a)
+      (fun pool -> Parkernel.calc_const pool op b a)
+  | ConstCalc (op, a, p) ->
+    let b = eval s p in
+    try_par s plan
+      (fun () -> Bat.const_calc op a b)
+      (fun pool -> Parkernel.const_calc pool op a b)
+  | Calc2 (op, l, r) ->
+    let lb = eval s l and rb = eval s r in
+    try_par s plan
+      (fun () -> Bat.calc2 op lb rb)
+      (fun pool -> Parkernel.calc2 pool op lb rb)
+  | SelectCmp (p, c, a) ->
+    let b = eval s p in
+    try_par s plan
+      (fun () -> Bat.select_cmp b c a)
+      (fun pool -> Parkernel.select_cmp pool b c a)
+  | SelectRange (p, lo, hi) ->
+    let b = eval s p in
+    try_par s plan
+      (fun () -> Bat.select_range b lo hi)
+      (fun pool -> Parkernel.select_range pool b lo hi)
+  | SelectBool p ->
+    let b = eval s p in
+    try_par s plan (fun () -> Bat.select_bool b) (fun pool -> Parkernel.select_bool pool b)
+  | Join (l, r) ->
+    let lb = eval s l and rb = eval s r in
+    try_par s plan (fun () -> Bat.join lb rb) (fun pool -> Parkernel.join pool lb rb)
   | LeftOuterJoin (l, r, d) -> Bat.leftouterjoin (eval s l) (eval s r) d
   | Semijoin (l, r) -> Bat.semijoin (eval s l) (eval s r)
   | Antijoin (l, r) -> Bat.antijoin (eval s l) (eval s r)
@@ -233,17 +293,31 @@ and eval_raw s plan =
   | Append (l, r) -> Bat.append (eval s l) (eval s r)
   | Unique p -> Bat.unique (eval s p)
   | UniqueHead p -> Bat.unique_head (eval s p)
-  | GroupAggr (op, p) -> Bat.group_aggr op (eval s p)
+  | GroupAggr (op, p) ->
+    let b = eval s p in
+    try_par s plan
+      (fun () -> Bat.group_aggr op b)
+      (fun pool -> Parkernel.group_aggr pool op b)
   | AggrAll (op, p) ->
-    let v = Bat.aggr_all op (eval s p) in
+    let b = eval s p in
+    let v =
+      try_par s plan (fun () -> Bat.aggr_all op b) (fun pool -> Parkernel.aggr_all pool op b)
+    in
     Bat.of_pairs Atom.TOid (Atom.type_of v) [ (Atom.Oid 0, v) ]
   | GroupRank { link; key; desc } -> Bat.group_rank ~desc ~link:(eval s link) (eval s key)
   | SortTail (p, desc) -> Bat.sort_tail ~desc (eval s p)
   | Slice (p, pos, len) -> Bat.slice (eval s p) pos len
   | TopN (p, n, desc) -> Bat.topn ~desc (eval s p) n
-  | Foreign { name; args; meta } ->
+  | Foreign { name; args; meta } -> (
     let args = List.map (eval s) args in
-    s.foreign ~name ~args ~meta
+    (* Parallelism inside a foreign operator is opt-in: the pool is
+       made dynamically visible only for Effcheck-safe dispatches, so
+       an unsafe foreign finds [Parkernel.current () = None] — the
+       scheduler's refusal layer. *)
+    match s.par with
+    | Some { pool; safe } when safe plan ->
+      Parkernel.with_pool pool (fun () -> s.foreign ~name ~args ~meta)
+    | _ -> s.foreign ~name ~args ~meta)
 
 let exec s plan = eval s plan
 

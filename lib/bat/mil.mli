@@ -65,7 +65,17 @@ type stats = {
   mutable evaluated : int;  (** Operator nodes actually executed. *)
   mutable memo_hits : int;  (** Nodes answered from the memo table. *)
   mutable rows_produced : int;  (** Total rows over executed nodes. *)
+  mutable par_ops : int;  (** Operators executed on the parallel kernel. *)
+  mutable par_morsels : int;  (** Morsels scheduled across those operators. *)
 }
+
+type par = { pool : Parkernel.pool; safe : t -> bool }
+(** Parallel-execution licence for a session: the domain pool to run
+    on, and the Effcheck verdict predicate ({!Effcheck.verdict.safe})
+    deciding per node whether its partition is effect-free.  Operators
+    whose node is unsafe — or whose operands have no deterministic
+    parallel path — run the sequential kernel; results are identical
+    either way. *)
 
 type session
 (** An execution context: catalog + foreign dispatch + memo table.
@@ -76,6 +86,7 @@ val session :
   ?cse:bool ->
   ?trace:Mirror_util.Trace.t ->
   ?foreign:foreign_fn ->
+  ?par:par ->
   Catalog.t ->
   session
 (** Open a session.  [cse] (default [true]) controls whether the memo
@@ -85,7 +96,11 @@ val session :
     operator — nested like the plan, with the produced row count — and
     a zero-duration ["memo=hit"] event per memo-table answer.  When the
     {!Mirror_util.Metrics} registry is enabled the executor also bumps
-    ["mil.op.<name>"] / ["mil.rows.<name>"] counters per operator. *)
+    ["mil.op.<name>"] / ["mil.rows.<name>"] counters per operator.
+    [par] (default: none, fully sequential) enables morsel-parallel
+    operator execution gated on its {!type-par} predicate; parallel
+    executions add a ["par=<domains>d/<morsels>m"] attribute to their
+    span and bump ["mil.par.ops"] / ["mil.par.morsels"]. *)
 
 val exec : session -> t -> Bat.t
 (** Evaluate a plan.

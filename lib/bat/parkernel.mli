@@ -1,0 +1,143 @@
+(** Morsel-driven parallel kernel on OCaml 5 domains.
+
+    A {!type-pool} owns [size - 1] worker domains (the caller is the
+    remaining participant); {!run_tasks} hands out task indices through
+    an atomic counter — morsel-at-a-time work stealing — and joins the
+    pool before returning, so parallelism never escapes one operator
+    call.  Results are written into caller-preallocated per-morsel
+    slots and merged {e in morsel order}, which is what makes every
+    parallel operator bitwise-identical to its sequential twin.
+
+    The parallel operators below return [None] when no deterministic
+    typed path exists ([Sum]/[Avg] over floats is deliberately not
+    parallelised: float addition is not associative, so a morsel-order
+    merge could change low bits) or when the input is below
+    {!min_rows}; the caller then falls back to the sequential kernel.
+    The scheduler itself never inspects effect verdicts — gating on
+    {!Effcheck} safety is the executor's job ({!Mil.par}).
+
+    Pools must only be driven from the domain that created them; worker
+    tasks must not touch domain-unsafe globals ({!Mirror_util.Metrics},
+    {!Mirror_util.Trace}).  Per-morsel timings are collected into
+    preallocated slots and aggregated by the caller instead. *)
+
+type pool
+
+val create : int -> pool
+(** [create n] spawns a pool of total size [max 1 n] (i.e. [n - 1]
+    worker domains plus the calling domain). *)
+
+val shutdown : pool -> unit
+(** Stop and join the workers.  Idempotent. *)
+
+val size : pool -> int
+(** Total domains participating in this pool's jobs (workers + caller). *)
+
+(** {1 Global configuration}
+
+    The CLI's [--domains N] sets the process-wide default; tests inject
+    their own pools and morsel geometry. *)
+
+val set_domains : int -> unit
+(** Set the default pool size (clamped to [1..64]).  Shuts down any
+    existing default pool; [1] disables parallel execution. *)
+
+val domains : unit -> int
+(** The configured default pool size. *)
+
+val default_pool : unit -> pool option
+(** The lazily-created process-wide pool, [None] when [domains () <= 1].
+    Shut down automatically at exit. *)
+
+val set_morsel_size : int -> unit
+(** Rows per morsel (clamped to [>= 1]; default 16384). *)
+
+val morsel_size : unit -> int
+
+val set_min_rows : int -> unit
+(** Inputs smaller than this stay sequential (default 2048; tests set 0
+    to force tiny BATs through the parallel path). *)
+
+val min_rows : unit -> int
+
+(** {1 Scheduling} *)
+
+type runstat = {
+  morsels : int;  (** Morsels executed for this operator call. *)
+  busy : float;  (** Summed per-morsel wall seconds (all domains). *)
+  wall : float;  (** Caller-observed wall seconds. *)
+}
+
+val run_tasks : pool -> int -> (int -> unit) -> runstat
+(** [run_tasks p m task] runs [task 0 .. task (m-1)], possibly
+    concurrently, and returns once all completed.  Tasks must write
+    only to disjoint caller-owned slots.  If tasks raise, the exception
+    of the lowest-numbered failing task is re-raised after the join —
+    the same exception a sequential left-to-right loop would surface
+    first. *)
+
+val map_ranges : pool -> int -> (int -> int -> 'a) -> 'a array * runstat
+(** [map_ranges p n f] partitions [0..n-1] into {!morsel_size} ranges
+    and returns [f lo hi] per range (hi exclusive), in range order. *)
+
+(** {1 Current-pool plumbing}
+
+    [Foreign] operators receive the session's pool dynamically: the
+    executor wraps Effcheck-safe dispatches in {!with_pool}, and the
+    extension's physical operator picks it up with {!current} (e.g. the
+    CONTREP belief scan).  Unsafe foreigns run with {!current} unset —
+    the scheduler's refusal layer. *)
+
+val with_pool : pool -> (unit -> 'a) -> 'a
+val current : unit -> pool option
+
+(** {1 Parallel operators}
+
+    Each is the morsel-partitioned twin of the same-named {!Bat}
+    operator and returns the identical BAT (same values, same row
+    order; fresh output columns exactly where the sequential kernel
+    allocates fresh columns) plus its {!runstat}, or [None] to decline
+    (untyped operands, below {!min_rows}, or a non-associative float
+    aggregate). *)
+
+val select_cmp : pool -> Bat.t -> Bat.cmp -> Atom.t -> (Bat.t * runstat) option
+val select_range : pool -> Bat.t -> Atom.t -> Atom.t -> (Bat.t * runstat) option
+val select_bool : pool -> Bat.t -> (Bat.t * runstat) option
+val calc1 : pool -> Bat.unop -> Bat.t -> (Bat.t * runstat) option
+val calc_const : pool -> Bat.binop -> Bat.t -> Atom.t -> (Bat.t * runstat) option
+val const_calc : pool -> Bat.binop -> Atom.t -> Bat.t -> (Bat.t * runstat) option
+
+val calc2 : pool -> Bat.binop -> Bat.t -> Bat.t -> (Bat.t * runstat) option
+(** Only the row-aligned fast path (equal counts, equal int/oid heads)
+    parallelises; the head-matching generic path declines. *)
+
+val join : pool -> Bat.t -> Bat.t -> (Bat.t * runstat) option
+(** Int/oid key columns only.  The build side is hashed in [size p]
+    ascending chunks built concurrently; probes consult the chunk
+    tables in ascending order, reproducing the sequential hash join's
+    (ascending left row, ascending right row) output order exactly. *)
+
+val group_aggr : pool -> Bat.aggr -> Bat.t -> (Bat.t * runstat) option
+(** Int/oid heads with [Count], int [Sum]/[Min]/[Max], or float
+    [Min]/[Max] tails.  Per-morsel partial tables are merged in morsel
+    order, so group keys keep their global first-occurrence order and
+    the merged accumulators are domain-count independent (int addition
+    is modular-associative; [Float.min]/[Float.max] are associative and
+    NaN-propagating in either association). *)
+
+val aggr_all : pool -> Bat.aggr -> Bat.t -> (Atom.t * runstat) option
+(** Int [Sum]/[Prod]/[Min]/[Max] and float [Min]/[Max].  [Count] is
+    O(1) sequentially and float [Sum]/[Avg]/[Prod] are
+    order-sensitive, so those decline. *)
+
+(** {1 Pool-lifetime statistics} *)
+
+type totals = {
+  t_jobs : int;  (** {!run_tasks} invocations. *)
+  t_morsels : int;
+  t_busy : float;
+  t_wall : float;
+}
+
+val totals : pool -> totals
+(** Accumulated since [create]; read from the owning domain only. *)

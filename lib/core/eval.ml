@@ -1,6 +1,7 @@
 module Mil = Mirror_bat.Mil
 module Bat = Mirror_bat.Bat
 module Atom = Mirror_bat.Atom
+module Parkernel = Mirror_bat.Parkernel
 
 type report = {
   value : Value.t;
@@ -9,6 +10,8 @@ type report = {
   plan_nodes : int;
   evaluated : int;
   memo_hits : int;
+  par_ops : int;
+  par_morsels : int;
 }
 
 (* {1 Reification}
@@ -136,10 +139,24 @@ let query ?(cse = true) ?(optimize = true) ?(specialize = true) ?(check = false)
       match differential with
       | Error msg -> Error ("differential check: " ^ msg)
       | Ok () -> (
+        (* parallel licence: a domain pool (when [--domains] asked for
+           one) plus the Effcheck verdict over this very bundle — only
+           operators whose partition is provably effect-free may run
+           morsel-parallel *)
+        let par =
+          match Parkernel.default_pool () with
+          | None -> None
+          | Some pool ->
+            let v =
+              Mirror_bat.Effcheck.analyze (Plancheck.effcheck_env ())
+                (Plancheck.shape_plans shape)
+            in
+            Some { Mil.pool; safe = v.Mirror_bat.Effcheck.safe }
+        in
         let session =
           Mil.session ~cse ~trace
             ~foreign:(Extension.foreign_dispatch (Storage.eval_env storage))
-            (Storage.catalog storage)
+            ?par (Storage.catalog storage)
         in
         (* Under [check], the checked executor verifies each node's
            envelope and — when the memo table is on — the effect
@@ -184,6 +201,8 @@ let query ?(cse = true) ?(optimize = true) ?(specialize = true) ?(check = false)
               plan_nodes = plan_nodes shape;
               evaluated = stats.Mil.evaluated;
               memo_hits = stats.Mil.memo_hits;
+              par_ops = stats.Mil.par_ops;
+              par_morsels = stats.Mil.par_morsels;
             }
         | exception Failure msg -> Error msg
         | exception Invalid_argument msg -> Error msg
@@ -217,6 +236,13 @@ let profile storage expr =
 
 let explain_analyze ?(optimize = true) ?(cse = true) storage expr =
   let trace = Trace.create () in
+  (* snapshot the pool's lifetime totals so the rollup below reports
+     this query's share only *)
+  let pool0 =
+    match Parkernel.default_pool () with
+    | Some pool -> Some (pool, Parkernel.totals pool)
+    | None -> None
+  in
   match query ~cse ~optimize ~trace storage expr with
   | Error e -> Error e
   | Ok report ->
@@ -225,6 +251,22 @@ let explain_analyze ?(optimize = true) ?(cse = true) storage expr =
       (Printf.sprintf "result type: %s\nplan: %d bats, %d nodes; executed %d, memo hits %d\n"
          (Types.to_string report.result_type)
          report.plan_bats report.plan_nodes report.evaluated report.memo_hits);
+    (match pool0 with
+    | Some (pool, t0) when report.par_ops > 0 ->
+      let t1 = Parkernel.totals pool in
+      let busy = t1.Parkernel.t_busy -. t0.Parkernel.t_busy in
+      let wall = t1.Parkernel.t_wall -. t0.Parkernel.t_wall in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "parallel: %d operators on %d domains, %d morsels; busy %.3f ms / wall %.3f ms (%.2fx)\n"
+           report.par_ops (Parkernel.size pool) report.par_morsels (1000.0 *. busy)
+           (1000.0 *. wall)
+           (if wall > 0.0 then busy /. wall else 1.0))
+    | _ ->
+      if Parkernel.domains () > 1 then
+        Buffer.add_string buf
+          (Printf.sprintf "parallel: 0 operators (pool of %d domains idle)\n"
+             (Parkernel.domains ())));
     (* effect-and-aliasing verdict over the same (optimised) bundle:
        how much of the DAG a domain-parallel executor could run
        concurrently *)

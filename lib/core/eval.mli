@@ -13,6 +13,11 @@ type report = {
   plan_nodes : int;  (** Total plan-tree operator nodes (before CSE). *)
   evaluated : int;  (** Kernel operators actually executed. *)
   memo_hits : int;  (** Plan nodes served by the memo table. *)
+  par_ops : int;
+      (** Operators that ran on the morsel-parallel kernel (0 unless a
+          {!Mirror_bat.Parkernel.default_pool} is configured and the
+          Effcheck verdict licensed the plan). *)
+  par_morsels : int;  (** Morsels scheduled across those operators. *)
 }
 
 val query :

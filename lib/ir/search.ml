@@ -237,10 +237,17 @@ let getbl_pairs ~space ~occ_ctx ~occ_term ~occ_tf ~len ~dom ~qlink ~qval =
   in
   let len_at = doclen_at ~len ~window in
   let avg = Space.avg_doc_len space in
-  let ctxb = Column.Builder.create Atom.TOid in
-  let belb = Column.Builder.create Atom.TFlt in
-  Array.iter
-    (fun c ->
+  (* scoring is a pure map over contexts: every table the closures
+     above consult is fully built (the slow-tf lazy is forced inside
+     [term_entries]) and read-only from here on, so when the executor
+     runs this operator under a domain pool the context scan morsels
+     across domains, each range building private columns that are
+     concatenated in morsel order — bitwise the sequential output *)
+  let score_range lo hi =
+    let ctxb = Column.Builder.create Atom.TOid in
+    let belb = Column.Builder.create Atom.TFlt in
+    for k = lo to hi - 1 do
+      let c = dom_heads.(k) in
       let doclen = len_at c in
       List.iter
         (fun (idf, tf_at) ->
@@ -248,9 +255,21 @@ let getbl_pairs ~space ~occ_ctx ~occ_term ~occ_tf ~len ~dom ~qlink ~qval =
           let b = Belief.default_belief +. (Belief.belief_weight *. tf_part *. idf) in
           Column.Builder.add_oid ctxb c;
           Column.Builder.add_float belb b)
-        (query_at c))
-    dom_heads;
-  Bat.make (Column.Builder.finish ctxb) (Column.Builder.finish belb)
+        (query_at c)
+    done;
+    ( Column.oid_exn (Column.Builder.finish ctxb),
+      Column.float_exn (Column.Builder.finish belb) )
+  in
+  let n = Array.length dom_heads in
+  match Mirror_bat.Parkernel.current () with
+  | Some pool when n >= Mirror_bat.Parkernel.min_rows () && n > 0 ->
+    let parts, _ = Mirror_bat.Parkernel.map_ranges pool n score_range in
+    Bat.make
+      (Column.O (Array.concat (List.map fst (Array.to_list parts))))
+      (Column.F (Array.concat (List.map snd (Array.to_list parts))))
+  | _ ->
+    let ctxs, bels = score_range 0 n in
+    Bat.make (Column.O ctxs) (Column.F bels)
 
 let getblnet_pairs ~space ~net ~occ_ctx ~occ_term ~occ_tf ~len ~dom =
   let dom_heads = Column.oid_exn (Bat.head dom) in

@@ -703,6 +703,48 @@ let prop_mark_dense =
       done;
       !ok)
 
+(* {1 Allocation lint}
+
+   The typed kernels must not box per cell: a boxed [Column.get] loop
+   over n int rows costs >= 2n minor-heap words (one [Atom.Int] block
+   per cell), while the monomorphic loops allocate only their result
+   arrays — which at 100k elements exceed Max_young_wosize and go
+   straight to the major heap.  So a minor-words delta well under n is
+   a structural proof the fast path ran; n/8 leaves room for growable
+   buffers' small doubling steps. *)
+
+let test_alloc_lint () =
+  let n = 100_000 in
+  let b =
+    Bat.make
+      (Column.O (Array.init n (fun i -> i)))
+      (Column.I (Array.init n (fun i -> (i * 7) mod 1000)))
+  in
+  let grp =
+    Bat.make
+      (Column.O (Array.init n (fun i -> i mod 64)))
+      (Column.I (Array.init n (fun i -> (i * 13) mod 1000)))
+  in
+  List.iter
+    (fun (label, f) ->
+      f ();
+      (* warmed up: measure one clean run *)
+      let w0 = Gc.minor_words () in
+      f ();
+      let dw = Gc.minor_words () -. w0 in
+      if dw > Float.of_int (n / 8) then
+        Alcotest.failf "%s allocated %.0f minor words over %d rows (per-cell boxing?)"
+          label dw n)
+    [
+      ("select_cmp int", fun () -> ignore (Bat.select_cmp b Bat.Lt (Atom.Int 500)));
+      ( "select_range int",
+        fun () -> ignore (Bat.select_range b (Atom.Int 100) (Atom.Int 700)) );
+      ("calc_const add", fun () -> ignore (Bat.calc_const Bat.Add b (Atom.Int 3)));
+      ("calc1 neg", fun () -> ignore (Bat.calc1 Bat.Neg b));
+      ("group_aggr sum int", fun () -> ignore (Bat.group_aggr Bat.Sum grp));
+      ("aggr_all sum int", fun () -> ignore (Bat.aggr_all Bat.Sum b));
+    ]
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "mirror_bat"
@@ -792,6 +834,7 @@ let () =
           Alcotest.test_case "NaN ordering is total" `Quick test_nan_ordering_total;
           Alcotest.test_case "milopt rules" `Quick test_milopt_rules;
           Alcotest.test_case "milopt preserves results" `Quick test_milopt_preserves_results;
+          Alcotest.test_case "no per-cell boxing (minor words)" `Quick test_alloc_lint;
         ] );
       ( "properties",
         qc
