@@ -1389,6 +1389,89 @@ let experiment_parallel () =
      %d), on fewer cores the overhead column is the honest price of morsels.\n"
     cores
 
+(* {1 BOUND: static resource envelopes vs measured footprints}
+
+   For every docs-workload query, compare Boundcheck's estimated
+   resident footprint (and sound peak bound) against the bytes the
+   session actually held after execution.  Soundness is asserted per
+   query (actual never above the peak); the recorded estimation error
+   ratio — max(est/actual, actual/est), always >= 1 — tracks how loose
+   the estimates are across PRs. *)
+
+let experiment_bound () =
+  section "BOUND: static resource envelopes vs measured footprints";
+  let n = if quick then 64 else 256 in
+  let m = make_docs ~n in
+  let st = Mirror.storage m in
+  let tbl =
+    Tablefmt.create
+      ~title:(Printf.sprintf "static bounds vs measured footprint (%d docs)" n)
+      Tablefmt.
+        [
+          ("query", Left);
+          ("est rows", Right);
+          ("est bytes", Right);
+          ("peak bytes", Right);
+          ("actual", Right);
+          ("err ratio", Right);
+        ]
+  in
+  let rows =
+    List.map
+      (fun src ->
+        let expr = ok (Parser.parse_expr ~bindings src) in
+        let r = ok (Eval.query st expr) in
+        let est = r.Eval.bound_est_bytes and actual = r.Eval.actual_bytes in
+        (match r.Eval.bound_peak_bytes with
+        | Some peak when actual > peak ->
+          Printf.printf "BOUND VIOLATION: %s held %d bytes over the sound peak %d\n" src
+            actual peak;
+          exit 1
+        | _ -> ());
+        let ratio =
+          let e = float_of_int (max 1 est) and a = float_of_int (max 1 actual) in
+          if e > a then e /. a else a /. e
+        in
+        Tablefmt.add_row tbl
+          [
+            src;
+            string_of_int r.Eval.bound_est_rows;
+            string_of_int est;
+            (match r.Eval.bound_peak_bytes with
+            | Some p -> string_of_int p
+            | None -> "unbounded");
+            string_of_int actual;
+            Tablefmt.cell_float ~prec:2 ratio;
+          ];
+        ( Json.Obj
+            [
+              ("query", Json.Str src);
+              ("est_rows", Json.Int r.Eval.bound_est_rows);
+              ("est_bytes", Json.Int est);
+              ( "peak_bytes",
+                match r.Eval.bound_peak_bytes with Some p -> Json.Int p | None -> Json.Null
+              );
+              ("actual_bytes", Json.Int actual);
+              ("error_ratio", Json.Float ratio);
+            ],
+          ratio ))
+      docs_workload
+  in
+  print_string (Tablefmt.render tbl);
+  let ratios = List.map snd rows in
+  let mean = List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios) in
+  let worst = List.fold_left max 1.0 ratios in
+  Printf.printf
+    "estimation error: mean %.2fx, worst %.2fx (soundness asserted per query above)\n" mean
+    worst;
+  record_entry "BOUND"
+    [
+      ("docs", Json.Int n);
+      ("rows", Json.Arr (List.map fst rows));
+      ("mean_error_ratio", Json.Float mean);
+      ("max_error_ratio", Json.Float worst);
+    ]
+
 let () =
   Printf.printf "Mirror MMDBMS experiment harness%s\n" (if quick then " (quick mode)" else "");
   vet_workloads ();
@@ -1403,5 +1486,6 @@ let () =
   experiment_recovery ();
   experiment_chaos ();
   experiment_parallel ();
+  experiment_bound ();
   write_bench_json ();
   print_endline "\nall experiments complete."

@@ -124,7 +124,36 @@ let () =
     (match counter "effcheck.hazards" with
     | Some (Json.Int 0) -> ()
     | Some (Json.Int n) -> die "VET found %d effcheck hazard(s) over the corpus" n
-    | _ -> die "VET entry lacks the effcheck.hazards counter"));
+    | _ -> die "VET entry lacks the effcheck.hazards counter");
+    (match counter "boundcheck.plans" with
+    | Some (Json.Int n) when n > 0 -> ()
+    | Some (Json.Int _) -> die "VET analyzed zero plans with boundcheck"
+    | _ -> die "VET entry lacks the boundcheck.plans counter"));
+  (* the BOUND entry must carry one row per workload query with a
+     finite, >= 1 estimation error ratio — the envelope may be loose
+     but never degenerate (soundness itself is asserted inside the
+     harness, which aborts on any violation before recording) *)
+  (match find "BOUND" with
+  | None -> die "no entry for the resource-bound experiment (BOUND)"
+  | Some b ->
+    let rows =
+      match Option.bind (Json.member "rows" b) Json.to_list with
+      | Some (_ :: _ as rs) -> rs
+      | _ -> die "BOUND entry has no rows"
+    in
+    List.iter
+      (fun row ->
+        match Option.bind (Json.member "error_ratio" row) Json.to_float with
+        | Some r when Float.is_finite r && r >= 1.0 -> ()
+        | Some r -> die "BOUND row has a degenerate error ratio %f" r
+        | None -> die "BOUND row lacks error_ratio")
+      rows;
+    List.iter
+      (fun f ->
+        match Option.bind (Json.member f b) Json.to_float with
+        | Some r when Float.is_finite r && r >= 1.0 -> ()
+        | _ -> die "BOUND entry lacks a finite %s" f)
+      [ "mean_error_ratio"; "max_error_ratio" ]);
   (* the PARALLEL entry must prove the morsel kernel's determinism
      contract (parallel digests bitwise equal to sequential at every
      domain count); actual speedup is only demanded where it is

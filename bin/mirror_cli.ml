@@ -546,13 +546,15 @@ let check_arg =
 
 let lint_json_arg =
   let doc =
-    "Emit one machine-readable JSON report (schema mirror-lint/v1) with every \
-     diagnostic of all three analyzer layers instead of text lines."
+    "Emit one machine-readable JSON report (schema mirror-lint/v2) with every \
+     diagnostic of all four analyzer layers instead of text lines."
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 
 let lint_cmd =
-  let doc = "statically check Moa queries (plan verifier + lint + effect analysis)" in
+  let doc =
+    "statically check Moa queries (plan verifier + lint + effect analysis + resource bounds)"
+  in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
       const (fun () -> lint_main)
@@ -774,7 +776,14 @@ let daemons_cmd =
   Cmd.group (Cmd.info "daemons" ~doc)
     [ daemons_lint_cmd; daemons_health_cmd; daemons_deadletters_cmd; daemons_redeliver_cmd ]
 
-let explain_analyze_main db src =
+let max_bytes_arg =
+  let doc =
+    "Admission budget in bytes: refuse any plan whose static peak-footprint \
+     envelope exceeds the budget (or is unbounded) before evaluating it."
+  in
+  Arg.(value & opt (some int) None & info [ "max-bytes" ] ~docv:"BYTES" ~doc)
+
+let explain_analyze_main db src max_bytes =
   match storage_for db with
   | exception Failure e ->
     Printf.eprintf "error: %s\n" e;
@@ -785,7 +794,7 @@ let explain_analyze_main db src =
       Printf.eprintf "error: %s\n" e;
       1
     | Ok expr -> (
-      match Eval.explain_analyze st expr with
+      match Eval.explain_analyze ?max_bytes st expr with
       | Error e ->
         Printf.eprintf "error: %s\n" e;
         1
@@ -794,9 +803,14 @@ let explain_analyze_main db src =
         0))
 
 let explain_analyze_cmd =
-  let doc = "execute a query under a trace: span tree with per-operator time, rows and memo hits" in
+  let doc =
+    "execute a query under a trace: span tree with per-operator time, rows, memo hits and \
+     the static resource-bound envelope vs actual footprint"
+  in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const (fun () -> explain_analyze_main) $ domains_term $ db_arg $ explain_query_arg)
+    Term.(
+      const (fun () -> explain_analyze_main)
+      $ domains_term $ db_arg $ explain_query_arg $ max_bytes_arg)
 
 let explain_cmd =
   let doc = "show the compiled MIL plan bundle of a query (subcommand: analyze)" in

@@ -189,6 +189,7 @@ module VEC = struct
   let foreign_ops = []
   let foreign_sigs = []
   let foreign_effects = []
+  let foreign_bounds = []
 
   (* Sound defaults for the Moa-level analyzer: claim nothing about
      operator results or the flattened bundle. *)

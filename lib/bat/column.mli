@@ -55,6 +55,13 @@ val append : t -> t -> t
 val equal : t -> t -> bool
 (** Same type, length and cell values. *)
 
+val bytes : t -> int
+(** Nominal payload size in bytes: 8 per cell (the slot), plus the
+    string payload for [S] columns.  The accounting model shared with
+    {!Boundcheck}'s static envelopes — deliberately representation-
+    independent (a bool cell counts 8 like everything else) so that
+    static and measured sides agree. *)
+
 val oid_exn : t -> int array
 (** Underlying array of an oid column. @raise Invalid_argument otherwise. *)
 

@@ -107,7 +107,7 @@ module Tbl = Hashtbl.Make (struct
   let hash = hash
 end)
 
-type par = { pool : Parkernel.pool; safe : t -> bool }
+type par = { pool : Parkernel.pool; safe : t -> bool; morsel : t -> int option }
 
 type session = {
   catalog : Catalog.t;
@@ -117,13 +117,36 @@ type session = {
   st : stats;
   tr : Mirror_util.Trace.t;
   par : par option;
+  max_bytes : int option;
+  admitted : unit Tbl.t;  (* roots that passed the admission gate *)
 }
+
+exception Admission_refused of {
+  op : string;
+  est_bytes : int;
+  peak_bytes : int option;
+  budget : int;
+}
+
+(* The resource-bound oracle behind the [?max_bytes] admission gate:
+   given the catalog and a root plan, the static (estimate, peak upper
+   bound in bytes) of executing it — or [None] when no analysis is
+   available.  The default knows nothing (sessions with a budget then
+   refuse every plan, fail-closed); [Boundcheck] installs the real
+   analyzer at link time, and [Bootstrap.ensure] upgrades it to one
+   that knows the extension registry's foreign bounds.  A global ref,
+   not a session field, because the analyzer lives upstairs and
+   sessions are opened all over. *)
+let bound_oracle : (Catalog.t -> t -> (int * int option) option) ref =
+  ref (fun _ _ -> None)
+
+let set_bound_oracle f = bound_oracle := f
 
 let no_foreign ~name ~args:_ ~meta:_ =
   failwith (Printf.sprintf "Mil: unknown foreign operator %S" name)
 
 let session ?(cse = true) ?(trace = Mirror_util.Trace.null) ?(foreign = no_foreign) ?par
-    catalog =
+    ?max_bytes catalog =
   {
     catalog;
     foreign;
@@ -132,6 +155,8 @@ let session ?(cse = true) ?(trace = Mirror_util.Trace.null) ?(foreign = no_forei
     st = { evaluated = 0; memo_hits = 0; rows_produced = 0; par_ops = 0; par_morsels = 0 };
     tr = trace;
     par;
+    max_bytes;
+    admitted = Tbl.create 8;
   }
 
 let stats s = s.st
@@ -194,8 +219,14 @@ let note_par s pool (st : Parkernel.runstat) =
    to the sequential kernel. *)
 let try_par s plan seq par_fn =
   match s.par with
-  | Some { pool; safe } when safe plan -> (
-    match par_fn pool with
+  | Some { pool; safe; morsel } when safe plan -> (
+    let run () = par_fn pool in
+    let r =
+      match morsel plan with
+      | Some m -> Parkernel.with_morsel_size m run
+      | None -> run ()
+    in
+    match r with
     | Some (r, st) ->
       note_par s pool st;
       r
@@ -315,11 +346,53 @@ and eval_raw s plan =
        an unsafe foreign finds [Parkernel.current () = None] — the
        scheduler's refusal layer. *)
     match s.par with
-    | Some { pool; safe } when safe plan ->
+    | Some { pool; safe; _ } when safe plan ->
       Parkernel.with_pool pool (fun () -> s.foreign ~name ~args ~meta)
     | _ -> s.foreign ~name ~args ~meta)
 
-let exec s plan = eval s plan
+(* Admission gate: when the session has a byte budget, a root plan runs
+   only if the bound oracle can produce a finite peak envelope that
+   fits.  Unbounded plans (oracle unavailable, undeclared foreigns, …)
+   are refused — fail-closed, since the budget exists to protect the
+   machine.  Each distinct root is vetted once per session. *)
+let admit s plan =
+  match s.max_bytes with
+  | None -> ()
+  | Some _ when Tbl.mem s.admitted plan -> ()
+  | Some budget -> (
+    match !bound_oracle s.catalog plan with
+    | Some (_, Some peak) when peak <= budget ->
+      if Mirror_util.Metrics.enabled () then Mirror_util.Metrics.incr "mil.admission.ok";
+      Tbl.add s.admitted plan ()
+    | Some (est, peak) ->
+      if Mirror_util.Metrics.enabled () then
+        Mirror_util.Metrics.incr "mil.admission.refused";
+      raise
+        (Admission_refused { op = op_name plan; est_bytes = est; peak_bytes = peak; budget })
+    | None ->
+      if Mirror_util.Metrics.enabled () then
+        Mirror_util.Metrics.incr "mil.admission.refused";
+      raise
+        (Admission_refused { op = op_name plan; est_bytes = 0; peak_bytes = None; budget }))
+
+let exec s plan =
+  admit s plan;
+  eval s plan
+
+(* Bytes currently held by the session's memo table, deduplicating
+   physically shared columns (reverse/mirror results alias their
+   input's arrays).  This is the runtime ground truth the static
+   resident envelope of [Boundcheck] must bound from above. *)
+let resident_bytes s =
+  let seen = ref [] in
+  let col c =
+    if List.memq c !seen then 0
+    else begin
+      seen := c :: !seen;
+      Column.bytes c
+    end
+  in
+  Tbl.fold (fun _ b acc -> acc + col (Bat.head b) + col (Bat.tail b)) s.memo 0
 
 let profile s =
   Mirror_util.Trace.aggregate (Mirror_util.Trace.roots s.tr)

@@ -69,24 +69,51 @@ type stats = {
   mutable par_morsels : int;  (** Morsels scheduled across those operators. *)
 }
 
-type par = { pool : Parkernel.pool; safe : t -> bool }
+type par = { pool : Parkernel.pool; safe : t -> bool; morsel : t -> int option }
 (** Parallel-execution licence for a session: the domain pool to run
     on, and the Effcheck verdict predicate ({!Effcheck.verdict.safe})
     deciding per node whether its partition is effect-free.  Operators
     whose node is unsafe — or whose operands have no deterministic
     parallel path — run the sequential kernel; results are identical
-    either way. *)
+    either way.  [morsel] is an optional per-node morsel-size hint
+    (typically [Parkernel.morsel_for] over a [Boundcheck] row
+    estimate): when it returns [Some m] the node's parallel dispatch
+    runs under {!Parkernel.with_morsel_size}[ m], so small inputs are
+    split across the domains instead of landing in one default-sized
+    morsel.  [fun _ -> None] preserves the fixed default. *)
 
 type session
 (** An execution context: catalog + foreign dispatch + memo table.
     Re-using one session across the plans of a bundle shares their
     common subplans. *)
 
+exception Admission_refused of {
+  op : string;  (** {!op_name} of the refused root plan. *)
+  est_bytes : int;  (** The oracle's point estimate of peak bytes. *)
+  peak_bytes : int option;
+      (** Static peak upper bound; [None] when the plan is unbounded
+          (or no oracle is installed) — refused regardless of budget. *)
+  budget : int;  (** The session's [max_bytes]. *)
+}
+(** Raised by {!exec} when a session opened with [?max_bytes] is asked
+    to run a plan whose static peak-memory envelope exceeds the budget
+    (or cannot be bounded at all). *)
+
+val set_bound_oracle : (Catalog.t -> t -> (int * int option) option) -> unit
+(** Install the resource-bound oracle behind the admission gate:
+    [(estimate, peak upper bound)] in bytes for executing a root plan
+    against a catalog, or [None] when the plan cannot be analyzed.  The
+    default oracle knows nothing, so budgeted sessions fail closed
+    until [Boundcheck] (linked) registers the real analyzer;
+    [Bootstrap.ensure] upgrades it with the extension registry's
+    foreign bounds. *)
+
 val session :
   ?cse:bool ->
   ?trace:Mirror_util.Trace.t ->
   ?foreign:foreign_fn ->
   ?par:par ->
+  ?max_bytes:int ->
   Catalog.t ->
   session
 (** Open a session.  [cse] (default [true]) controls whether the memo
@@ -100,12 +127,27 @@ val session :
     [par] (default: none, fully sequential) enables morsel-parallel
     operator execution gated on its {!type-par} predicate; parallel
     executions add a ["par=<domains>d/<morsels>m"] attribute to their
-    span and bump ["mil.par.ops"] / ["mil.par.morsels"]. *)
+    span and bump ["mil.par.ops"] / ["mil.par.morsels"].  [max_bytes]
+    (default: unlimited) arms the admission gate: every distinct root
+    handed to {!exec} is first vetted against the bound oracle, and
+    plans whose static peak-memory envelope exceeds the budget — or
+    cannot be bounded — raise {!Admission_refused} before any operator
+    runs.  Admissions bump ["mil.admission.ok"]/["mil.admission.refused"]
+    when metrics are enabled. *)
 
 val exec : session -> t -> Bat.t
 (** Evaluate a plan.
     @raise Unbound when a [Get] name is unbound.
-    @raise Failure when a [Foreign] operator is unknown. *)
+    @raise Failure when a [Foreign] operator is unknown.
+    @raise Admission_refused when the session's [max_bytes] budget
+    cannot accommodate the plan's static peak envelope. *)
+
+val resident_bytes : session -> int
+(** Bytes currently held by the session's memo table (its materialized
+    intermediate results), physically shared columns counted once.
+    Zero for [cse:false] sessions, which retain nothing.  The runtime
+    ground truth validated against [Boundcheck]'s static resident
+    envelope. *)
 
 val stats : session -> stats
 (** The session's counters so far. *)

@@ -525,6 +525,11 @@ let infer env plan =
   let p = infer_at ctx (Mil.op_name plan) plan in
   (p, List.rev ctx.diags)
 
+let infer_table env plans =
+  let ctx = fresh_ctx env in
+  List.iter (fun plan -> ignore (infer_at ctx (Mil.op_name plan) plan)) plans;
+  (ctx.memo, List.rev ctx.diags)
+
 let verify env plan =
   let p, ds = infer env plan in
   match errors ds with [] -> Ok p | errs -> Error errs

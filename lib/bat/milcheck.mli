@@ -56,6 +56,12 @@ val infer : env -> Mil.t -> Milprop.t * diag list
     memoises structurally equal subplans, mirroring the executor's CSE,
     so analysis is linear in the number of distinct subplans. *)
 
+val infer_table : env -> Mil.t list -> Milprop.t Mil.Tbl.t * diag list
+(** Infer every plan in the bundle under one shared memo and return the
+    whole memo table: an envelope for every distinct subplan of every
+    root.  The raw material for DAG-shaped secondary analyses
+    ([Boundcheck] builds its per-node cost model on top of it). *)
+
 val verify : env -> Mil.t -> (Milprop.t, diag list) result
 (** [Ok] with the root envelope when inference produced no [Error]
     diagnostics; [Error] with just the errors otherwise. *)

@@ -27,6 +27,30 @@ let set_min_rows n = c_min := max 0 n
 let min_rows () = !c_min
 let domains () = !c_domains
 
+(* Dynamic morsel-size override, installed around one operator dispatch
+   by [with_morsel_size] (the executor's Boundcheck-estimated sizing).
+   Only ever read on the calling domain: the range helpers below
+   capture the effective size into their task closures before the job
+   is posted, so workers never touch this ref. *)
+let m_override = ref None
+
+let effective_morsel () = match !m_override with Some m -> m | None -> !c_morsel
+
+let with_morsel_size m f =
+  let prev = !m_override in
+  m_override := Some (max 1 m);
+  Fun.protect ~finally:(fun () -> m_override := prev) f
+
+(* Estimate-derived morsel size: aim for one morsel per domain so small
+   inputs still spread across the pool, but never below a per-domain
+   share of [min_rows] (scheduling overhead floor) and never above the
+   configured [morsel_size] (cache-residency ceiling). *)
+let morsel_for ~domains rows =
+  let d = max 1 domains in
+  let per = (max 0 rows + d - 1) / d in
+  let floor_rows = max 1 (!c_min / d) in
+  min !c_morsel (max floor_rows per)
+
 (* {1 The pool} *)
 
 type job = {
@@ -176,26 +200,19 @@ let run_tasks pool m task =
     { morsels = m; busy = b; wall }
   end
 
-let morsel_count n =
-  let msz = !c_morsel in
-  (n + msz - 1) / msz
-
-let range k n =
-  let msz = !c_morsel in
-  (k * msz, min n ((k + 1) * msz))
-
+(* The effective morsel size is read once here, on the calling domain,
+   and baked into the task closure — geometry is fixed before the job
+   is posted, whatever other refs do while workers drain. *)
 let run_ranges pool n f =
-  run_tasks pool (morsel_count n) (fun k ->
-      let lo, hi = range k n in
-      f lo hi)
+  let msz = effective_morsel () in
+  run_tasks pool ((n + msz - 1) / msz) (fun k -> f (k * msz) (min n ((k + 1) * msz)))
 
 let map_ranges pool n f =
-  let m = morsel_count n in
+  let msz = effective_morsel () in
+  let m = (n + msz - 1) / msz in
   let parts = Array.make m None in
   let st =
-    run_tasks pool m (fun k ->
-        let lo, hi = range k n in
-        parts.(k) <- Some (f lo hi))
+    run_tasks pool m (fun k -> parts.(k) <- Some (f (k * msz) (min n ((k + 1) * msz))))
   in
   (Array.map Option.get parts, st)
 

@@ -60,6 +60,22 @@ val set_min_rows : int -> unit
 
 val min_rows : unit -> int
 
+val with_morsel_size : int -> (unit -> 'a) -> 'a
+(** [with_morsel_size m f] runs [f] with the morsel size dynamically
+    overridden to [max 1 m], restoring the previous size afterwards
+    (exception-safe).  The executor wraps a single operator dispatch in
+    this when it has a {!morsel_for} hint; the override is read once on
+    the calling domain when the operator fixes its morsel geometry, so
+    nesting and sequential re-entry are safe. *)
+
+val morsel_for : domains:int -> int -> int
+(** [morsel_for ~domains rows] is the estimate-derived morsel size for
+    an operator expected to process [rows] rows on a [domains]-wide
+    pool: one morsel per domain, clamped below by a per-domain share of
+    {!min_rows} and above by the configured {!morsel_size} — so small
+    (but admissible) inputs spread across the pool instead of landing
+    in a single default-sized morsel. *)
+
 (** {1 Scheduling} *)
 
 type runstat = {

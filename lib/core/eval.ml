@@ -2,6 +2,7 @@ module Mil = Mirror_bat.Mil
 module Bat = Mirror_bat.Bat
 module Atom = Mirror_bat.Atom
 module Parkernel = Mirror_bat.Parkernel
+module Boundcheck = Mirror_bat.Boundcheck
 
 type report = {
   value : Value.t;
@@ -12,6 +13,10 @@ type report = {
   memo_hits : int;
   par_ops : int;
   par_morsels : int;
+  bound_est_rows : int;
+  bound_est_bytes : int;
+  bound_peak_bytes : int option;
+  actual_bytes : int;
 }
 
 (* {1 Reification}
@@ -89,7 +94,7 @@ let plan_nodes shape =
 module Trace = Mirror_util.Trace
 
 let query ?(cse = true) ?(optimize = true) ?(specialize = true) ?(check = false)
-    ?(trace = Trace.null) storage expr =
+    ?(trace = Trace.null) ?max_bytes storage expr =
   match
     Trace.with_span trace "typecheck" (fun () ->
         Typecheck.infer (Storage.typecheck_env storage) expr)
@@ -139,10 +144,24 @@ let query ?(cse = true) ?(optimize = true) ?(specialize = true) ?(check = false)
       match differential with
       | Error msg -> Error ("differential check: " ^ msg)
       | Ok () -> (
+        (* static resource bounds over the optimised bundle: feeds the
+           report's envelope, the morsel-sizing hint and (via the
+           session's admission oracle) any [?max_bytes] budget *)
+        let bounds =
+          Trace.with_span trace "boundcheck" (fun () ->
+              Boundcheck.analyze (Plancheck.boundcheck_env storage)
+                (Plancheck.shape_plans shape))
+        in
+        let node_est plan =
+          match Mil.Tbl.find_opt bounds.Boundcheck.per_node plan with
+          | Some c -> Some c.Boundcheck.est
+          | None -> None
+        in
         (* parallel licence: a domain pool (when [--domains] asked for
            one) plus the Effcheck verdict over this very bundle — only
            operators whose partition is provably effect-free may run
-           morsel-parallel *)
+           morsel-parallel.  Boundcheck's row estimate sizes the
+           morsels, clamped inside the configured knobs. *)
         let par =
           match Parkernel.default_pool () with
           | None -> None
@@ -151,12 +170,18 @@ let query ?(cse = true) ?(optimize = true) ?(specialize = true) ?(check = false)
               Mirror_bat.Effcheck.analyze (Plancheck.effcheck_env ())
                 (Plancheck.shape_plans shape)
             in
-            Some { Mil.pool; safe = v.Mirror_bat.Effcheck.safe }
+            let morsel plan =
+              match node_est plan with
+              | Some est when est > 0 ->
+                Some (Parkernel.morsel_for ~domains:(Parkernel.size pool) est)
+              | _ -> None
+            in
+            Some { Mil.pool; safe = v.Mirror_bat.Effcheck.safe; morsel }
         in
         let session =
           Mil.session ~cse ~trace
             ~foreign:(Extension.foreign_dispatch (Storage.eval_env storage))
-            ?par (Storage.catalog storage)
+            ?par ?max_bytes (Storage.catalog storage)
         in
         (* Under [check], the checked executor verifies each node's
            envelope and — when the memo table is on — the effect
@@ -193,6 +218,11 @@ let query ?(cse = true) ?(optimize = true) ?(specialize = true) ?(check = false)
         with
         | value ->
           let stats = Mil.stats session in
+          let bound_est_rows =
+            List.fold_left
+              (fun acc p -> acc + Option.value ~default:0 (node_est p))
+              0 (Plancheck.shape_plans shape)
+          in
           Ok
             {
               value;
@@ -203,10 +233,21 @@ let query ?(cse = true) ?(optimize = true) ?(specialize = true) ?(check = false)
               memo_hits = stats.Mil.memo_hits;
               par_ops = stats.Mil.par_ops;
               par_morsels = stats.Mil.par_morsels;
+              bound_est_rows;
+              bound_est_bytes = bounds.Boundcheck.resident.Boundcheck.fp_est;
+              bound_peak_bytes = bounds.Boundcheck.resident.Boundcheck.fp_hi;
+              actual_bytes = Mil.resident_bytes session;
             }
         | exception Failure msg -> Error msg
         | exception Invalid_argument msg -> Error msg
         | exception Mirror_bat.Effcheck.Violation msg -> Error ("effect sanitizer: " ^ msg)
+        | exception Mil.Admission_refused { op; est_bytes; peak_bytes; budget } ->
+          Error
+            (Printf.sprintf
+               "admission refused: plan %s estimated %d bytes, peak %s, over the %d-byte budget"
+               op est_bytes
+               (match peak_bytes with Some b -> string_of_int b ^ " bytes" | None -> "unbounded")
+               budget)
         | exception Mil.Unbound name ->
           Error (Printf.sprintf "plan referenced the unbound catalog name %S" name))))
 
@@ -234,7 +275,13 @@ let profile storage expr =
       | exception Mil.Unbound name ->
         Error (Printf.sprintf "plan referenced the unbound catalog name %S" name)))
 
-let explain_analyze ?(optimize = true) ?(cse = true) storage expr =
+let fmt_bytes b =
+  let f = float_of_int b in
+  if b >= 1_048_576 then Printf.sprintf "%.2f MiB" (f /. 1_048_576.)
+  else if b >= 1024 then Printf.sprintf "%.1f KiB" (f /. 1024.)
+  else Printf.sprintf "%d B" b
+
+let explain_analyze ?(optimize = true) ?(cse = true) ?max_bytes storage expr =
   let trace = Trace.create () in
   (* snapshot the pool's lifetime totals so the rollup below reports
      this query's share only *)
@@ -243,7 +290,7 @@ let explain_analyze ?(optimize = true) ?(cse = true) storage expr =
     | Some pool -> Some (pool, Parkernel.totals pool)
     | None -> None
   in
-  match query ~cse ~optimize ~trace storage expr with
+  match query ~cse ~optimize ~trace ?max_bytes storage expr with
   | Error e -> Error e
   | Ok report ->
     let buf = Buffer.create 1024 in
@@ -284,6 +331,12 @@ let explain_analyze ?(optimize = true) ?(cse = true) storage expr =
            (if v.Mirror_bat.Effcheck.partitions = 1 then "" else "s")
            v.Mirror_bat.Effcheck.nodes v.Mirror_bat.Effcheck.shared_columns
            (List.length v.Mirror_bat.Effcheck.hazards)));
+    (* static resource envelope vs what the session actually held *)
+    Buffer.add_string buf
+      (Printf.sprintf "bounds: est %d rows / %s, peak %s (actual %s)\n" report.bound_est_rows
+         (fmt_bytes report.bound_est_bytes)
+         (match report.bound_peak_bytes with Some b -> fmt_bytes b | None -> "unbounded")
+         (fmt_bytes report.actual_bytes));
     Buffer.add_char buf '\n';
     Buffer.add_string buf (Trace.render trace);
     (* per-operator rollup over the executor spans only *)

@@ -18,6 +18,16 @@ type report = {
           {!Mirror_bat.Parkernel.default_pool} is configured and the
           Effcheck verdict licensed the plan). *)
   par_morsels : int;  (** Morsels scheduled across those operators. *)
+  bound_est_rows : int;
+      (** {!Mirror_bat.Boundcheck} row estimate summed over the
+          bundle's root plans. *)
+  bound_est_bytes : int;  (** Estimated resident footprint of the DAG. *)
+  bound_peak_bytes : int option;
+      (** Sound upper bound on the resident footprint; [None] when an
+          undeclared foreign leaves the plan unbounded. *)
+  actual_bytes : int;
+      (** Bytes actually held by the session's memo after execution
+          ({!Mirror_bat.Mil.resident_bytes}). *)
 }
 
 val query :
@@ -26,6 +36,7 @@ val query :
   ?specialize:bool ->
   ?check:bool ->
   ?trace:Mirror_util.Trace.t ->
+  ?max_bytes:int ->
   Storage.t ->
   Expr.t ->
   (report, string) result
@@ -39,8 +50,11 @@ val query :
     against its inferred property envelope.  [trace] (default
     {!Mirror_util.Trace.null}) records one span per pipeline phase —
     ["typecheck"], ["optimize"], ["flatten.compile"], ["milopt"],
-    ["execute"] — with the kernel's per-operator spans nested under
-    ["execute"]. *)
+    ["boundcheck"], ["execute"] — with the kernel's per-operator spans
+    nested under ["execute"].  [max_bytes] sets the session's admission
+    budget: a plan whose {!Mirror_bat.Boundcheck} peak envelope exceeds
+    it (or is unbounded) is refused before evaluation and reported as
+    an [Error]. *)
 
 val query_value : Storage.t -> Expr.t -> (Value.t, string) result
 (** Just the value. *)
@@ -53,11 +67,19 @@ val explain : ?optimize:bool -> Storage.t -> Expr.t -> (string, string) result
 (** The compiled plan bundle, pretty-printed. *)
 
 val explain_analyze :
-  ?optimize:bool -> ?cse:bool -> Storage.t -> Expr.t -> (string, string) result
-(** Run the query under a fresh trace and render the result: the phase
-    span tree (with per-operator rows, times and memo-hit events nested
-    under ["execute"]) followed by a per-operator rollup table.  Backs
-    [mirror_cli explain analyze] and the REPL's [.trace]. *)
+  ?optimize:bool ->
+  ?cse:bool ->
+  ?max_bytes:int ->
+  Storage.t ->
+  Expr.t ->
+  (string, string) result
+(** Run the query under a fresh trace and render the result: headline
+    statistics including the static bounds line ([bounds: est N rows /
+    E, peak P (actual A)]), the phase span tree (with per-operator
+    rows, times and memo-hit events nested under ["execute"]) and a
+    per-operator rollup table.  [max_bytes] is passed through to
+    {!query}'s admission gate.  Backs [mirror_cli explain analyze] and
+    the REPL's [.trace]. *)
 
 val reify :
   lookup:(Mirror_bat.Mil.t -> Mirror_bat.Bat.t) ->

@@ -409,6 +409,30 @@ module E = struct
       ("contrep_getblnet", Mirror_bat.Effcheck.pure_foreign);
     ]
 
+  (* Cost rules for the same operators, all rows fixed-width
+     (oid, flt).  getbl emits at most one row per context × query
+     term; getblnet folds the query into at most one belief per
+     context. *)
+  let foreign_bounds =
+    let module B = Mirror_bat.Boundcheck in
+    let module MP = Mirror_bat.Milprop in
+    let smul a b = if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b in
+    [
+      ( "contrep_getbl",
+        fun args ->
+          match args with
+          | [ _occ_ctx; _occ_term; _occ_tf; _len; dom; _qlink; qval ] ->
+            B.cost_rows ~est:(smul dom.B.est qval.B.est)
+              (MP.card_mul dom.B.rows qval.B.rows)
+          | _ -> B.cost_rows MP.any_card );
+      ( "contrep_getblnet",
+        fun args ->
+          match args with
+          | [ _occ_ctx; _occ_term; _occ_tf; _len; dom ] ->
+            B.cost_rows ~est:dom.B.est { MP.lo = 0; hi = dom.B.rows.MP.hi }
+          | _ -> B.cost_rows MP.any_card );
+    ]
+
   (* Bounds on the per-occurrence tf values, when the receiver's
      element envelope states them. *)
   let tf_bounds = function

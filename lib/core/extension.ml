@@ -79,6 +79,7 @@ module type S = sig
 
   val foreign_sigs : (string * Mirror_bat.Milprop.foreign_sig) list
   val foreign_effects : (string * Mirror_bat.Effcheck.foreign_eff) list
+  val foreign_bounds : (string * Mirror_bat.Boundcheck.foreign_bound) list
 
   val op_envelope :
     op:string -> args:Moaprop.t list -> ty:Types.t -> top:(Types.t -> Moaprop.t) -> Moaprop.t
@@ -140,6 +141,12 @@ let foreign_effect name =
   Hashtbl.fold
     (fun _ (module E : S) acc ->
       match acc with Some _ -> acc | None -> List.assoc_opt name E.foreign_effects)
+    by_name None
+
+let foreign_bound name =
+  Hashtbl.fold
+    (fun _ (module E : S) acc ->
+      match acc with Some _ -> acc | None -> List.assoc_opt name E.foreign_bounds)
     by_name None
 
 let foreign_dispatch env ~name ~args ~meta =

@@ -135,6 +135,14 @@ module type S = sig
       error by the hazard lint; well-behaved operators declare
       {!Mirror_bat.Effcheck.pure_foreign}. *)
 
+  val foreign_bounds : (string * Mirror_bat.Boundcheck.foreign_bound) list
+  (** Resource-bound declarations for the same operators — the result's
+      cost envelope as a function of the plan arguments' envelopes —
+      consulted by the {!Mirror_bat.Boundcheck} analyzer and the
+      session admission gate.  An operator without a declaration
+      degrades the plan to an unbounded envelope with a lint
+      [Warning] (and refusal under any [?max_bytes] budget). *)
+
   val op_envelope :
     op:string -> args:Moaprop.t list -> ty:Types.t -> top:(Types.t -> Moaprop.t) -> Moaprop.t
   (** Logical envelope of an operator application, given the envelopes
@@ -201,3 +209,8 @@ val foreign_effect : string -> Mirror_bat.Effcheck.foreign_eff option
 (** The registry-declared effect of a physical operator, searched
     across every registered extension — the [foreign] half of an
     {!Mirror_bat.Effcheck.env}. *)
+
+val foreign_bound : string -> Mirror_bat.Boundcheck.foreign_bound option
+(** The registry-declared cost rule of a physical operator, searched
+    across every registered extension — the [foreign_bound] half of a
+    {!Mirror_bat.Boundcheck.env}. *)

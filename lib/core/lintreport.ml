@@ -1,5 +1,6 @@
 module Milcheck = Mirror_bat.Milcheck
 module Effcheck = Mirror_bat.Effcheck
+module Boundcheck = Mirror_bat.Boundcheck
 module Jsonx = Mirror_util.Jsonx
 
 type query = {
@@ -8,9 +9,13 @@ type query = {
   moa : Moaprop.diag list;
   mil : Milcheck.diag list;
   eff : Milcheck.diag list;
+  bound : Milcheck.diag list;
   nodes : int;
   partitions : int;
   shared_columns : int;
+  est_bytes : int;
+  peak_bytes : int option;
+  reclaim_bytes : int;
   failed : bool;
 }
 
@@ -23,9 +28,13 @@ let failed_query src error =
     moa = [];
     mil = [];
     eff = [];
+    bound = [];
     nodes = 0;
     partitions = 0;
     shared_columns = 0;
+    est_bytes = 0;
+    peak_bytes = None;
+    reclaim_bytes = 0;
     failed = true;
   }
 
@@ -42,13 +51,19 @@ let check st ~src expr =
       let verdict =
         Effcheck.analyze (Plancheck.effcheck_env ()) (Plancheck.shape_plans shape)
       in
+      let bounds =
+        Boundcheck.analyze (Plancheck.boundcheck_env st) (Plancheck.shape_plans shape)
+      in
       (* The effect layer is strict: any hazard fails the query, not
          just error severity — a warning-level hazard still blocks the
-         parallel-executor precondition the corpus gate protects. *)
+         parallel-executor precondition the corpus gate protects.  The
+         bound layer fails on errors only: an unbounded-foreign warning
+         degrades the envelope without invalidating the plan. *)
       let failed =
         Moaprop.errors moa <> []
         || Milcheck.errors mil <> []
         || verdict.Effcheck.hazards <> []
+        || Milcheck.errors bounds.Boundcheck.diags <> []
       in
       {
         src;
@@ -56,9 +71,13 @@ let check st ~src expr =
         moa;
         mil;
         eff = verdict.Effcheck.hazards;
+        bound = bounds.Boundcheck.diags;
         nodes = verdict.Effcheck.nodes;
         partitions = verdict.Effcheck.partitions;
         shared_columns = verdict.Effcheck.shared_columns;
+        est_bytes = bounds.Boundcheck.resident.Boundcheck.fp_est;
+        peak_bytes = bounds.Boundcheck.resident.Boundcheck.fp_hi;
+        reclaim_bytes = bounds.Boundcheck.reclaim.Boundcheck.fp_est;
         failed;
       })
 
@@ -114,13 +133,31 @@ let query_json q =
       ("nodes", Jsonx.Int q.nodes);
       ("partitions", Jsonx.Int q.partitions);
       ("shared_columns", Jsonx.Int q.shared_columns);
-      ("diagnostics", Jsonx.Arr (moa @ mil_layer "mil" q.mil @ mil_layer "eff" q.eff));
+      ("est_bytes", Jsonx.Int q.est_bytes);
+      ("peak_bytes", match q.peak_bytes with Some b -> Jsonx.Int b | None -> Jsonx.Null);
+      ("reclaim_bytes", Jsonx.Int q.reclaim_bytes);
+      ( "diagnostics",
+        Jsonx.Arr
+          (moa @ mil_layer "mil" q.mil @ mil_layer "eff" q.eff @ mil_layer "bound" q.bound) );
     ]
+
+let layers_json =
+  Jsonx.Arr
+    (List.map
+       (fun (name, schema) ->
+         Jsonx.Obj [ ("name", Jsonx.Str name); ("schema", Jsonx.Str schema) ])
+       [
+         ("moa", "mirror-lint-moa/v1");
+         ("mil", "mirror-lint-mil/v1");
+         ("eff", "mirror-lint-eff/v1");
+         ("bound", "mirror-lint-bound/v1");
+       ])
 
 let to_json t =
   Jsonx.Obj
     [
-      ("schema", Jsonx.Str "mirror-lint/v1");
+      ("schema", Jsonx.Str "mirror-lint/v2");
+      ("layers", layers_json);
       ("checked", Jsonx.Int (List.length t.queries));
       ("failures", Jsonx.Int t.failures);
       ("queries", Jsonx.Arr (List.map query_json t.queries));
@@ -135,4 +172,5 @@ let print_query q =
     Printf.printf "%s  %s\n" (if q.failed then "FAIL" else "ok  ") q.src;
     List.iter (fun d -> Printf.printf "  moa: %s\n" (Moaprop.diag_to_string d)) q.moa;
     List.iter (fun d -> Printf.printf "  mil: %s\n" (Milcheck.diag_to_string d)) q.mil;
-    List.iter (fun d -> Printf.printf "  eff: %s\n" (Milcheck.diag_to_string d)) q.eff
+    List.iter (fun d -> Printf.printf "  eff: %s\n" (Milcheck.diag_to_string d)) q.eff;
+    List.iter (fun d -> Printf.printf "  bound: %s\n" (Milcheck.diag_to_string d)) q.bound

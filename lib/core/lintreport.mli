@@ -2,12 +2,13 @@
     CLI's [lint] command (text and [--json] output) and the test
     suite's schema checks.
 
-    One {!query} record carries everything all three analyzer layers
+    One {!query} record carries everything all four analyzer layers
     said about one query: the Moa-level shape lint ({!Moacheck}), the
-    MIL-level envelope lint ({!Mirror_bat.Milcheck}) and the
-    effect-and-aliasing hazards ({!Mirror_bat.Effcheck}), plus the
+    MIL-level envelope lint ({!Mirror_bat.Milcheck}), the
+    effect-and-aliasing hazards ({!Mirror_bat.Effcheck}) and the
+    resource-bound diagnostics ({!Mirror_bat.Boundcheck}), plus the
     Effcheck parallelism verdict (distinct nodes, safe partitions,
-    shared column slots). *)
+    shared column slots) and the Boundcheck footprint summary. *)
 
 type query = {
   src : string;  (** The query text as given. *)
@@ -17,13 +18,23 @@ type query = {
   moa : Moaprop.diag list;
   mil : Mirror_bat.Milcheck.diag list;
   eff : Mirror_bat.Milcheck.diag list;  (** Effcheck hazards. *)
+  bound : Mirror_bat.Milcheck.diag list;  (** Boundcheck diagnostics. *)
   nodes : int;  (** Distinct plan-DAG nodes after CSE. *)
   partitions : int;  (** Provably independent node groups. *)
   shared_columns : int;
+  est_bytes : int;  (** Estimated resident footprint (all DAG nodes). *)
+  peak_bytes : int option;
+      (** Sound upper bound on the resident footprint; [None] when an
+          undeclared foreign leaves the plan unbounded. *)
+  reclaim_bytes : int;
+      (** Estimated peak under eager last-use reclamation (liveness
+          simulation over the DAG schedule). *)
   failed : bool;
-      (** [error] set, any error-severity [moa]/[mil] diagnostic, or
-          {e any} Effcheck hazard — the effect layer is strict so the
-          corpus gate catches new hazards of every severity. *)
+      (** [error] set, any error-severity [moa]/[mil]/[bound]
+          diagnostic, or {e any} Effcheck hazard — the effect layer is
+          strict so the corpus gate catches new hazards of every
+          severity; the bound layer tolerates warnings (undeclared
+          foreigns degrade to unbounded without failing). *)
 }
 
 type t = { queries : query list; failures : int }
@@ -39,12 +50,14 @@ val sweep : Storage.t -> string list -> t
 (** {!check_src} over a query list, counting failures. *)
 
 val to_json : t -> Mirror_util.Jsonx.t
-(** Machine-readable report, schema ["mirror-lint/v1"]:
-    [{ schema; checked; failures; queries: [{ src; failed; error;
-    nodes; partitions; shared_columns; diagnostics: [{ layer
-    ("moa"|"mil"|"eff"); severity ("error"|"warning"|"hint"); path; op;
-    message }] }] }]. *)
+(** Machine-readable report, schema ["mirror-lint/v2"] — additive over
+    v1: [{ schema; layers: [{ name ("moa"|"mil"|"eff"|"bound"); schema
+    (per-layer tag, e.g. "mirror-lint-bound/v1") }]; checked; failures;
+    queries: [{ src; failed; error; nodes; partitions; shared_columns;
+    est_bytes; peak_bytes (int or null); reclaim_bytes; diagnostics:
+    [{ layer ("moa"|"mil"|"eff"|"bound"); severity
+    ("error"|"warning"|"hint"); path; op; message }] }] }]. *)
 
 val print_query : query -> unit
 (** The CLI's human-readable rendering: an [ok]/[FAIL] line followed by
-    one indented [moa:]/[mil:]/[eff:] line per diagnostic. *)
+    one indented [moa:]/[mil:]/[eff:]/[bound:] line per diagnostic. *)

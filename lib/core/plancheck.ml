@@ -3,11 +3,16 @@ module Milopt = Mirror_bat.Milopt
 module Milcheck = Mirror_bat.Milcheck
 module Milprop = Mirror_bat.Milprop
 module Effcheck = Mirror_bat.Effcheck
+module Boundcheck = Mirror_bat.Boundcheck
 
 let env_of_storage storage =
   Milcheck.env_of_catalog ~foreign:Extension.foreign_signature (Storage.catalog storage)
 
 let effcheck_env () = Effcheck.env ~foreign:Extension.foreign_effect ()
+
+let boundcheck_env storage =
+  Boundcheck.env_of_catalog ~foreign:Extension.foreign_signature
+    ~foreign_bound:Extension.foreign_bound (Storage.catalog storage)
 
 let shape_plans shape =
   let acc = ref [] in
@@ -130,6 +135,13 @@ let vet ?(specialize = true) storage expr =
           match errors with
           | _ :: _ -> Error ("effcheck: " ^ diags_to_string errors)
           | [] -> (
-            match Moacheck.validate storage expr shape with
-            | Error ds -> Error ("validate: " ^ moa_diags_to_string ds)
-            | Ok () -> differential ~specialize storage expr)))))
+            (* Resource-bound consistency: estimates must sit inside
+               the sound intervals (an Error diagnostic otherwise) —
+               undeclared-foreign warnings pass vetting. *)
+            let bounds = Boundcheck.analyze (boundcheck_env storage) (shape_plans shape) in
+            match Milcheck.errors bounds.Boundcheck.diags with
+            | _ :: _ as ds -> Error ("boundcheck: " ^ diags_to_string ds)
+            | [] -> (
+              match Moacheck.validate storage expr shape with
+              | Error ds -> Error ("validate: " ^ moa_diags_to_string ds)
+              | Ok () -> differential ~specialize storage expr))))))

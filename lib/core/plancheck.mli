@@ -18,6 +18,11 @@ val effcheck_env : unit -> Mirror_bat.Effcheck.env
 (** Effect-analysis environment with [Foreign] effect declarations
     resolved through {!Extension.foreign_effect}. *)
 
+val boundcheck_env : Storage.t -> Mirror_bat.Boundcheck.env
+(** Resource-bound environment over a storage manager's catalog, with
+    [Foreign] signatures and cost rules resolved through the extension
+    registry. *)
+
 val shape_plans : Extension.planshape -> Mirror_bat.Mil.t list
 (** The bundle's plans in {!Shape.iter} order. *)
 

@@ -1,0 +1,286 @@
+(* Boundcheck: static resource-bound analysis over MIL plans.
+
+   Covers the per-constructor selectivity rules (estimates clamped
+   into the sound cardinality interval), string payload tracking,
+   degradation to an unbounded envelope on foreigns without a declared
+   cost rule, the liveness simulation on diamond DAGs (reclaim peak
+   strictly below memo residency), the session admission gate
+   (accept / refuse / fail-closed on unbounded plans) and the
+   mirror-lint/v2 JSON report over the example corpus. *)
+
+module Atom = Mirror_bat.Atom
+module Bat = Mirror_bat.Bat
+module Catalog = Mirror_bat.Catalog
+module Mil = Mirror_bat.Mil
+module Milprop = Mirror_bat.Milprop
+module Milcheck = Mirror_bat.Milcheck
+module Boundcheck = Mirror_bat.Boundcheck
+module Jsonx = Mirror_util.Jsonx
+module Corpus = Mirror_core.Corpus
+module Lintreport = Mirror_core.Lintreport
+
+let oid i = Atom.Oid i
+
+let fixture () =
+  let cat = Catalog.create () in
+  let put name hty tty pairs = Catalog.put cat name (Bat.of_pairs hty tty pairs) in
+  put "ints" Atom.TOid Atom.TInt (List.init 16 (fun i -> (oid i, Atom.Int ((i * 7) mod 23))));
+  put "bools" Atom.TOid Atom.TBool (List.init 13 (fun i -> (oid i, Atom.Bool (i mod 3 = 0))));
+  put "strs" Atom.TOid Atom.TStr
+    [ (oid 0, Atom.Str "a"); (oid 1, Atom.Str "bc"); (oid 2, Atom.Str "a") ];
+  cat
+
+let analyze_one ?foreign ?foreign_bound cat plan =
+  let env = Boundcheck.env_of_catalog ?foreign ?foreign_bound cat in
+  Boundcheck.analyze env [ plan ]
+
+let cost_of bounds plan =
+  match Mil.Tbl.find_opt bounds.Boundcheck.per_node plan with
+  | Some c -> c
+  | None -> Alcotest.failf "no cost computed for %s" (Mil.op_name plan)
+
+let check_consistent bounds =
+  Mil.Tbl.iter
+    (fun plan (c : Boundcheck.cost) ->
+      if c.Boundcheck.est < c.Boundcheck.rows.Milprop.lo then
+        Alcotest.failf "%s: est %d below lo %d" (Mil.op_name plan) c.Boundcheck.est
+          c.Boundcheck.rows.Milprop.lo;
+      match c.Boundcheck.rows.Milprop.hi with
+      | Some hi when c.Boundcheck.est > hi ->
+        Alcotest.failf "%s: est %d above hi %d" (Mil.op_name plan) c.Boundcheck.est hi
+      | _ -> ())
+    bounds.Boundcheck.per_node
+
+(* {1 Selectivity rules} *)
+
+let test_selectivity () =
+  let cat = fixture () in
+  let ints = Mil.Get "ints" in
+  let est plan = (cost_of (analyze_one cat plan) plan).Boundcheck.est in
+  Alcotest.(check int) "Get is exact" 16 (est ints);
+  Alcotest.(check int) "equality keeps ~1/10" 1 (est (Mil.SelectCmp (ints, Bat.Eq, Atom.Int 7)));
+  Alcotest.(check int) "range cmp keeps ~1/3" 5 (est (Mil.SelectCmp (ints, Bat.Lt, Atom.Int 7)));
+  Alcotest.(check int) "bool select keeps ~1/2" 6 (est (Mil.SelectBool (Mil.Get "bools")));
+  Alcotest.(check int) "unique halves" 8 (est (Mil.Unique ints));
+  let all = Mil.AggrAll (Bat.Count, ints) in
+  let b = analyze_one cat all in
+  let c = cost_of b all in
+  Alcotest.(check int) "aggr-all is one row" 1 c.Boundcheck.est;
+  Alcotest.(check (pair int (option int)))
+    "aggr-all interval is exact" (1, Some 1)
+    (c.Boundcheck.rows.Milprop.lo, c.Boundcheck.rows.Milprop.hi);
+  (* estimates never escape the sound interval, and the layer says so *)
+  let big =
+    Mil.Join (Mil.SelectCmp (ints, Bat.Ge, Atom.Int 3), Mil.Reverse (Mil.Unique ints))
+  in
+  let bounds = analyze_one cat big in
+  check_consistent bounds;
+  Alcotest.(check int) "no bound-layer errors" 0
+    (List.length (Milcheck.errors bounds.Boundcheck.diags))
+
+let test_string_payload () =
+  let cat = fixture () in
+  let strs = Mil.Get "strs" in
+  let c = cost_of (analyze_one cat strs) strs in
+  Alcotest.(check (option int)) "head cells are fixed slots" (Some 8)
+    c.Boundcheck.head.Boundcheck.rb_max;
+  (* longest payload is "bc": 8-byte slot + 2 bytes *)
+  Alcotest.(check (option int)) "string cell bound tracks the longest payload" (Some 10)
+    c.Boundcheck.tail.Boundcheck.rb_max;
+  (* a fresh-tail op over strings keeps the bound finite *)
+  let marked = Mil.Mark (strs, 100) in
+  let cm = cost_of (analyze_one cat marked) marked in
+  Alcotest.(check (option int)) "mark resets the tail to a fixed slot" (Some 8)
+    cm.Boundcheck.tail.Boundcheck.rb_max
+
+(* {1 Foreigns: declared rule vs unbounded degradation} *)
+
+let probe_sig =
+  {
+    Milprop.fs_arity = 1;
+    fs_meta_min = 0;
+    fs_result = { Milprop.unknown with hty = Some Atom.TOid; tty = Some Atom.TInt };
+  }
+
+let probe_foreign = function "t_probe" -> Some probe_sig | _ -> None
+
+let probe_plan = Mil.Foreign { name = "t_probe"; args = [ Mil.Get "ints" ]; meta = [] }
+
+let test_foreign_unbounded () =
+  let cat = fixture () in
+  let bounds = analyze_one ~foreign:probe_foreign cat probe_plan in
+  Alcotest.(check int) "no errors: degradation is a warning" 0
+    (List.length (Milcheck.errors bounds.Boundcheck.diags));
+  Alcotest.(check bool) "warning emitted for the undeclared bound" true
+    (List.exists
+       (fun d -> d.Milcheck.severity = Milcheck.Warning)
+       bounds.Boundcheck.diags);
+  Alcotest.(check (option int)) "resident upper bound degrades to unbounded" None
+    bounds.Boundcheck.resident.Boundcheck.fp_hi
+
+let test_foreign_declared () =
+  let cat = fixture () in
+  let rule args =
+    match args with
+    | [ (a : Boundcheck.cost) ] -> Boundcheck.cost_rows ~est:a.Boundcheck.est a.Boundcheck.rows
+    | _ -> Boundcheck.cost_rows Milprop.any_card
+  in
+  let bounds =
+    analyze_one ~foreign:probe_foreign
+      ~foreign_bound:(function "t_probe" -> Some rule | _ -> None)
+      cat probe_plan
+  in
+  Alcotest.(check bool) "declared rule keeps the plan bounded" true
+    (bounds.Boundcheck.resident.Boundcheck.fp_hi <> None);
+  Alcotest.(check bool) "no warnings either" true
+    (List.for_all (fun d -> d.Milcheck.severity <> Milcheck.Warning) bounds.Boundcheck.diags)
+
+(* {1 Liveness: diamonds and chains} *)
+
+let test_diamond_liveness () =
+  let cat = fixture () in
+  let base = Mil.Get "ints" in
+  let x = Mil.CalcConst (Bat.Add, base, Atom.Int 1) in
+  let y = Mil.CalcConst (Bat.Mul, base, Atom.Int 2) in
+  let top = Mil.Calc2 (Bat.Add, x, y) in
+  let bounds = analyze_one cat top in
+  let r = bounds.Boundcheck.resident and q = bounds.Boundcheck.reclaim in
+  (* four distinct 16-row nodes, 16 bytes per row *)
+  Alcotest.(check int) "memo residency sums every distinct node" 1024 r.Boundcheck.fp_est;
+  Alcotest.(check bool) "reclaim peak strictly below residency" true
+    (q.Boundcheck.fp_est < r.Boundcheck.fp_est);
+  Alcotest.(check bool) "reclaim still holds at least producer+consumer" true
+    (q.Boundcheck.fp_est >= 512);
+  (match (q.Boundcheck.fp_hi, r.Boundcheck.fp_hi) with
+  | Some qh, Some rh -> Alcotest.(check bool) "hi bounds ordered" true (qh <= rh)
+  | _ -> Alcotest.fail "kernel-only diamond must be bounded");
+  (* sharing: analyzing the diamond is cheaper than two independent copies *)
+  let solo = cost_of bounds base in
+  Alcotest.(check int) "shared base counted once" 16 solo.Boundcheck.est
+
+(* {1 Admission gate} *)
+
+let test_admission () =
+  let cat = fixture () in
+  let plan = Mil.SelectCmp (Mil.Get "ints", Bat.Ge, Atom.Int 0) in
+  (* no budget: everything admitted *)
+  let s = Mil.session cat in
+  ignore (Mil.exec s plan);
+  (* generous budget: admitted *)
+  let s = Mil.session ~max_bytes:1_000_000 cat in
+  Alcotest.(check int) "admitted under a generous budget" 16 (Bat.count (Mil.exec s plan));
+  (* starved budget: refused with the structured diagnostic *)
+  let s = Mil.session ~max_bytes:8 cat in
+  (match Mil.exec s plan with
+  | _ -> Alcotest.fail "admitted a plan over budget"
+  | exception Mil.Admission_refused { peak_bytes; budget; _ } ->
+    Alcotest.(check int) "diagnostic carries the budget" 8 budget;
+    (match peak_bytes with
+    | Some p -> Alcotest.(check bool) "peak really exceeds the budget" true (p > 8)
+    | None -> Alcotest.fail "kernel-only plan should have a finite peak"));
+  (* fail-closed: a foreign the oracle knows nothing about is refused
+     even under a generous budget *)
+  let foreign ~name:_ ~args ~meta:_ = List.hd args in
+  let s = Mil.session ~foreign ~max_bytes:1_000_000 cat in
+  match Mil.exec s probe_plan with
+  | _ -> Alcotest.fail "admitted an unanalyzable foreign plan"
+  | exception Mil.Admission_refused { peak_bytes; _ } ->
+    Alcotest.(check (option int)) "refused as unbounded" None peak_bytes
+
+(* {1 mirror-lint/v2 over the example corpus} *)
+
+let test_lint_v2_roundtrip () =
+  Mirror_core.Bootstrap.ensure ();
+  let st = Corpus.storage () in
+  let report = Lintreport.sweep st Corpus.queries in
+  Alcotest.(check int) "corpus passes all four layers" 0 report.Lintreport.failures;
+  let doc =
+    match Jsonx.parse (Jsonx.to_string (Lintreport.to_json report)) with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "emitted JSON does not parse: %s" e
+  in
+  Alcotest.(check (option string))
+    "schema tag" (Some "mirror-lint/v2")
+    (Option.bind (Jsonx.member "schema" doc) Jsonx.to_str);
+  let layers =
+    match Option.bind (Jsonx.member "layers" doc) Jsonx.to_list with
+    | Some ls -> ls
+    | None -> Alcotest.fail "v2 report lacks the layers array"
+  in
+  Alcotest.(check (list (option string)))
+    "per-layer names"
+    [ Some "moa"; Some "mil"; Some "eff"; Some "bound" ]
+    (List.map (fun l -> Option.bind (Jsonx.member "name" l) Jsonx.to_str) layers);
+  List.iter
+    (fun l ->
+      match Option.bind (Jsonx.member "schema" l) Jsonx.to_str with
+      | Some s when String.length s > 0 -> ()
+      | _ -> Alcotest.fail "layer entry lacks a schema tag")
+    layers;
+  let queries =
+    match Option.bind (Jsonx.member "queries" doc) Jsonx.to_list with
+    | Some qs -> qs
+    | None -> Alcotest.fail "missing queries array"
+  in
+  Alcotest.(check int) "one entry per query" (List.length Corpus.queries)
+    (List.length queries);
+  List.iter
+    (fun q ->
+      (* the v1 fields survive unchanged... *)
+      List.iter
+        (fun field ->
+          if Jsonx.member field q = None then Alcotest.failf "query entry lacks %S" field)
+        [ "src"; "failed"; "error"; "nodes"; "partitions"; "shared_columns"; "diagnostics" ];
+      (* ...and the bound summary is additive on top *)
+      (match Option.bind (Jsonx.member "est_bytes" q) Jsonx.to_int with
+      | Some b when b > 0 -> ()
+      | _ -> Alcotest.fail "query entry lacks a positive est_bytes");
+      (match Jsonx.member "peak_bytes" q with
+      | Some _ -> ()
+      | None -> Alcotest.fail "query entry lacks peak_bytes");
+      match Option.bind (Jsonx.member "reclaim_bytes" q) Jsonx.to_int with
+      | Some b when b >= 0 -> ()
+      | _ -> Alcotest.fail "query entry lacks reclaim_bytes")
+    queries
+
+(* corpus-wide soundness spot check: est never exceeds the peak bound *)
+let test_corpus_envelopes () =
+  Mirror_core.Bootstrap.ensure ();
+  let st = Corpus.storage () in
+  let report = Lintreport.sweep st Corpus.queries in
+  List.iter
+    (fun (q : Lintreport.query) ->
+      match q.Lintreport.peak_bytes with
+      | Some peak ->
+        if q.Lintreport.est_bytes > peak then
+          Alcotest.failf "%s: est %d above peak %d" q.Lintreport.src q.Lintreport.est_bytes
+            peak;
+        if q.Lintreport.reclaim_bytes > peak then
+          Alcotest.failf "%s: reclaim est %d above peak %d" q.Lintreport.src
+            q.Lintreport.reclaim_bytes peak
+      | None -> Alcotest.failf "%s: corpus query left unbounded" q.Lintreport.src)
+    report.Lintreport.queries
+
+let () =
+  Alcotest.run "boundcheck"
+    [
+      ( "costs",
+        [
+          Alcotest.test_case "selectivity rules" `Quick test_selectivity;
+          Alcotest.test_case "string payload tracking" `Quick test_string_payload;
+        ] );
+      ( "foreigns",
+        [
+          Alcotest.test_case "undeclared bound degrades to unbounded" `Quick
+            test_foreign_unbounded;
+          Alcotest.test_case "declared rule keeps the envelope" `Quick test_foreign_declared;
+        ] );
+      ( "liveness",
+        [ Alcotest.test_case "diamond DAG reclaim peak" `Quick test_diamond_liveness ] );
+      ("admission", [ Alcotest.test_case "accept, refuse, fail-closed" `Quick test_admission ]);
+      ( "report",
+        [
+          Alcotest.test_case "mirror-lint/v2 round-trip" `Quick test_lint_v2_roundtrip;
+          Alcotest.test_case "corpus envelopes are consistent" `Quick test_corpus_envelopes;
+        ] );
+    ]

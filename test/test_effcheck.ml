@@ -205,7 +205,7 @@ let test_lint_json_schema () =
     | Error e -> Alcotest.failf "emitted JSON does not parse: %s" e
   in
   Alcotest.(check (option string))
-    "schema tag" (Some "mirror-lint/v1")
+    "schema tag" (Some "mirror-lint/v2")
     (Option.bind (Jsonx.member "schema" doc) Jsonx.to_str);
   Alcotest.(check (option int))
     "checked count" (Some (List.length Corpus.queries))

@@ -10,7 +10,11 @@
      (b) Milopt.rewrite preserves the result bit-for-bit (Bat.equal,
          which is order-sensitive);
      (c) executing under a trace records the plan's root span with a
-         row count equal to the actual result size.
+         row count equal to the actual result size;
+     (e) Boundcheck's resource envelope is sound: every node's actual
+         row count sits inside its interval, measured bytes never
+         exceed the resident upper bound, and estimates stay inside
+         the sound intervals.
 
    The plan generator itself lives in {!Milgen} (shared with the
    parallel-kernel differential suite); see there for the operators it
@@ -22,6 +26,7 @@ module Milcheck = Mirror_bat.Milcheck
 module Milopt = Mirror_bat.Milopt
 module Milprop = Mirror_bat.Milprop
 module Effcheck = Mirror_bat.Effcheck
+module Boundcheck = Mirror_bat.Boundcheck
 
 let plans_to_generate = 500
 let max_pool_rows = 1000 (* plans producing more rows are tested but not pooled *)
@@ -88,11 +93,55 @@ let check_effects eenv san plan b =
     if not (Bat.equal b sb) then failf plan "sanitized execution changed the result"
   | exception Effcheck.Violation msg -> failf plan "effect sanitizer: %s" msg
 
+(* property (e): the resource envelope is sound and consistent.  Every
+   node of the plan is executed through one shared CSE session (memo
+   hits across plans, like the sanitizer's); actual per-node row counts
+   must sit inside Boundcheck's sound intervals and the measured bytes
+   of this plan's materialised nodes (physically shared columns counted
+   once) must stay under the resident upper bound. *)
+let check_bounds benv bsess plan =
+  let bounds = Boundcheck.analyze benv [ plan ] in
+  (match bounds.Boundcheck.diags with
+  | [] -> ()
+  | ds ->
+    failf plan "bound diagnostics on a kernel-only plan: %s"
+      (String.concat "; " (List.map Milcheck.diag_to_string ds)));
+  let bats = ref [] in
+  Mil.Tbl.iter
+    (fun node (c : Boundcheck.cost) ->
+      let b = Mil.exec bsess node in
+      bats := b :: !bats;
+      let n = Bat.count b in
+      if n < c.Boundcheck.rows.Milprop.lo then
+        failf plan "node %s: %d rows below the sound lo %d" (Mil.op_name node) n
+          c.Boundcheck.rows.Milprop.lo;
+      (match c.Boundcheck.rows.Milprop.hi with
+      | Some hi when n > hi ->
+        failf plan "node %s: %d rows above the sound hi %d" (Mil.op_name node) n hi
+      | _ -> ());
+      if c.Boundcheck.est < c.Boundcheck.rows.Milprop.lo then
+        failf plan "node %s: estimate %d below the sound lo" (Mil.op_name node)
+          c.Boundcheck.est;
+      match c.Boundcheck.rows.Milprop.hi with
+      | Some hi when c.Boundcheck.est > hi ->
+        failf plan "node %s: estimate %d above the sound hi %d" (Mil.op_name node)
+          c.Boundcheck.est hi
+      | _ -> ())
+    bounds.Boundcheck.per_node;
+  match bounds.Boundcheck.resident.Boundcheck.fp_hi with
+  | Some hi ->
+    let measured = Boundcheck.bats_bytes !bats in
+    if measured > hi then
+      failf plan "measured %d bytes above the resident bound %d" measured hi
+  | None -> failf plan "kernel-only plan left unbounded"
+
 let test_fuzz () =
   let catalog = fixture () in
   let env = Milcheck.env_of_catalog catalog in
   let eenv = Effcheck.env () in
   let san = Effcheck.sanitizer eenv (Mil.session catalog) in
+  let benv = Boundcheck.env_of_catalog catalog in
+  let bsess = Mil.session catalog in
   let g = Prng.create 20260807 in
   let seed_pool =
     List.map
@@ -109,6 +158,7 @@ let test_fuzz () =
     check_rewrite catalog plan b;
     check_trace catalog plan b;
     check_effects eenv san plan b;
+    check_bounds benv bsess plan;
     if Bat.count b <= max_pool_rows then begin
       pool := { plan; hty; tty } :: !pool;
       incr pooled

@@ -204,6 +204,7 @@ module Brk : Extension.S = struct
   let foreign_ops = []
   let foreign_sigs = []
   let foreign_effects = []
+  let foreign_bounds = []
 
   let prop_flat ~ctx ~prop:_ ~meta:_ ~nbats ~nsubs =
     (List.init nbats (fun _ -> None), List.init nsubs (fun _ -> (Moaprop.Unknown, ctx)))

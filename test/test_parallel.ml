@@ -67,7 +67,7 @@ let test_differential () =
         List.iter
           (fun (d, p) ->
             Parkernel.set_morsel_size (Prng.choose g morsel_sizes);
-            let s = Mil.session ~par:{ Mil.pool = p; safe } catalog in
+            let s = Mil.session ~par:{ Mil.pool = p; safe; morsel = (fun _ -> None) } catalog in
             let got = Mil.exec s plan in
             if not (Bat.equal expected got) then
               failf plan "parallel result differs at %d domains (morsel %d)" d
@@ -125,7 +125,7 @@ let test_scheduler_refuses_unsafe () =
          must dispatch it outside the pool scope *)
       let safe = (Effcheck.analyze (Effcheck.env ()) [ plan ]).Effcheck.safe in
       let s =
-        Mil.session ~foreign:(clobber_dispatch saw_pool) ~par:{ Mil.pool; safe } catalog
+        Mil.session ~foreign:(clobber_dispatch saw_pool) ~par:{ Mil.pool; safe; morsel = (fun _ -> None) } catalog
       in
       ignore (Mil.exec s plan);
       Alcotest.(check bool) "unsafe foreign ran without a pool" false !saw_pool;
@@ -139,7 +139,7 @@ let test_scheduler_refuses_unsafe () =
       in
       let safe = (Effcheck.analyze eenv [ plan ]).Effcheck.safe in
       let s2 =
-        Mil.session ~foreign:(clobber_dispatch saw_pool) ~par:{ Mil.pool; safe } catalog
+        Mil.session ~foreign:(clobber_dispatch saw_pool) ~par:{ Mil.pool; safe; morsel = (fun _ -> None) } catalog
       in
       ignore (Mil.exec s2 plan);
       Alcotest.(check bool) "declared-pure foreign sees the pool" true !saw_pool)
@@ -281,7 +281,7 @@ let test_mixed_calc2 () =
       let plan = Mil.Calc2 (Bat.MinOp, Mil.Get "i", Mil.Get "f") in
       let expected = Mil.exec (Mil.session catalog) plan in
       let safe = (Effcheck.analyze (Effcheck.env ()) [ plan ]).Effcheck.safe in
-      let got = Mil.exec (Mil.session ~par:{ Mil.pool; safe } catalog) plan in
+      let got = Mil.exec (Mil.session ~par:{ Mil.pool; safe; morsel = (fun _ -> None) } catalog) plan in
       Alcotest.(check bool) "mixed int/float Calc2 matches sequential" true
         (Bat.equal expected got))
 
@@ -337,7 +337,7 @@ let test_stats_and_trace () =
       let plan = Mil.SelectCmp (Mil.Get "ints", Bat.Gt, Atom.Int 5) in
       let safe = (Effcheck.analyze (Effcheck.env ()) [ plan ]).Effcheck.safe in
       let tr = Trace.create () in
-      let s = Mil.session ~trace:tr ~par:{ Mil.pool; safe } catalog in
+      let s = Mil.session ~trace:tr ~par:{ Mil.pool; safe; morsel = (fun _ -> None) } catalog in
       ignore (Mil.exec s plan);
       let st = Mil.stats s in
       Alcotest.(check bool) "par_ops counted" true (st.Mil.par_ops > 0);
