@@ -1472,6 +1472,142 @@ let experiment_bound () =
       ("max_error_ratio", Json.Float worst);
     ]
 
+(* {1 SERVE: the concurrent serving tier over the docs workload}
+
+   N sessions interleave the six vetted workload queries through
+   {!Mirror_serve.Serve}: every session pins a snapshot up front, then
+   submits one query per burst; the cooperative scheduler serves the
+   bursts round-robin, so the result cache sees the same (version,
+   normalized key) from every session after the first.  Per-request
+   service time is the wall of the [step] that served it — cache hits
+   and misses land in the same distribution, which is exactly the
+   shape a client would see.  The correctness claim recorded (and
+   enforced by bench/validate.ml) is that every session's concatenated
+   result stream is bitwise identical: snapshot isolation plus the
+   version-keyed cache may never let interleaving change an answer. *)
+
+module Serve = Mirror_serve.Serve
+module Qcache = Mirror_serve.Qcache
+
+let experiment_serve () =
+  section "SERVE: concurrent sessions, snapshot reads, result cache";
+  let n_docs = if quick then 200 else 800 in
+  let n_sessions = 8 in
+  let rounds = if quick then 3 else 6 in
+  let m = make_docs ~n:n_docs in
+  let config = { Serve.default_config with queue_capacity = 4; cache_capacity = 64 } in
+  let srv = Serve.local ~config ~bindings m in
+  let ok_s = function
+    | Ok v -> v
+    | Error e ->
+      prerr_endline ("bench error: " ^ Serve.error_to_string e);
+      exit 1
+  in
+  let sessions = Array.init n_sessions (fun _ -> ok_s (Serve.open_session srv)) in
+  let streams = Array.init n_sessions (fun _ -> Buffer.create 4096) in
+  let latencies = ref [] in
+  let refusals = ref 0 in
+  let requests = ref 0 in
+  (* every session reads one frozen snapshot for the whole run *)
+  Array.iter (fun s -> ignore (ok_s (Serve.submit srv s Serve.Pin))) sessions;
+  Serve.drain srv;
+  Array.iter (fun s -> ignore (Serve.replies s)) sessions;
+  let t0 = Sys.time () in
+  for _ = 1 to rounds do
+    List.iter
+      (fun q ->
+        Array.iter
+          (fun s ->
+            match Serve.submit srv s (Serve.Query q) with
+            | Ok _ -> incr requests
+            | Error (Serve.Admission_refused _) -> incr refusals
+            | Error e -> ok_s (Error e))
+          sessions;
+        (* pump the burst to quiescence, timing each served request *)
+        let rec pump () =
+          let s0 = Sys.time () in
+          if Serve.step srv then begin
+            latencies := (Sys.time () -. s0) :: !latencies;
+            pump ()
+          end
+        in
+        pump ();
+        Array.iteri
+          (fun i s ->
+            List.iter
+              (fun (_rid, reply) ->
+                match reply with
+                | Ok (Serve.Value { value; _ }) ->
+                  Buffer.add_string streams.(i) (Value.to_string value);
+                  Buffer.add_char streams.(i) '\n'
+                | Ok _ -> ()
+                | Error e -> ok_s (Error e))
+              (Serve.replies s))
+          sessions)
+      docs_workload
+  done;
+  let elapsed = Float.max (Sys.time () -. t0) 1e-9 in
+  (* provoke queue-overflow shedding on a throwaway session so the
+     entry records admission control actually refusing work *)
+  let shed = ok_s (Serve.open_session srv) in
+  for _ = 1 to config.Serve.queue_capacity + 4 do
+    match Serve.submit srv shed (Serve.Query "count(Docs)") with
+    | Ok _ -> ()
+    | Error (Serve.Admission_refused _) -> incr refusals
+    | Error e -> ok_s (Error e)
+  done;
+  Serve.drain srv;
+  ignore (Serve.replies shed);
+  Serve.close_session srv shed;
+  let digest0 = Digest.string (Buffer.contents streams.(0)) in
+  let digests_equal =
+    Array.for_all (fun b -> Digest.string (Buffer.contents b) = digest0) streams
+  in
+  let lat = Array.of_list !latencies in
+  let p50 = Mirror_util.Stat.percentile lat 50.0 in
+  let p95 = Mirror_util.Stat.percentile lat 95.0 in
+  let st = Serve.stats srv in
+  let hit_rate = Qcache.hit_rate st.Serve.cache in
+  let throughput = Float.of_int !requests /. elapsed in
+  Array.iter (fun s -> Serve.close_session srv s) sessions;
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf "%d sessions x %d rounds over the %d-query docs workload" n_sessions
+           rounds (List.length docs_workload))
+      [ ("measure", Tablefmt.Left); ("value", Tablefmt.Right) ]
+  in
+  Tablefmt.add_row t [ "requests served"; Tablefmt.cell_int !requests ];
+  Tablefmt.add_row t [ "throughput (req/s)"; Tablefmt.cell_float ~prec:0 throughput ];
+  Tablefmt.add_row t [ "latency p50 (ms)"; ms p50 ];
+  Tablefmt.add_row t [ "latency p95 (ms)"; ms p95 ];
+  Tablefmt.add_row t [ "cache hit rate"; Tablefmt.cell_float ~prec:3 hit_rate ];
+  Tablefmt.add_row t [ "refusals"; Tablefmt.cell_int !refusals ];
+  Tablefmt.add_row t [ "digests equal"; (if digests_equal then "yes" else "NO") ];
+  Tablefmt.print t;
+  if not digests_equal then begin
+    print_endline "SERVE: session result streams diverged";
+    exit 1
+  end;
+  record_entry "SERVE"
+    [
+      ("sessions", Json.Int n_sessions);
+      ("requests", Json.Int !requests);
+      ("throughput_rps", Json.Float throughput);
+      ("p50_ms", json_ms p50);
+      ("p95_ms", json_ms p95);
+      ("cache_hit_rate", Json.Float hit_rate);
+      ("refusals", Json.Int !refusals);
+      ("digests_equal", Json.Bool digests_equal);
+      ("versions_published", Json.Int st.Serve.versions_published);
+      ("batches", Json.Int st.Serve.batches);
+    ];
+  print_endline
+    "expected shape: after the first session's miss every other session\n\
+     hits the version-keyed cache (hit rate well above 1/8), p50 sits far\n\
+     below p95 (hits vs evaluations), and all eight result streams are\n\
+     bitwise identical."
+
 let () =
   Printf.printf "Mirror MMDBMS experiment harness%s\n" (if quick then " (quick mode)" else "");
   vet_workloads ();
@@ -1487,5 +1623,6 @@ let () =
   experiment_chaos ();
   experiment_parallel ();
   experiment_bound ();
+  experiment_serve ();
   write_bench_json ();
   print_endline "\nall experiments complete."

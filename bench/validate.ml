@@ -178,5 +178,39 @@ let () =
       if cores >= 4 && s < 1.0 then
         die "PARALLEL speedup at 4 domains is %.2fx on a %d-core host" s cores
     | None -> die "PARALLEL entry lacks speedup_4");
+  (* the SERVE entry must prove the serving tier's two contracts: the
+     concurrent sessions' result streams were bitwise identical
+     (snapshot isolation + version-keyed cache never change an
+     answer), and the result cache actually served hits *)
+  (match find "SERVE" with
+  | None -> die "no entry for the serving-tier experiment (SERVE)"
+  | Some s ->
+    (match Json.member "digests_equal" s with
+    | Some (Json.Bool true) -> ()
+    | Some (Json.Bool false) -> die "SERVE session result streams diverged"
+    | _ -> die "SERVE entry lacks digests_equal");
+    (match Option.bind (Json.member "cache_hit_rate" s) Json.to_float with
+    | Some r when r > 0.0 && r <= 1.0 -> ()
+    | Some r -> die "SERVE cache hit rate %f is not in (0, 1]" r
+    | None -> die "SERVE entry lacks cache_hit_rate");
+    (match Option.bind (Json.member "sessions" s) Json.to_int with
+    | Some n when n > 1 -> ()
+    | Some _ -> die "SERVE ran with fewer than two sessions"
+    | None -> die "SERVE entry lacks sessions");
+    (match Option.bind (Json.member "requests" s) Json.to_int with
+    | Some n when n > 0 -> ()
+    | _ -> die "SERVE entry lacks a positive request count");
+    (match Option.bind (Json.member "throughput_rps" s) Json.to_float with
+    | Some r when r > 0.0 -> ()
+    | _ -> die "SERVE entry lacks a positive throughput_rps");
+    List.iter
+      (fun f ->
+        match Option.bind (Json.member f s) Json.to_float with
+        | Some v when v >= 0.0 -> ()
+        | _ -> die "SERVE entry lacks %s" f)
+      [ "p50_ms"; "p95_ms" ];
+    (match Option.bind (Json.member "refusals" s) Json.to_int with
+    | Some n when n >= 0 -> ()
+    | _ -> die "SERVE entry lacks refusals"));
   Printf.printf "BENCH_core.json ok: %d experiment entries (%s)\n" (List.length entries)
     (String.concat ", " (List.filter_map entry_id entries))

@@ -422,6 +422,10 @@ let print_status (s : Durable.status) =
   Printf.printf "since checkpoint %d record(s)\n" s.Durable.since_checkpoint;
   Printf.printf "log              %d segment(s), %d byte(s)\n" s.Durable.segments
     s.Durable.log_bytes;
+  if s.Durable.wal_appends > 0 then
+    Printf.printf "group commit     %d append(s), %d fsync(s), %d batch(es), %.2f fsync/commit\n"
+      s.Durable.wal_appends s.Durable.wal_fsyncs s.Durable.wal_batches
+      s.Durable.fsyncs_per_commit;
   match s.Durable.last_error with
   | None -> ()
   | Some e -> Printf.printf "last error       %s\n" e
@@ -820,6 +824,104 @@ let explain_cmd =
     (Cmd.info "explain" ~doc)
     [ explain_analyze_cmd ]
 
+(* {1 serve} *)
+
+let serve_main socket durable self_test demo seed max_sessions queue cache commit_batch
+    max_bytes =
+  let module Serve = Mirror_serve.Serve in
+  if self_test then (
+    match Serve.self_test () with
+    | Ok () ->
+      print_endline
+        "serve self-test: OK (snapshot isolation, result cache, admission control, breaker)";
+      0
+    | Error e ->
+      Printf.eprintf "serve self-test FAILED: %s\n" e;
+      1)
+  else
+    match socket with
+    | None ->
+      Printf.eprintf "error: serve needs --socket PATH (or --self-test)\n";
+      1
+    | Some socket -> (
+      let config =
+        {
+          Serve.default_config with
+          Serve.max_sessions;
+          Serve.queue_capacity = queue;
+          Serve.cache_capacity = cache;
+          Serve.commit_batch;
+          Serve.max_bytes;
+        }
+      in
+      let finish, m, dur =
+        match durable with
+        | None -> ((fun code -> code), Mirror.create (), None)
+        | Some dir -> (
+          match Durable.open_ ~dir () with
+          | Error e ->
+            Printf.eprintf "error: cannot open durable store %s: %s\n" dir e;
+            exit 1
+          | Ok (t, r) ->
+            describe_recovery r;
+            ((fun code -> Durable.close t; code), Durable.mirror t, Some t))
+      in
+      if demo > 0 then load_demo ?journal:(Option.map Durable.store_journal dur) m ~seed ~n:demo;
+      let stop = ref false in
+      let on_signal = Sys.Signal_handle (fun (_ : int) -> stop := true) in
+      Sys.set_signal Sys.sigint on_signal;
+      Sys.set_signal Sys.sigterm on_signal;
+      Printf.printf "serving on %s (ctrl-C to stop)\n%!" socket;
+      match Mirror_serve.Server.run ~config ?durable:dur ~stop:(fun () -> !stop) ~socket m with
+      | Ok () ->
+        print_endline "serve: stopped";
+        finish 0
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        finish 1)
+
+let socket_arg =
+  let doc = "Listen on the Unix socket at $(docv) (one connection = one session)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_self_test_arg =
+  let doc =
+    "Run the in-process serving self-test (snapshot isolation across a commit, cache \
+     hits via query normalization, queue/budget shedding, breaker trip and recovery) \
+     and exit."
+  in
+  Arg.(value & flag & info [ "self-test" ] ~doc)
+
+let max_sessions_arg =
+  let doc = "Concurrent session cap; further connections are refused (admission)." in
+  Arg.(value & opt int 64 & info [ "max-sessions" ] ~docv:"N" ~doc)
+
+let queue_arg =
+  let doc = "Pending-request bound per session; overflow is refused, never queued." in
+  Arg.(value & opt int 32 & info [ "queue" ] ~docv:"N" ~doc)
+
+let cache_capacity_arg =
+  let doc = "Result-cache entries (LRU, keyed by version and canonical query)." in
+  Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
+
+let commit_batch_arg =
+  let doc =
+    "Group-commit batch: writes from all sessions commit together (one fsync, one new \
+     snapshot version) every $(docv) writes or when the server goes idle."
+  in
+  Arg.(value & opt int 8 & info [ "commit-batch" ] ~docv:"N" ~doc)
+
+let serve_cmd =
+  let doc =
+    "serve many concurrent sessions over one database: snapshot-isolated reads, a \
+     normalized query/result cache, group-committed writes and admission control"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const (fun () -> serve_main)
+      $ domains_term $ socket_arg $ durable_arg $ serve_self_test_arg $ demo_arg $ seed_arg
+      $ max_sessions_arg $ queue_arg $ cache_capacity_arg $ commit_batch_arg $ max_bytes_arg)
+
 let cmd =
   let doc = "the Mirror multimedia DBMS shell" in
   let info = Cmd.info "mirror" ~doc in
@@ -827,6 +929,6 @@ let cmd =
     ~default:
       Term.(const (fun () -> main) $ domains_term $ eval_arg $ demo_arg $ seed_arg $ durable_arg)
     info
-    [ lint_cmd; explain_cmd; daemons_cmd; wal_cmd ]
+    [ lint_cmd; explain_cmd; daemons_cmd; wal_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' cmd)

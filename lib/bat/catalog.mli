@@ -27,6 +27,19 @@ val mem : t -> string -> bool
 val remove : t -> string -> unit
 (** Unbind (no-op when unbound). *)
 
+type snapshot
+(** A frozen copy-on-write version of the catalog's bindings.  BATs
+    are immutable once built, so a snapshot shares all row data with
+    the live catalog; only the name table is copied (O(#names)). *)
+
+val snapshot : t -> snapshot
+(** Freeze the current bindings.  Later mutations of [t] are invisible
+    to the snapshot. *)
+
+val of_snapshot : snapshot -> t
+(** A fresh catalog holding the snapshot's bindings (no observer).
+    Mutating it does not affect the snapshot or the original. *)
+
 val set_observer : t -> (string -> unit) option -> unit
 (** Install (or clear) a mutation observer: it is called with the
     entry name on every {!put} and every effective {!remove}.  Used by

@@ -282,6 +282,10 @@ let fmt_bytes b =
   else Printf.sprintf "%d B" b
 
 let explain_analyze ?(optimize = true) ?(cse = true) ?max_bytes storage expr =
+  (* canonical form first, so two formulations that differ only by
+     binder names or commutative operand order render the same span
+     tree and rollup (see Normalize) *)
+  let expr = Normalize.canonical expr in
   let trace = Trace.create () in
   (* snapshot the pool's lifetime totals so the rollup below reports
      this query's share only *)
@@ -381,6 +385,7 @@ let explain_analyze ?(optimize = true) ?(cse = true) ?max_bytes storage expr =
     Ok (Buffer.contents buf)
 
 let explain ?(optimize = true) storage expr =
+  let expr = Normalize.canonical expr in
   match Typecheck.infer (Storage.typecheck_env storage) expr with
   | Error e -> Error (Typecheck.diag_to_string e)
   | Ok _ -> (

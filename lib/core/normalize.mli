@@ -1,0 +1,31 @@
+(** Canonical forms of Moa queries — the serving tier's cache key.
+
+    Two formulations of the same query (renamed binders, swapped
+    operands of a commutative operator) should hit the same plan/result
+    cache slot and print identically in [explain]/[.trace].  The
+    canonical form is computed in two structure-preserving passes:
+
+    - {e commutative sort}: the operand pair of every commutative
+      operator ([+], [*], [min], [max], [and], [or], [=], [<>],
+      [union], [inter]) is ordered by an alpha-invariant key, so
+      [a + b] and [b + a] converge.  Ordered comparisons and [-]/[/]
+      are left alone.
+    - {e alpha-normalisation}: binder names are renamed [v1], [v2], …
+      in pre-order (skipping any name that occurs free in the query,
+      so free identifiers like the paper's [query] are never
+      captured).
+
+    Both passes preserve semantics: the flattened kernel evaluates
+    both operands of every calculation operator regardless of order,
+    and renaming bound variables is invisible to evaluation. *)
+
+val canonical : Expr.t -> Expr.t
+(** The canonical form.  Idempotent: [canonical (canonical e)] is
+    structurally equal to [canonical e]. *)
+
+val key : Expr.t -> string
+(** [Expr.to_string (canonical e)] — equal for all formulations that
+    differ only by binder names or commutative operand order. *)
+
+val hash : Expr.t -> string
+(** CRC-32 of {!key} in hex; a short digest for cache-key display. *)

@@ -350,6 +350,58 @@ let delete_where t ~name pred =
           removed)
         (load_unlogged t ~name survivors))
 
+(* {1 Copy-on-write snapshots (the serving tier's version store)}
+
+   A snapshot freezes the logical state a reader needs: the catalog
+   bindings (BATs are immutable, so only the name table is copied),
+   the extent records (copied because their [shape]/[rows] fields are
+   mutated in place by DML), the statistics spaces (shared: a space
+   object is built fresh at materialisation time and only read
+   afterwards; DML replaces the binding, never the object) and the oid
+   allocator positions.  Building one is O(#extents + #names), never
+   O(rows). *)
+
+type snapshot = {
+  s_cat : Catalog.snapshot;
+  s_exts : (string * extent) list;
+  s_spaces : (string * Space.t) list;
+  s_next_store : int;
+  s_next_query : int;
+}
+
+let snapshot t =
+  {
+    s_cat = Catalog.snapshot t.cat;
+    s_exts =
+      Hashtbl.fold
+        (fun name e acc -> (name, { ty = e.ty; shape = e.shape; rows = e.rows }) :: acc)
+        t.exts [];
+    s_spaces = Hashtbl.fold (fun name sp acc -> (name, sp) :: acc) t.spaces [];
+    s_next_store = t.next_store;
+    s_next_query = t.next_query;
+  }
+
+(* The restored view is a fully functional [t]: reads (including
+   query-base allocation, which only mutates the view's private
+   counter) work as usual.  It never journals — a version is a read
+   replica, not a write path. *)
+let of_snapshot s =
+  let exts = Hashtbl.create (max 16 (List.length s.s_exts)) in
+  List.iter
+    (fun (name, e) ->
+      Hashtbl.replace exts name { ty = e.ty; shape = e.shape; rows = e.rows })
+    s.s_exts;
+  let spaces = Hashtbl.create (max 8 (List.length s.s_spaces)) in
+  List.iter (fun (name, sp) -> Hashtbl.replace spaces name sp) s.s_spaces;
+  {
+    cat = Catalog.of_snapshot s.s_cat;
+    exts;
+    spaces;
+    next_store = s.s_next_store;
+    next_query = s.s_next_query;
+    journal = None;
+  }
+
 let extents t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.exts [])
 let extent_type t name = Option.map (fun e -> e.ty) (Hashtbl.find_opt t.exts name)
 

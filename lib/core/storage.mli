@@ -65,6 +65,25 @@ val fresh_query_base : t -> int
 val typecheck_env : t -> Typecheck.env
 (** Schema view for the type checker. *)
 
+(** {1 Copy-on-write snapshots (see {!Mirror_serve})} *)
+
+type snapshot
+(** A frozen version of the whole logical state: catalog bindings,
+    extent schemas/shapes/rows and the oid allocator positions.  BATs
+    and row lists are shared structurally (both are immutable once
+    built), so taking one is O(#extents + #catalog names), never
+    O(rows) — the copy-on-write version store of the serving tier. *)
+
+val snapshot : t -> snapshot
+(** Freeze the current state.  Later mutations of [t] (copying DML
+    replaces catalog bindings and extent records; it never mutates
+    row data in place) are invisible to the snapshot. *)
+
+val of_snapshot : snapshot -> t
+(** A fresh, fully queryable storage view of a snapshot.  The view
+    never journals and its query-base allocator is private; use it for
+    reads — defining or loading through it affects only the view. *)
+
 (** {1 Restore (persisted databases — see {!Persist})} *)
 
 val define_restored : t -> name:string -> Types.t -> (Extension.planshape, string) result

@@ -1,0 +1,71 @@
+module Value = Mirror_core.Value
+
+type command = Req of Serve.request | Stats | Quit
+
+let parse line =
+  let line = String.trim line in
+  let word, rest =
+    match String.index_opt line ' ' with
+    | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+    | None -> (line, "")
+  in
+  match (String.lowercase_ascii word, rest) with
+  | "query", "" -> Error "query needs an expression"
+  | "query", src -> Ok (Req (Serve.Query src))
+  | "exec", "" -> Error "exec needs a statement program"
+  | "exec", src -> Ok (Req (Serve.Exec src))
+  | "pin", "" -> Ok (Req Serve.Pin)
+  | "unpin", "" -> Ok (Req Serve.Unpin)
+  | "stats", "" -> Ok Stats
+  | "quit", "" -> Ok Quit
+  | ("pin" | "unpin" | "stats" | "quit"), _ -> Error (word ^ " takes no argument")
+  | "", _ -> Error "empty request"
+  | w, _ -> Error ("unknown request " ^ w)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let kind = function
+  | Serve.Admission_refused _ -> "admission"
+  | Serve.Breaker_open _ -> "breaker-open"
+  | Serve.Bad_request _ -> "bad-request"
+  | Serve.Exec_error _ -> "exec"
+
+let message = function
+  | Serve.Admission_refused m | Serve.Bad_request m | Serve.Exec_error m -> m
+  | Serve.Breaker_open s -> Printf.sprintf "retry in %.3gs" s
+
+let render_error rid e = Printf.sprintf "%d err %s: %s" rid (kind e) (escape (message e))
+
+let render_reply rid = function
+  | Ok (Serve.Value { value; cached; version }) ->
+    Printf.sprintf "%d %s v%d %s" rid
+      (if cached then "hit" else "ok")
+      version
+      (escape (Value.to_string value))
+  | Ok (Serve.Executed { version; outcomes }) ->
+    Printf.sprintf "%d ok v%d %s" rid version (escape (String.concat "; " outcomes))
+  | Ok (Serve.Pinned v) -> Printf.sprintf "%d ok pinned v%d" rid v
+  | Ok Serve.Unpinned -> Printf.sprintf "%d ok unpinned" rid
+  | Error e -> render_error rid e
+
+let render_refusal e = render_error 0 e
+
+let render_stats (s : Serve.stats) =
+  Printf.sprintf
+    "0 ok stats sessions=%d peak=%d served=%d refused=%d breaker_refused=%d cache_hits=%d \
+     cache_misses=%d hit_rate=%.3f versions=%d published=%d collected=%d batches=%d writes=%d"
+    s.Serve.sessions_open s.Serve.sessions_peak s.Serve.served s.Serve.refused
+    s.Serve.breaker_open_refusals s.Serve.cache.Qcache.hits s.Serve.cache.Qcache.misses
+    (Qcache.hit_rate s.Serve.cache)
+    s.Serve.versions_live s.Serve.versions_published s.Serve.versions_collected s.Serve.batches
+    s.Serve.writes

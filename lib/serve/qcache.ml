@@ -1,0 +1,97 @@
+module Value = Mirror_core.Value
+
+type entry = { value : Value.t; mutable tick : int }
+
+type t = {
+  tbl : (int * string, entry) Hashtbl.t;
+  capacity : int;
+  mutable clock : int; (* recency counter: bumped on every touch *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidated : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Qcache.create: capacity must be positive";
+  {
+    tbl = Hashtbl.create (min capacity 64);
+    capacity;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidated = 0;
+  }
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.tick <- t.clock
+
+let find t ~version ~key =
+  match Hashtbl.find_opt t.tbl (version, key) with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    touch t e;
+    Some e.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+(* O(size) eviction scan: the cache is small (hundreds of entries) and
+   eviction only runs past capacity, so a recency heap would be
+   machinery without a measurable win. *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best.tick <= e.tick -> acc
+        | _ -> Some (k, e))
+      t.tbl None
+  in
+  match victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t ~version ~key value =
+  (match Hashtbl.find_opt t.tbl (version, key) with
+  | Some _ -> Hashtbl.remove t.tbl (version, key)
+  | None -> if Hashtbl.length t.tbl >= t.capacity then evict_lru t);
+  let e = { value; tick = 0 } in
+  touch t e;
+  Hashtbl.add t.tbl (version, key) e
+
+let drop_version t vid =
+  let doomed =
+    Hashtbl.fold (fun (v, k) _ acc -> if v = vid then (v, k) :: acc else acc) t.tbl []
+  in
+  List.iter (Hashtbl.remove t.tbl) doomed;
+  let n = List.length doomed in
+  t.invalidated <- t.invalidated + n;
+  n
+
+type stats = {
+  hits : int;
+  misses : int;
+  size : int;
+  capacity : int;
+  evictions : int;
+  invalidated : int;
+}
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    size = Hashtbl.length t.tbl;
+    capacity = t.capacity;
+    evictions = t.evictions;
+    invalidated = t.invalidated;
+  }
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0. else float_of_int s.hits /. float_of_int total

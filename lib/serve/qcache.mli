@@ -1,0 +1,43 @@
+(** The plan/result cache of the serving tier.
+
+    Entries are keyed by [(version id, canonical query key)] — the
+    key from {!Mirror_core.Normalize.key}, so formulations that differ
+    only by binder names or commutative operand order share a slot.
+    Keying by version makes invalidation precise by construction: a
+    committed write publishes a new version, whose reads simply never
+    match the old entries, and {!drop_version} reclaims a version's
+    entries the moment the version-store GC retires it.  A stale hit
+    is therefore impossible: an entry is only ever consulted by a
+    reader pinned to exactly the version it was computed under.
+
+    Bounded LRU: inserting past [capacity] evicts the least recently
+    used entry. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] must be positive. *)
+
+val find : t -> version:int -> key:string -> Mirror_core.Value.t option
+(** Cache lookup; counts a hit or a miss and refreshes recency. *)
+
+val add : t -> version:int -> key:string -> Mirror_core.Value.t -> unit
+(** Insert (or refresh) an entry, evicting the LRU entry past
+    capacity. *)
+
+val drop_version : t -> int -> int
+(** Remove every entry of the given version; returns how many. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  size : int;
+  capacity : int;
+  evictions : int;  (** LRU evictions (capacity pressure) *)
+  invalidated : int;  (** entries dropped with their GC'd version *)
+}
+
+val stats : t -> stats
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)]; 0 before any lookup. *)

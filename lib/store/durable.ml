@@ -44,6 +44,10 @@ type t = {
   mutable last_error : string option;
   mutable closed : bool;
   mutable trace : Trace.t;
+  mutable wal_hist : Wal.stats;
+      (* counters of retired log writers: [checkpoint] replaces [wal]
+         with a fresh one, so lifetime group-commit stats are the sum
+         of this and the live writer's counters *)
 }
 
 let mirror t = t.mir
@@ -257,6 +261,7 @@ let checkpoint t =
           raise e
         | Error _ as e -> fin e
         | Ok (wal, lsn) ->
+          t.wal_hist <- Wal.add_stats t.wal_hist (Wal.stats t.wal);
           t.wal <- wal;
           t.checkpoint_lsn <- lsn;
           t.since <- 0;
@@ -314,6 +319,7 @@ let mk t_dir config mir wal ~side ~checkpoint_lsn ~since =
       last_error = None;
       closed = false;
       trace = Trace.null;
+      wal_hist = Wal.zero_stats;
     }
   in
   install_hooks t;
@@ -440,7 +446,20 @@ type status = {
   log_bytes : int;
   snapshot : string;
   last_error : string option;
+  wal_appends : int;
+  wal_fsyncs : int;
+  wal_batches : int;
+  fsyncs_per_commit : float;
 }
+
+let wal_stats t = Wal.add_stats t.wal_hist (Wal.stats t.wal)
+
+let sync t =
+  if t.closed then Error "durable store is closed"
+  else
+    match Wal.sync t.wal with
+    | () -> Ok ()
+    | exception Sys_error e -> Error e
 
 let log_stats dir =
   let segs = Wal.segments ~dir:(wal_dir dir) in
@@ -456,6 +475,7 @@ let log_stats dir =
 
 let status t =
   let segments, log_bytes = log_stats t.dir in
+  let ws = wal_stats t in
   {
     next_lsn = Wal.next_lsn t.wal;
     checkpoint_lsn = t.checkpoint_lsn;
@@ -464,6 +484,11 @@ let status t =
     log_bytes;
     snapshot = snap_name t.checkpoint_lsn;
     last_error = t.last_error;
+    wal_appends = ws.Wal.appends;
+    wal_fsyncs = ws.Wal.fsyncs;
+    wal_batches = ws.Wal.batches;
+    fsyncs_per_commit =
+      (if ws.Wal.appends = 0 then 0. else float_of_int ws.Wal.fsyncs /. float_of_int ws.Wal.appends);
   }
 
 let inspect ~dir =
@@ -481,6 +506,11 @@ let inspect ~dir =
         log_bytes;
         snapshot = snap;
         last_error = None;
+        (* offline: the writer counters live in the owning process *)
+        wal_appends = 0;
+        wal_fsyncs = 0;
+        wal_batches = 0;
+        fsyncs_per_commit = 0.;
       },
       wal_end )
 

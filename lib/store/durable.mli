@@ -96,9 +96,28 @@ type status = {
           applied and logged; failures land here instead (the log
           keeps everything, so nothing is lost — compaction is merely
           deferred). *)
+  wal_appends : int;  (** records logged over the store's lifetime *)
+  wal_fsyncs : int;  (** fsync calls paid for them *)
+  wal_batches : int;  (** group commits (fsyncs covering >= 1 record) *)
+  fsyncs_per_commit : float;
+      (** [wal_fsyncs / wal_appends] (0 before any append): 1.0 under
+          record-at-a-time commit, below 1.0 once group commit batches
+          several appends per fsync.  Counters span checkpoint-time
+          writer swaps; {!inspect} reports them as zero (they live in
+          the owning process, not on disk). *)
 }
 
 val status : t -> status
+
+val wal_stats : t -> Wal.stats
+(** Lifetime group-commit counters (live writer plus every writer
+    retired by a checkpoint). *)
+
+val sync : t -> (unit, string) result
+(** Force an fsync of the log now, regardless of [fsync_batch] — the
+    serving tier's group-commit point: batch several journaled writes,
+    [sync], and only then publish their effects.  [Error] on a
+    poisoned writer (see {!Wal.sync}) or a closed store. *)
 
 val inspect : dir:string -> (status * Wal.replay_end, string) result
 (** Read-only view of a durable directory without opening it: parse

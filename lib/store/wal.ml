@@ -27,6 +27,17 @@ let segments ~dir =
 
 (* {1 Appending} *)
 
+type stats = { appends : int; fsyncs : int; batches : int }
+
+let zero_stats = { appends = 0; fsyncs = 0; batches = 0 }
+
+let add_stats a b =
+  {
+    appends = a.appends + b.appends;
+    fsyncs = a.fsyncs + b.fsyncs;
+    batches = a.batches + b.batches;
+  }
+
 type t = {
   dir : string;
   config : config;
@@ -35,6 +46,9 @@ type t = {
   mutable next : int;
   mutable unsynced : int;
   mutable broken : string option;
+  mutable appends : int;
+  mutable fsyncs : int;
+  mutable batches : int;
 }
 
 let open_segment dir first_lsn =
@@ -54,7 +68,12 @@ let create ?(config = default_config) ~dir ~start_lsn () =
     next = start_lsn;
     unsynced = 0;
     broken = None;
+    appends = 0;
+    fsyncs = 0;
+    batches = 0;
   }
+
+let stats t = { appends = t.appends; fsyncs = t.fsyncs; batches = t.batches }
 
 let next_lsn t = t.next
 
@@ -74,6 +93,8 @@ let sync t =
      let m = "WAL fsync failed, log writer poisoned: " ^ Unix.error_message err in
      t.broken <- Some m;
      raise (Sys_error m));
+  t.fsyncs <- t.fsyncs + 1;
+  if t.unsynced > 0 then t.batches <- t.batches + 1;
   t.unsynced <- 0
 
 let roll t =
@@ -105,6 +126,7 @@ let append t payload =
   let lsn = t.next in
   t.next <- lsn + 1;
   t.unsynced <- t.unsynced + 1;
+  t.appends <- t.appends + 1;
   if t.unsynced >= t.config.fsync_batch then sync t else flush t.oc;
   if Metrics.enabled () then begin
     Metrics.incr "wal.append";

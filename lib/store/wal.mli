@@ -30,8 +30,29 @@ val default_config : config
 
 (** {1 Appending} *)
 
+type stats = {
+  appends : int;  (** records appended through this writer *)
+  fsyncs : int;  (** successful fsync calls *)
+  batches : int;
+      (** fsyncs that made at least one append durable — a {e group
+          commit}.  With [fsync_batch = 1] this tracks [appends]; with
+          a larger batch (or explicit {!sync} calls covering several
+          appends) [appends / batches] is the mean group size and
+          [fsyncs / appends] the mean fsyncs paid per committed
+          record. *)
+}
+
+val zero_stats : stats
+
+val add_stats : stats -> stats -> stats
+(** Field-wise sum — for accumulating across writer generations (the
+    durable store swaps writers at each checkpoint). *)
+
 type t
 (** An open log writer. *)
+
+val stats : t -> stats
+(** Counters since {!create} on this writer. *)
 
 val create : ?config:config -> dir:string -> start_lsn:int -> unit -> t
 (** Open [dir] (created if missing) for appending, starting a fresh

@@ -490,6 +490,44 @@ let test_side_state_survives_auto_checkpoint () =
           r.Durable.feedback;
         Durable.close t)
 
+(* {1 Group-commit observability}
+
+   With [fsync_batch = 8] a run of journaled writes must pay well
+   under one fsync per committed record, the explicit [Durable.sync]
+   must close the open batch, and the counters must survive the
+   checkpoint-time writer swap (the durable store accumulates retired
+   writers' stats). *)
+let test_group_commit_stats () =
+  with_temp_dir (fun dir ->
+      let config =
+        {
+          Durable.default_config with
+          Durable.wal = { Wal.default_config with Wal.fsync_batch = 8 };
+        }
+      in
+      match Durable.open_ ~config ~dir () with
+      | Error e -> Alcotest.fail e
+      | Ok (t, _) ->
+        apply_durable t (Exec (Printf.sprintf "define T as %s;" schema_src));
+        for i = 1 to 20 do
+          apply_durable t (Exec (Printf.sprintf "insert into T tuple(a: %d, s: {%d});" i i))
+        done;
+        ok (Durable.sync t);
+        let s = Durable.status t in
+        Alcotest.(check int) "every journaled record counted" 21 s.Durable.wal_appends;
+        Alcotest.(check bool) "group commit: fewer fsyncs than appends" true
+          (s.Durable.wal_fsyncs < s.Durable.wal_appends);
+        Alcotest.(check bool) "at least one batch closed" true (s.Durable.wal_batches >= 1);
+        Alcotest.(check bool) "mean fsyncs per commit below 1" true
+          (s.Durable.fsyncs_per_commit < 1.0);
+        ok (Durable.checkpoint t);
+        let s' = Durable.status t in
+        Alcotest.(check int) "appends survive the checkpoint writer swap" 21
+          s'.Durable.wal_appends;
+        Alcotest.(check bool) "fsyncs accumulate across the swap" true
+          (s'.Durable.wal_fsyncs >= s.Durable.wal_fsyncs);
+        Durable.close t)
+
 (* {1 The 500-seed crash fuzzer} *)
 
 let test_crash_fuzz () =
@@ -544,6 +582,8 @@ let () =
           Alcotest.test_case "side state survives auto-checkpoints" `Quick
             test_side_state_survives_auto_checkpoint;
         ] );
+      ( "group-commit",
+        [ Alcotest.test_case "batching stats observable" `Quick test_group_commit_stats ] );
       ( "fuzz",
         [ Alcotest.test_case "500-seed crash fuzzer" `Slow test_crash_fuzz ] );
     ]
